@@ -1,0 +1,60 @@
+"""E1 — regenerate Table 1 (discrepancy after O(T), flags, time to O(d)).
+
+Prints the full reproduction table and benchmarks one representative
+post-``T`` measurement per algorithm class.
+"""
+
+import pytest
+
+from repro.algorithms.registry import make
+from repro.analysis.convergence import measure_after_t
+from repro.core.loads import point_mass
+from repro.experiments.table1 import Table1Config, run_table1
+from repro.graphs import families
+from repro.graphs.spectral import eigenvalue_gap
+
+
+@pytest.fixture(scope="module")
+def table1(print_result):
+    return print_result(
+        run_table1(Table1Config(n=128, degree=8, tokens_per_node=64))
+    )
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return families.random_regular(128, 8, seed=1)
+
+
+@pytest.fixture(scope="module")
+def gap(graph):
+    return eigenvalue_gap(graph)
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    [
+        "send_floor",
+        "send_rounded",
+        "rotor_router",
+        "rotor_router_star",
+        "arbitrary_rounding_fixed",
+        "continuous_mimicking",
+    ],
+)
+def test_discrepancy_after_t(benchmark, table1, graph, gap, algorithm):
+    rows = {row["algorithm"]: row for row in table1.rows}
+    assert rows[algorithm]["disc_after_T"] <= 10 * rows[algorithm][
+        "predicted"
+    ]
+
+    def measure():
+        return measure_after_t(
+            graph,
+            make(algorithm, seed=1),
+            point_mass(128, 128 * 64),
+            gap=gap,
+        )
+
+    report = benchmark(measure)
+    assert report.final_discrepancy <= report.initial_discrepancy

@@ -1,0 +1,39 @@
+"""E2/E9 — Theorem 2.3(i) on expanders + separation from [17]'s class."""
+
+import pytest
+
+from repro.experiments.theorem23 import (
+    Theorem23Config,
+    run_expander_sweep,
+)
+
+
+CONFIG = Theorem23Config(
+    expander_sizes=(64, 128, 256),
+    expander_degree=6,
+    tokens_per_node=64,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(print_result):
+    return print_result(run_expander_sweep(CONFIG))
+
+
+def test_fair_balancers_within_bound_i(sweep):
+    for row in sweep.rows:
+        for name in CONFIG.algorithms:
+            assert row[name] <= row["bound_i"]
+
+
+def test_adversary_worse_than_rotor_router(sweep):
+    for row in sweep.rows:
+        assert row["adversary"] >= row["rotor_router"]
+
+
+def test_benchmark_expander_sweep(benchmark):
+    small = Theorem23Config(
+        expander_sizes=(64,), expander_degree=6, tokens_per_node=32
+    )
+    result = benchmark(run_expander_sweep, small)
+    assert result.rows

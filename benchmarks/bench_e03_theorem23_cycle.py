@@ -1,0 +1,34 @@
+"""E3 — Theorem 2.3(ii) on cycles: d·√n upper bound vs Ω(n) worst case."""
+
+import pytest
+
+from repro.experiments.theorem23 import Theorem23Config, run_cycle_sweep
+
+
+CONFIG = Theorem23Config(
+    cycle_sizes=(17, 25, 33, 49, 65),
+    tokens_per_node=64,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(print_result):
+    return print_result(run_cycle_sweep(CONFIG))
+
+
+def test_fair_balancers_below_sqrt_n_bound(sweep):
+    for row in sweep.rows:
+        for name in CONFIG.algorithms:
+            assert row[name] <= row["bound_ii(d*sqrt n)"]
+
+
+def test_worst_case_scales_linearly(sweep):
+    fits = sweep.metadata["fits"]
+    assert fits["worst_case_d0"]["slope"] > 0.9
+    assert fits["rotor_router"]["slope"] < 0.6
+
+
+def test_benchmark_cycle_run(benchmark):
+    small = Theorem23Config(cycle_sizes=(9, 17), tokens_per_node=32)
+    result = benchmark(run_cycle_sweep, small)
+    assert result.rows

@@ -1,0 +1,34 @@
+"""E4 — Theorem 2.3(iii): the d° = 1 regime (only claim iii applies)."""
+
+import pytest
+
+from repro.experiments.theorem23 import (
+    Theorem23Config,
+    run_minimal_selfloop_sweep,
+)
+
+
+CONFIG = Theorem23Config(
+    expander_sizes=(64, 128, 256),
+    expander_degree=6,
+    tokens_per_node=64,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(print_result):
+    return print_result(run_minimal_selfloop_sweep(CONFIG))
+
+
+def test_within_bound_iii(sweep):
+    for row in sweep.rows:
+        for name in CONFIG.algorithms:
+            assert row[name] <= row["bound_iii"]
+
+
+def test_benchmark_minimal_selfloops(benchmark):
+    small = Theorem23Config(
+        expander_sizes=(64,), expander_degree=6, tokens_per_node=32
+    )
+    result = benchmark(run_minimal_selfloop_sweep, small)
+    assert result.rows

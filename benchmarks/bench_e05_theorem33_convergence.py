@@ -1,0 +1,41 @@
+"""E5 — Theorem 3.3: good s-balancers reach O(d); speed vs s."""
+
+import pytest
+
+from repro.experiments.theorem33 import (
+    Theorem33Config,
+    run_good_balancers,
+)
+
+
+CONFIG = Theorem33Config(n=128, degree=6, tokens_per_node=64)
+
+
+@pytest.fixture(scope="module")
+def result(print_result):
+    return print_result(run_good_balancers(CONFIG))
+
+
+def test_every_case_reaches_bound(result):
+    for row in result.rows:
+        assert row["reached_bound"]
+
+
+def test_time_not_increasing_in_s_for_star(result):
+    star_rows = [
+        row
+        for row in result.rows
+        if row["algorithm"].startswith("rotor_router_star")
+    ]
+    times = [row["time_to_target"] for row in star_rows]
+    assert all(t is not None for t in times)
+    # Allow small noise: s=max should not be slower than s=1 by > 25%.
+    assert times[-1] <= times[0] * 1.25 + 2
+
+
+def test_benchmark_good_balancer_run(benchmark):
+    small = Theorem33Config(
+        n=64, degree=6, tokens_per_node=32, s_values=(1, 4)
+    )
+    result = benchmark(run_good_balancers, small)
+    assert result.rows

@@ -1,0 +1,66 @@
+"""E6/E7/E8 — the three Section 4 lower bounds, executed on the engine."""
+
+import pytest
+
+from repro.experiments.lower_bounds import (
+    LowerBoundConfig,
+    run_rotor_alternating,
+    run_stateless,
+    run_steady_state,
+)
+
+
+CONFIG = LowerBoundConfig(
+    run_rounds=100,
+    cycle_n=32,
+    torus_side=6,
+    stateless_n=48,
+    stateless_degree=12,
+    odd_cycle_n=33,
+)
+
+
+@pytest.fixture(scope="module")
+def steady(print_result):
+    return print_result(run_steady_state(CONFIG))
+
+
+@pytest.fixture(scope="module")
+def stateless(print_result):
+    return print_result(run_stateless(CONFIG))
+
+
+@pytest.fixture(scope="module")
+def alternating(print_result):
+    return print_result(run_rotor_alternating(CONFIG))
+
+
+def test_e6_rows(steady):
+    for row in steady.rows:
+        assert row["loads_invariant"]
+        assert row["discrepancy"] >= row["predicted d*(diam-1)"]
+
+
+def test_e7_rows(stateless):
+    for row in stateless.rows:
+        assert row["fixed_point"]
+
+
+def test_e8_rows(alternating):
+    for row in alternating.rows:
+        assert row["alternates(period2)"]
+        assert row["discrepancy"] >= row["predicted d*phi"]
+
+
+def test_benchmark_steady_state(benchmark):
+    result = benchmark(
+        run_steady_state, LowerBoundConfig(run_rounds=50, cycle_n=24)
+    )
+    assert result.rows
+
+
+def test_benchmark_rotor_alternating(benchmark):
+    result = benchmark(
+        run_rotor_alternating, LowerBoundConfig(odd_cycle_n=21)
+    )
+    assert result.rows

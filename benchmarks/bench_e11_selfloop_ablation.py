@@ -1,0 +1,39 @@
+"""E11 — ablation: how many self-loops does the rotor-router need?"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    run_selfloop_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def result(print_result):
+    return print_result(
+        run_selfloop_ablation(
+            AblationConfig(n=128, degree=6, tokens_per_node=64, cycle_n=33)
+        )
+    )
+
+
+def test_worst_case_only_at_zero_loops(result):
+    for row in result.rows:
+        if row["d_self"] == 0:
+            assert row["worst_case_stuck"] is not None
+            assert row["worst_case_stuck"] > row["disc_after_T"]
+        else:
+            assert row["worst_case_stuck"] is None
+
+
+def test_benign_runs_balance_at_all_loop_counts(result):
+    for row in result.rows:
+        assert row["disc_after_T"] <= 4 * row["d"] + 4
+
+
+def test_benchmark_ablation(benchmark):
+    result = benchmark(
+        run_selfloop_ablation,
+        AblationConfig(n=48, degree=4, tokens_per_node=16, cycle_n=9),
+    )
+    assert result.rows

@@ -1,0 +1,30 @@
+"""E12 — Lemmas 3.5/3.7: potential monotonicity, and its cost."""
+
+import pytest
+
+from repro.experiments.theorem33 import (
+    Theorem33Config,
+    run_potential_monotonicity,
+)
+
+
+@pytest.fixture(scope="module")
+def result(print_result):
+    return print_result(
+        run_potential_monotonicity(
+            Theorem33Config(n=128, degree=6, tokens_per_node=64),
+            rounds=300,
+        )
+    )
+
+
+def test_all_potentials_monotone(result):
+    for row in result.rows:
+        assert row["phi_monotone"]
+        assert row["phi_prime_monotone"]
+
+
+def test_benchmark_potential_tracking(benchmark):
+    small = Theorem33Config(n=48, degree=4, tokens_per_node=16)
+    result = benchmark(run_potential_monotonicity, small, 100)
+    assert result.rows

@@ -1,0 +1,63 @@
+"""E13 — engine throughput: rounds/second per algorithm.
+
+The harness's own scalability; this is pytest-benchmark's home turf, so
+every algorithm's 100-round simulation on a 1024-node expander is a
+separate benchmark case.
+"""
+
+import pytest
+
+from repro.algorithms.registry import all_names, make
+from repro.core.engine import Simulator
+from repro.core.loads import point_mass
+from repro.graphs import families
+
+
+N = 1024
+ROUNDS = 100
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return families.random_regular(N, 8, seed=3)
+
+
+@pytest.mark.parametrize("algorithm", all_names())
+def test_throughput(benchmark, graph, algorithm):
+    def run_once():
+        simulator = Simulator(
+            graph,
+            make(algorithm, seed=3),
+            point_mass(N, 64 * N),
+            record_history=False,
+        )
+        return simulator.run(ROUNDS)
+
+    result = benchmark(run_once)
+    assert result.final_loads.sum() == 64 * N
+
+
+def test_throughput_with_monitors(benchmark, graph):
+    """Full monitor suite attached: the fairness-verification overhead."""
+    from repro.core.fairness import (
+        CumulativeFairnessMonitor,
+        FairnessMonitor,
+    )
+    from repro.core.flows import FlowTracker
+
+    def run_once():
+        simulator = Simulator(
+            graph,
+            make("rotor_router"),
+            point_mass(N, 64 * N),
+            monitors=(
+                FairnessMonitor(s=1),
+                CumulativeFairnessMonitor(),
+                FlowTracker(),
+            ),
+            record_history=False,
+        )
+        return simulator.run(ROUNDS)
+
+    result = benchmark(run_once)
+    assert result.final_loads.sum() == 64 * N

@@ -1,0 +1,41 @@
+"""E14 — deviation from the continuous process (proof-level check)."""
+
+import pytest
+
+from repro.experiments.deviation import DeviationConfig, run_deviation
+
+
+@pytest.fixture(scope="module")
+def result(print_result):
+    return print_result(
+        run_deviation(DeviationConfig(n=128, degree=6, rounds=300))
+    )
+
+
+def test_fair_balancers_within_constant_scales(result):
+    for row in result.rows:
+        if row["algorithm"] in (
+            "rotor_router",
+            "send_floor",
+            "send_rounded",
+            "rotor_router_star",
+        ):
+            assert row["max/scale"] <= 4.0
+
+
+def test_adversary_deviates_most(result):
+    by_name = {row["algorithm"]: row["max/scale"] for row in result.rows}
+    fair = [
+        by_name["rotor_router"],
+        by_name["send_floor"],
+        by_name["send_rounded"],
+    ]
+    assert by_name["arbitrary_rounding_fixed"] >= max(fair)
+
+
+def test_benchmark_deviation(benchmark):
+    result = benchmark(
+        run_deviation,
+        DeviationConfig(n=48, degree=4, rounds=80, tokens_per_node=16),
+    )
+    assert result.rows

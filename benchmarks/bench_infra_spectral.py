@@ -1,0 +1,19 @@
+"""Infrastructure benchmark: spectral-gap computation cost by size."""
+
+import pytest
+
+from repro.graphs import families
+from repro.graphs.spectral import eigenvalue_gap, spectral_profile
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_eigenvalue_gap_cost(benchmark, n):
+    graph = families.random_regular(n, 8, seed=7)
+    gap = benchmark(eigenvalue_gap, graph)
+    assert 0 < gap < 1
+
+
+def test_spectral_profile_cost(benchmark):
+    graph = families.torus(8, 2)
+    profile = benchmark(spectral_profile, graph)
+    assert profile.n == 64

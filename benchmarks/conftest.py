@@ -1,0 +1,33 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*.py`` module regenerates one experiment from the paper
+(see DESIGN.md's experiment index): it prints the reproduction table
+once per session and benchmarks the core computation with
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Keep benchmark output ordered by experiment id."""
+    items.sort(key=lambda item: item.nodeid)
+
+
+@pytest.fixture(scope="session")
+def print_result():
+    """Print an ExperimentResult table once per session per id."""
+    printed: set[str] = set()
+
+    def _print(result):
+        if result.experiment_id not in printed:
+            printed.add(result.experiment_id)
+            print()
+            print(result.to_text())
+        return result
+
+    return _print

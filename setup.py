@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so that ``pip install -e . --no-use-pep517`` works on machines
+without the ``wheel`` package (offline environments); all real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

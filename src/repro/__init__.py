@@ -1,0 +1,45 @@
+"""Reproduction of *Improved Analysis of Deterministic Load-Balancing
+Schemes* (Berenbrink, Klasing, Kosowski, Mallmann-Trenn, Uznański —
+PODC 2015).
+
+Public API overview
+-------------------
+
+* :mod:`repro.graphs` — d-regular graph families, the balancing graph
+  ``G+`` (self-loops, ports), spectral toolkit (``μ``, ``T``).
+* :mod:`repro.core` — synchronous simulation engine, balancer
+  interface, flow accounting, fairness checkers, potentials, metrics.
+* :mod:`repro.algorithms` — SEND(⌊x/d+⌋), SEND([x/d+]), ROTOR-ROUTER,
+  ROTOR-ROUTER*, continuous diffusion, and all Table 1 baselines.
+* :mod:`repro.lower_bounds` — the Section 4 adversarial constructions.
+* :mod:`repro.analysis` — theory-bound formulas, convergence runs,
+  scaling fits, table rendering.
+* :mod:`repro.experiments` — drivers regenerating Table 1 and every
+  theorem's measurement (see DESIGN.md for the index).
+
+Quickstart
+----------
+
+>>> from repro.graphs import random_regular
+>>> from repro.algorithms import RotorRouter
+>>> from repro.core import Simulator, point_mass
+>>> graph = random_regular(64, 4, seed=1)
+>>> sim = Simulator(graph, RotorRouter(), point_mass(64, 6400))
+>>> result = sim.run(500)
+>>> result.final_discrepancy < result.initial_discrepancy
+True
+"""
+
+from repro import algorithms, analysis, core, experiments, graphs, lower_bounds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graphs",
+    "core",
+    "algorithms",
+    "lower_bounds",
+    "analysis",
+    "experiments",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""All load-balancing algorithms: the paper's schemes and baselines."""
+
+from repro.algorithms.arbitrary_rounding import (
+    ArbitraryRoundingDiffusion,
+    FixedPriorityPolicy,
+    RandomPolicy,
+    RoundingPolicy,
+)
+from repro.algorithms.continuous import (
+    ContinuousDiffusion,
+    ContinuousResult,
+    continuous_discrepancy,
+)
+from repro.algorithms.mimicking import ContinuousMimicking
+from repro.algorithms.randomized_extra import RandomizedExtraTokens
+from repro.algorithms.randomized_rounding import RandomizedEdgeRounding
+from repro.algorithms.registry import (
+    BASELINE_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    REGISTRY,
+    all_names,
+    make,
+)
+from repro.algorithms.rotor_router import RotorRouter, interleaved_port_order
+from repro.algorithms.rotor_router_star import RotorRouterStar
+from repro.algorithms.send_floor import SendFloor
+from repro.algorithms.send_rounded import (
+    SendRounded,
+    effective_self_preference,
+    nearest_share,
+)
+
+__all__ = [
+    "SendFloor",
+    "SendRounded",
+    "nearest_share",
+    "effective_self_preference",
+    "RotorRouter",
+    "interleaved_port_order",
+    "RotorRouterStar",
+    "ContinuousDiffusion",
+    "ContinuousResult",
+    "continuous_discrepancy",
+    "ArbitraryRoundingDiffusion",
+    "RoundingPolicy",
+    "FixedPriorityPolicy",
+    "RandomPolicy",
+    "RandomizedExtraTokens",
+    "RandomizedEdgeRounding",
+    "ContinuousMimicking",
+    "REGISTRY",
+    "PAPER_ALGORITHMS",
+    "BASELINE_ALGORITHMS",
+    "make",
+    "all_names",
+]

@@ -1,0 +1,108 @@
+"""The Rabani–Sinclair–Wanka round-fair class with pluggable rounding.
+
+[17] analyzes every scheme that, each round, gives every port either
+``⌊x/d+⌋`` or ``⌈x/d+⌉`` tokens — *which* ports get the ceiling is
+arbitrary.  Their bound ``O(d log n / μ)`` is all that can be said at
+this generality, and Theorem 4.1 shows it is essentially tight: a
+round-fair scheme that is **not cumulatively fair** can stay at
+``Ω(d · diam)`` discrepancy forever.
+
+:class:`ArbitraryRoundingDiffusion` implements the class with a policy
+object choosing the ceiling ports:
+
+* :class:`FixedPriorityPolicy` — extras always go to the lowest-numbered
+  original ports.  Deterministic, maximally unfair cumulatively (port 0
+  outpaces port d-1 by one token *every* round with leftovers) — the
+  adversarial member used in experiment E9.
+* :class:`RandomPolicy` — extras go to a fresh uniformly random subset
+  of ports each round (a natural randomized member of the class).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.balancer import AlgorithmProperties, Balancer
+
+
+class RoundingPolicy(ABC):
+    """Chooses which ports receive the ceiling share each round."""
+
+    deterministic: bool = True
+
+    def reset(self) -> None:
+        """Restore initial RNG state (if any)."""
+
+    @abstractmethod
+    def extra_mask(
+        self,
+        loads: np.ndarray,
+        extras: np.ndarray,
+        d_plus: int,
+        t: int,
+    ) -> np.ndarray:
+        """Boolean ``(n, d+)`` mask with exactly ``extras[u]`` Trues/row."""
+
+
+class FixedPriorityPolicy(RoundingPolicy):
+    """Extras always go to ports ``0, 1, ..., e-1`` (originals first)."""
+
+    deterministic = True
+
+    def extra_mask(self, loads, extras, d_plus, t):
+        return np.arange(d_plus)[None, :] < extras[:, None]
+
+
+class RandomPolicy(RoundingPolicy):
+    """Extras go to a fresh uniform random subset of ports each round."""
+
+    deterministic = False
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def extra_mask(self, loads, extras, d_plus, t):
+        noise = self._rng.random((loads.shape[0], d_plus))
+        # Rank ports by noise; the `extras[u]` smallest ranks get a token.
+        ranks = np.argsort(np.argsort(noise, axis=1), axis=1)
+        return ranks < extras[:, None]
+
+
+class ArbitraryRoundingDiffusion(Balancer):
+    """A member of [17]'s round-fair class, parameterized by policy.
+
+    Every port receives the floor share; the policy places the
+    ``x mod d+`` leftover tokens.  Always round-fair and never
+    overdraws; cumulative fairness depends entirely on the policy.
+    """
+
+    def __init__(self, policy: RoundingPolicy | None = None) -> None:
+        super().__init__()
+        self.policy = policy if policy is not None else FixedPriorityPolicy()
+        self.name = (
+            f"arbitrary_rounding[{type(self.policy).__name__}]"
+        )
+        self.properties = AlgorithmProperties(
+            deterministic=self.policy.deterministic,
+            stateless=self.policy.deterministic,
+            negative_load_safe=True,
+            communication_free=True,
+        )
+
+    def reset(self) -> None:
+        self.policy.reset()
+
+    def sends(self, loads: np.ndarray, t: int) -> np.ndarray:
+        graph = self.graph
+        d_plus = graph.total_degree
+        quotient, extras = np.divmod(loads, d_plus)
+        mask = self.policy.extra_mask(loads, extras, d_plus, t)
+        sends = np.repeat(quotient[:, None], d_plus, axis=1)
+        sends += mask.astype(np.int64)
+        return sends

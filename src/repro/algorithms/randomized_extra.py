@@ -1,0 +1,55 @@
+"""Randomized distribution of extra tokens by vertices ([5], Table 1 row 2).
+
+Berenbrink, Cooper, Friedetzky, Friedrich, Sauerwald (SODA 2011): every
+node first sends ``⌊x/d+⌋`` tokens along every port, then ships each of
+its ``x mod d+`` *extra* tokens to an independently chosen uniformly
+random port.  Unlike the round-fair class, a single port may receive
+several extra tokens in one round (sampling is with replacement).
+
+Adaptation note: [5] works on ``G`` with ``d+ = d + 1``; we phrase it on
+the balancing graph ``G+`` so that all algorithms see identical
+topology.  Set ``include_self_loops=False`` to restrict the random
+placement to original edges as in the original paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.balancer import AlgorithmProperties, Balancer
+
+
+class RandomizedExtraTokens(Balancer):
+    """Floor everywhere + extras to independent uniform random ports."""
+
+    properties = AlgorithmProperties(
+        deterministic=False,
+        stateless=True,  # no state carried between rounds (fresh coins)
+        negative_load_safe=True,
+        communication_free=True,
+    )
+
+    def __init__(self, seed: int, include_self_loops: bool = True) -> None:
+        super().__init__()
+        self.seed = seed
+        self.include_self_loops = include_self_loops
+        self.name = "randomized_extra_tokens"
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def sends(self, loads: np.ndarray, t: int) -> np.ndarray:
+        graph = self.graph
+        d_plus = graph.total_degree
+        targets = d_plus if self.include_self_loops else graph.degree
+        quotient, extras = np.divmod(loads, d_plus)
+        sends = np.repeat(quotient[:, None], d_plus, axis=1)
+        busy = np.nonzero(extras > 0)[0]
+        if busy.size:
+            probabilities = np.full(targets, 1.0 / targets)
+            placements = self._rng.multinomial(
+                extras[busy], probabilities
+            )
+            sends[busy, :targets] += placements
+        return sends

@@ -1,0 +1,58 @@
+"""Randomized rounding of edge flows ([18], Table 1 row 3).
+
+Sauerwald & Sun (FOCS 2012): the continuous flow over each original
+edge is ``x(u)/d+``; the discrete algorithm rounds it to a neighboring
+integer *independently at random per edge*, sending
+``⌊x/d+⌋ + Bernoulli(frac)`` tokens where ``frac = (x mod d+)/d+``.
+
+This achieves ``O(√(d log n))`` discrepancy after ``O(T)`` — the best
+bound in the diffusive model before reaching determinism — but the
+demanded total can exceed the node's load, creating **negative load**
+(Table 1's NL column is ✗).  The implementation therefore declares
+``allows_negative`` and sends nothing from nodes that are currently
+negative (they must recover before participating again).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.balancer import AlgorithmProperties, Balancer
+
+
+class RandomizedEdgeRounding(Balancer):
+    """Independent per-edge randomized rounding of the continuous flow."""
+
+    properties = AlgorithmProperties(
+        deterministic=False,
+        stateless=True,
+        negative_load_safe=False,
+        communication_free=True,
+    )
+    allows_negative = True
+
+    def __init__(self, seed: int) -> None:
+        super().__init__()
+        self.seed = seed
+        self.name = "randomized_edge_rounding"
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def sends(self, loads: np.ndarray, t: int) -> np.ndarray:
+        graph = self.graph
+        degree = graph.degree
+        d_plus = graph.total_degree
+        positive = np.maximum(loads, 0)
+        quotient, remainder = np.divmod(positive, d_plus)
+        fraction = remainder / d_plus
+        sends = np.zeros((graph.num_nodes, d_plus), dtype=np.int64)
+        coins = self._rng.random((graph.num_nodes, degree))
+        sends[:, :degree] = quotient[:, None] + (
+            coins < fraction[:, None]
+        )
+        # Self-loops are irrelevant to this scheme: whatever was not
+        # shipped over original edges stays as the node's remainder
+        # (possibly negative after the overdraw).
+        return sends

@@ -1,0 +1,80 @@
+"""Name-based registry of all implemented balancers.
+
+The experiment drivers, CLI, and Table 1 regeneration refer to
+algorithms by these names.  Factories take a ``seed`` keyword so that
+randomized schemes are reproducible; deterministic schemes ignore it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algorithms.arbitrary_rounding import (
+    ArbitraryRoundingDiffusion,
+    FixedPriorityPolicy,
+    RandomPolicy,
+)
+from repro.algorithms.mimicking import ContinuousMimicking
+from repro.algorithms.randomized_extra import RandomizedExtraTokens
+from repro.algorithms.randomized_rounding import RandomizedEdgeRounding
+from repro.algorithms.rotor_router import RotorRouter
+from repro.algorithms.rotor_router_star import RotorRouterStar
+from repro.algorithms.send_floor import SendFloor
+from repro.algorithms.send_rounded import SendRounded
+from repro.core.balancer import Balancer
+
+BalancerFactory = Callable[..., Balancer]
+
+
+def _ignore_seed(cls: type) -> BalancerFactory:
+    def factory(seed: int = 0) -> Balancer:
+        return cls()
+
+    return factory
+
+
+REGISTRY: dict[str, BalancerFactory] = {
+    "send_floor": _ignore_seed(SendFloor),
+    "send_rounded": _ignore_seed(SendRounded),
+    "rotor_router": _ignore_seed(RotorRouter),
+    "rotor_router_star": _ignore_seed(RotorRouterStar),
+    "arbitrary_rounding_fixed": lambda seed=0: ArbitraryRoundingDiffusion(
+        FixedPriorityPolicy()
+    ),
+    "arbitrary_rounding_random": lambda seed=0: ArbitraryRoundingDiffusion(
+        RandomPolicy(seed)
+    ),
+    "randomized_extra_tokens": lambda seed=0: RandomizedExtraTokens(seed),
+    "randomized_edge_rounding": lambda seed=0: RandomizedEdgeRounding(seed),
+    "continuous_mimicking": _ignore_seed(ContinuousMimicking),
+}
+
+#: The paper's own algorithms (upper-bound side of Table 1).
+PAPER_ALGORITHMS = (
+    "send_floor",
+    "send_rounded",
+    "rotor_router",
+    "rotor_router_star",
+)
+
+#: Prior-work baselines (the comparison rows of Table 1).
+BASELINE_ALGORITHMS = (
+    "arbitrary_rounding_fixed",
+    "arbitrary_rounding_random",
+    "randomized_extra_tokens",
+    "randomized_edge_rounding",
+    "continuous_mimicking",
+)
+
+
+def make(name: str, seed: int = 0) -> Balancer:
+    """Instantiate a registered balancer by name."""
+    if name not in REGISTRY:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown balancer {name!r}; known: {known}")
+    return REGISTRY[name](seed=seed)
+
+
+def all_names() -> list[str]:
+    """All registered balancer names, paper algorithms first."""
+    return list(PAPER_ALGORITHMS) + list(BASELINE_ALGORITHMS)

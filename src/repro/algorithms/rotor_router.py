@@ -1,0 +1,138 @@
+"""The ROTOR-ROUTER (Propp machine) as a load balancer.
+
+Each node's ``d+`` ports are arranged in a fixed cyclic order and the
+node keeps a rotor pointing at one of them.  To distribute load ``x``
+the node sends one token along the rotor's port, advances the rotor,
+and repeats — equivalently, every port receives ``⌊x/d+⌋`` tokens and
+the ``x mod d+`` extra tokens go to the next ``x mod d+`` ports in
+cyclic order starting at the rotor, which then advances by ``x mod d+``.
+
+Observation 2.2: cumulatively 1-fair (the round-robin guarantees that
+cumulative counts of any two ports differ by at most 1).  Table 1
+flags: deterministic, **stateful**, never negative, no communication.
+
+Theorem 4.3 is about this algorithm with ``d° = 0``; the class supports
+arbitrary self-loop counts including zero, plus custom per-node port
+orders and initial rotor positions (needed for the lower-bound
+construction in :mod:`repro.lower_bounds.rotor_alternating`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.balancer import AlgorithmProperties, Balancer
+from repro.core.errors import BindingError
+from repro.graphs.balancing import BalancingGraph
+
+
+def interleaved_port_order(degree: int, num_self_loops: int) -> np.ndarray:
+    """A port order alternating original edges and self-loops.
+
+    With ``d° >= d`` this yields ``original, loop, original, loop, ...``
+    followed by leftover loops; it spreads self-loop laziness evenly
+    through the rotor cycle (the arrangement analyzed in [3]).
+    """
+    order: list[int] = []
+    originals = list(range(degree))
+    loops = list(range(degree, degree + num_self_loops))
+    while originals or loops:
+        if originals:
+            order.append(originals.pop(0))
+        if loops:
+            order.append(loops.pop(0))
+    return np.array(order, dtype=np.int64)
+
+
+class RotorRouter(Balancer):
+    """Rotor-router load balancing on ``G+``.
+
+    Args:
+        port_orders: optional ``(n, d+)`` array; row ``u`` is the cyclic
+            port order of node ``u`` (a permutation of ``0..d+-1``).
+            Default: the same interleaved order at every node.
+        initial_rotors: optional length-``n`` initial rotor positions
+            (indices *into the cyclic order*, not port numbers).
+    """
+
+    name = "rotor_router"
+    properties = AlgorithmProperties(
+        deterministic=True,
+        stateless=False,
+        negative_load_safe=True,
+        communication_free=True,
+    )
+
+    def __init__(
+        self,
+        port_orders: np.ndarray | None = None,
+        initial_rotors: np.ndarray | None = None,
+    ) -> None:
+        super().__init__()
+        self._custom_orders = port_orders
+        self._custom_rotors = initial_rotors
+        self._orders: np.ndarray | None = None
+        self._rotors: np.ndarray | None = None
+
+    def _validate_graph(self, graph: BalancingGraph) -> None:
+        d_plus = graph.total_degree
+        if self._custom_orders is not None:
+            orders = np.asarray(self._custom_orders, dtype=np.int64)
+            if orders.shape != (graph.num_nodes, d_plus):
+                raise BindingError(
+                    f"port_orders shape {orders.shape} does not match "
+                    f"(n={graph.num_nodes}, d+={d_plus})"
+                )
+            expected = np.arange(d_plus)
+            if not np.all(np.sort(orders, axis=1) == expected[None, :]):
+                raise BindingError(
+                    "each port_orders row must be a permutation of ports"
+                )
+        if self._custom_rotors is not None:
+            rotors = np.asarray(self._custom_rotors, dtype=np.int64)
+            if rotors.shape != (graph.num_nodes,):
+                raise BindingError(
+                    f"initial_rotors must have length {graph.num_nodes}"
+                )
+            if rotors.min() < 0 or rotors.max() >= d_plus:
+                raise BindingError(
+                    f"rotor positions must lie in [0, {d_plus})"
+                )
+
+    def _on_bind(self, graph: BalancingGraph) -> None:
+        d_plus = graph.total_degree
+        if self._custom_orders is not None:
+            self._orders = np.asarray(self._custom_orders, dtype=np.int64)
+        else:
+            row = interleaved_port_order(
+                graph.degree, graph.num_self_loops
+            )
+            self._orders = np.tile(row, (graph.num_nodes, 1))
+        self._position_window = np.arange(d_plus)[None, :]
+
+    def reset(self) -> None:
+        graph = self.graph
+        if self._custom_rotors is not None:
+            self._rotors = np.asarray(
+                self._custom_rotors, dtype=np.int64
+            ).copy()
+        else:
+            self._rotors = np.zeros(graph.num_nodes, dtype=np.int64)
+
+    @property
+    def rotors(self) -> np.ndarray:
+        """Current rotor positions (cyclic-order indices)."""
+        return self._rotors
+
+    def sends(self, loads: np.ndarray, t: int) -> np.ndarray:
+        graph = self.graph
+        d_plus = graph.total_degree
+        quotient, extra = np.divmod(loads, d_plus)
+        # Value at cyclic position k: quotient, plus 1 if k falls in the
+        # window [rotor, rotor + extra) mod d+.
+        offsets = (self._position_window - self._rotors[:, None]) % d_plus
+        values = quotient[:, None] + (offsets < extra[:, None])
+        sends = np.empty((graph.num_nodes, d_plus), dtype=np.int64)
+        np.put_along_axis(sends, self._orders, values, axis=1)
+        self._rotors = (self._rotors + extra) % d_plus
+        return sends

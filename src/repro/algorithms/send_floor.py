@@ -1,0 +1,54 @@
+"""SEND(⌊x/d+⌋): the simplest stateless cumulatively 0-fair balancer.
+
+A node with load ``x`` sends ``⌊x/d+⌋`` tokens over every original edge;
+the remaining ``x - d·⌊x/d+⌋`` tokens are distributed over the
+self-loops so that every self-loop receives at least ``⌊x/d+⌋``
+(Section 1.1).  Observation 2.2: cumulatively 0-fair.  Table 1 flags:
+deterministic, stateless, never negative, no communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.balancer import (
+    AlgorithmProperties,
+    Balancer,
+    split_extras_over_self_loops,
+)
+from repro.graphs.balancing import BalancingGraph
+
+
+class SendFloor(Balancer):
+    """SEND(⌊x/d+⌋) (see module docstring).
+
+    With ``d° = 0`` the excess ``x mod d`` simply stays at the node as
+    its remainder, which is the natural degenerate case.
+    """
+
+    name = "send_floor"
+    properties = AlgorithmProperties(
+        deterministic=True,
+        stateless=True,
+        negative_load_safe=True,
+        communication_free=True,
+    )
+
+    def sends(self, loads: np.ndarray, t: int) -> np.ndarray:
+        graph = self.graph
+        d_plus = graph.total_degree
+        quotient = loads // d_plus
+        sends = np.repeat(quotient[:, None], d_plus, axis=1)
+        extras = loads - d_plus * quotient
+        if graph.num_self_loops > 0:
+            split_extras_over_self_loops(sends, extras, graph.degree)
+        return sends
+
+
+def floor_self_loop_minimum(graph: BalancingGraph) -> bool:
+    """True if SEND(⌊x/d+⌋) can honor Def 2.1's floor condition.
+
+    It always can: every port receives at least ``⌊x/d+⌋`` by
+    construction.  Kept as an explicit documented fact used in tests.
+    """
+    return True

@@ -1,0 +1,88 @@
+"""SEND([x/d+]): round the fair share to the nearest integer.
+
+A node with load ``x`` sends ``[x/d+]`` tokens over every original edge,
+where ``[·]`` rounds to the nearest integer (ties upward); the remaining
+tokens go over self-loops, each receiving ``⌊x/d+⌋`` or ``⌈x/d+⌉``.
+
+Classification (Observations 2.2 / 3.2):
+
+* cumulatively 0-fair for ``d+ >= 2d`` (all original edges always carry
+  identical cumulative flow);
+* a good s-balancer for ``d+ > 2d``.  The paper states
+  ``s = d+ - 2d``; counting the tokens actually available for self-loops
+  in a round with excess ``e >= ⌈d+/2⌉`` shows the guaranteed number of
+  ceiling self-loops is ``e - d >= ⌈(d° - d)/2⌉``, so we expose the
+  provable value :func:`effective_self_preference` — still ``Ω(d)`` for
+  ``d+ >= 3d``, which is what Theorem 3.3's fast regime needs.  (See
+  DESIGN.md, "Fidelity notes".)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.balancer import AlgorithmProperties, Balancer
+from repro.core.errors import BindingError
+from repro.graphs.balancing import BalancingGraph
+
+
+def nearest_share(loads: np.ndarray, d_plus: int) -> np.ndarray:
+    """``[x/d+]`` with ties rounded up, computed in exact integers."""
+    return (2 * loads + d_plus) // (2 * d_plus)
+
+
+def effective_self_preference(degree: int, d_plus: int) -> int:
+    """Largest ``s`` for which SEND([x/d+]) is provably s-self-preferring.
+
+    ``min(d+ - 2d, ⌈(d° - d)/2⌉)``; zero when ``d+ <= 2d``.
+    """
+    if d_plus <= 2 * degree:
+        return 0
+    d_self = d_plus - degree
+    return min(d_plus - 2 * degree, math.ceil((d_self - degree) / 2))
+
+
+class SendRounded(Balancer):
+    """SEND([x/d+]) (see module docstring). Requires ``d+ >= 2d``."""
+
+    name = "send_rounded"
+    properties = AlgorithmProperties(
+        deterministic=True,
+        stateless=True,
+        negative_load_safe=True,
+        communication_free=True,
+    )
+
+    def _validate_graph(self, graph: BalancingGraph) -> None:
+        if graph.total_degree < 2 * graph.degree:
+            raise BindingError(
+                "SEND([x/d+]) requires d+ >= 2d so the rounded share can "
+                f"always be paid: d={graph.degree}, d+={graph.total_degree}"
+            )
+
+    def sends(self, loads: np.ndarray, t: int) -> np.ndarray:
+        graph = self.graph
+        degree = graph.degree
+        d_plus = graph.total_degree
+        share = nearest_share(loads, d_plus)
+        sends = np.empty((graph.num_nodes, d_plus), dtype=np.int64)
+        sends[:, :degree] = share[:, None]
+        quotient = loads // d_plus
+        # Self-loops each receive the floor share, plus one extra token on
+        # the first `num_ceil` loops, consuming exactly the leftover.
+        remaining = loads - degree * share
+        num_loops = d_plus - degree
+        sends[:, degree:] = quotient[:, None]
+        num_ceil = remaining - num_loops * quotient
+        loop_index = np.arange(num_loops)[None, :]
+        sends[:, degree:] += loop_index < num_ceil[:, None]
+        return sends
+
+    @property
+    def self_preference(self) -> int:
+        """The bound-relevant ``s`` on the bound graph."""
+        return effective_self_preference(
+            self.graph.degree, self.graph.total_degree
+        )

@@ -1,0 +1,57 @@
+"""Analysis helpers: theory formulas, convergence runs, tables, sweeps."""
+
+from repro.analysis.convergence import (
+    ConvergenceReport,
+    discrepancy_trajectory,
+    horizon_for,
+    measure_after_t,
+    measure_time_to_target,
+)
+from repro.analysis.deviation import (
+    DeviationReport,
+    deviation_is_bounded,
+    deviation_report,
+    deviation_trajectory,
+)
+from repro.analysis.export import (
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+    write_trajectory_csv,
+)
+from repro.analysis.sweeps import (
+    PowerLawFit,
+    bounded_ratio,
+    fit_power_law,
+    geometric_sizes,
+    sweep,
+)
+from repro.analysis.tables import (
+    ratio_column,
+    render_markdown_table,
+    render_table,
+)
+
+__all__ = [
+    "ConvergenceReport",
+    "measure_after_t",
+    "measure_time_to_target",
+    "discrepancy_trajectory",
+    "horizon_for",
+    "PowerLawFit",
+    "fit_power_law",
+    "bounded_ratio",
+    "sweep",
+    "geometric_sizes",
+    "render_table",
+    "render_markdown_table",
+    "ratio_column",
+    "DeviationReport",
+    "deviation_trajectory",
+    "deviation_report",
+    "deviation_is_bounded",
+    "write_csv",
+    "write_jsonl",
+    "read_jsonl",
+    "write_trajectory_csv",
+]

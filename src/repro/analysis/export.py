@@ -1,0 +1,86 @@
+"""Result export: CSV / JSON-lines dumps for downstream plotting.
+
+The harness is plotting-stack-free by design; these helpers let users
+feed experiment rows or trajectories into pandas/matplotlib/R without
+this package growing those dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def write_csv(
+    rows: Iterable[dict],
+    path: str | Path,
+    columns: list[str] | None = None,
+) -> Path:
+    """Write result rows as CSV; returns the path written."""
+    rows = list(rows)
+    path = Path(path)
+    if not rows:
+        raise ValueError("no rows to write")
+    if columns is None:
+        columns = list(rows[0].keys())
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=columns, extrasaction="ignore"
+        )
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def write_jsonl(rows: Iterable[dict], path: str | Path) -> Path:
+    """Write result rows as JSON lines; returns the path written."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, default=str))
+            handle.write("\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Read rows written by :func:`write_jsonl`."""
+    path = Path(path)
+    rows = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def trajectory_rows(
+    series: Sequence[float] | Sequence[int],
+    value_name: str = "discrepancy",
+    stride: int = 1,
+) -> list[dict]:
+    """Turn a per-round series into ``{round, value}`` rows."""
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    return [
+        {"round": index, value_name: value}
+        for index, value in enumerate(series)
+        if index % stride == 0
+    ]
+
+
+def write_trajectory_csv(
+    series: Sequence[float] | Sequence[int],
+    path: str | Path,
+    value_name: str = "discrepancy",
+    stride: int = 1,
+) -> Path:
+    """Dump one trajectory as a two-column CSV."""
+    return write_csv(
+        trajectory_rows(series, value_name, stride),
+        path,
+        columns=["round", value_name],
+    )

@@ -1,0 +1,89 @@
+"""Parameter sweeps and scaling-law fits.
+
+Shape checks are the core of this reproduction: Theorem 2.3 predicts
+how the post-``T`` discrepancy *scales* with ``n``, ``d`` and ``μ``.
+:func:`fit_power_law` extracts the log-log slope of a measured series
+against a predictor, and :func:`bounded_ratio` checks that measured
+values stay within a constant factor of a bound across a sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = a * x^slope`` in log-log space."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return math.exp(self.intercept) * x**self.slope
+
+
+def fit_power_law(
+    xs: Sequence[float], ys: Sequence[float]
+) -> PowerLawFit:
+    """Fit a power law through positive data points."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape or xs.size < 2:
+        raise ValueError("need at least two (x, y) pairs")
+    if (xs <= 0).any() or (ys <= 0).any():
+        raise ValueError("power-law fit requires positive data")
+    log_x = np.log(xs)
+    log_y = np.log(ys)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    total = ((log_y - log_y.mean()) ** 2).sum()
+    residual = ((log_y - predicted) ** 2).sum()
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=float(r_squared),
+    )
+
+
+def bounded_ratio(
+    measured: Sequence[float],
+    predicted: Sequence[float],
+) -> float:
+    """``max_i measured_i / predicted_i`` — the sweep's worst ratio."""
+    worst = 0.0
+    for m, p in zip(measured, predicted):
+        if p <= 0:
+            raise ValueError("predictions must be positive")
+        worst = max(worst, m / p)
+    return worst
+
+
+def sweep(
+    parameters: Iterable,
+    runner: Callable[[object], dict],
+) -> list[dict]:
+    """Run ``runner`` over a parameter grid, collecting result rows."""
+    return [runner(parameter) for parameter in parameters]
+
+
+def geometric_sizes(
+    start: int, stop: int, factor: float = 2.0
+) -> list[int]:
+    """Geometric grid of integer sizes in ``[start, stop]``."""
+    if start < 1 or stop < start or factor <= 1.0:
+        raise ValueError("need 1 <= start <= stop and factor > 1")
+    sizes = []
+    value = float(start)
+    while value <= stop + 1e-9:
+        size = int(round(value))
+        if not sizes or size != sizes[-1]:
+            sizes.append(size)
+        value *= factor
+    return sizes

@@ -1,0 +1,98 @@
+"""Plain-text table rendering for experiment reports.
+
+Deliberately dependency-free: experiments print paper-style tables to
+stdout and EXPERIMENTS.md; no plotting stack is required.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    rows: Iterable[dict],
+    columns: list[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dictionaries as an aligned monospace table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [
+        [_format_cell(row.get(column)) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in cells))
+        for i, column in enumerate(columns)
+    ]
+    parts = []
+    if title:
+        parts.append(title)
+    header = " | ".join(
+        column.ljust(width) for column, width in zip(columns, widths)
+    )
+    rule = "-+-".join("-" * width for width in widths)
+    parts.append(header)
+    parts.append(rule)
+    for line in cells:
+        parts.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+    return "\n".join(parts)
+
+
+def render_markdown_table(
+    rows: Iterable[dict],
+    columns: list[str] | None = None,
+) -> str:
+    """Render dictionaries as a GitHub-flavored markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(_format_cell(row.get(column)) for column in columns)
+            + " |"
+        )
+    return "\n".join(lines)
+
+
+def ratio_column(
+    rows: list[dict],
+    measured_key: str,
+    predicted_key: str,
+    out_key: str = "ratio",
+) -> list[dict]:
+    """Add measured/predicted ratio to each row (None-safe)."""
+    for row in rows:
+        measured = row.get(measured_key)
+        predicted = row.get(predicted_key)
+        if measured is None or not predicted:
+            row[out_key] = None
+        else:
+            row[out_key] = measured / predicted
+    return rows

@@ -1,0 +1,220 @@
+"""Every bound of Table 1 and the theorems, as callable formulas.
+
+These are *asymptotic shapes* — all constants are 1 unless the paper
+gives an explicit one.  Experiments divide measured quantities by these
+predictions; a reproduction succeeds when the ratio stays bounded (and
+ordering/crossovers match), not when absolute values coincide.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def log(n: float) -> float:
+    """Natural log, floored at 1 to keep ratios meaningful for tiny n."""
+    return max(math.log(max(n, 2.0)), 1.0)
+
+
+# ----------------------------------------------------------------------
+# Time horizons
+# ----------------------------------------------------------------------
+
+def balancing_time(n: int, initial_discrepancy: int, gap: float) -> float:
+    """``T = O(log(Kn)/μ)`` — the shared horizon of all upper bounds."""
+    k = max(initial_discrepancy, 2)
+    return math.log(n * k) / gap
+
+
+def good_balancer_time(
+    n: int,
+    initial_discrepancy: int,
+    gap: float,
+    degree: int,
+    s: int,
+) -> float:
+    """Theorem 3.3's horizon ``O(log K + (d/s)·log²n/μ)``."""
+    k = max(initial_discrepancy, 2)
+    return math.log(k) + (degree / max(s, 1)) * log(n) ** 2 / gap
+
+
+# ----------------------------------------------------------------------
+# Discrepancy bounds after O(T) — Table 1, column 1
+# ----------------------------------------------------------------------
+
+def rabani_bound(n: int, degree: int, gap: float) -> float:
+    """[17]: ``O(d log n / μ)`` for any round-fair scheme."""
+    return degree * log(n) / gap
+
+
+def cumulative_fair_bound_i(
+    n: int, degree: int, gap: float, delta: int = 1
+) -> float:
+    """Theorem 2.3(i): ``O((δ+1)·d·√(log n/μ))`` for ``d+ >= 2d``."""
+    return (delta + 1) * degree * math.sqrt(log(n) / gap)
+
+
+def cumulative_fair_bound_ii(n: int, degree: int, delta: int = 1) -> float:
+    """Theorem 2.3(ii): ``O((δ+1)·d·√n)`` for ``d+ >= 2d``."""
+    return (delta + 1) * degree * math.sqrt(n)
+
+
+def cumulative_fair_bound_iii(
+    n: int, degree: int, gap: float, delta: int = 1
+) -> float:
+    """Theorem 2.3(iii): ``O((δ+1)·d·log n/μ)`` for any ``d+ >= d+1``."""
+    return (delta + 1) * degree * log(n) / gap
+
+
+def cumulative_fair_bound(
+    n: int,
+    degree: int,
+    gap: float,
+    delta: int = 1,
+    d_plus: int | None = None,
+) -> float:
+    """The combined Theorem 2.3 bound: min of the applicable claims."""
+    claims = [cumulative_fair_bound_iii(n, degree, gap, delta)]
+    if d_plus is None or d_plus >= 2 * degree:
+        claims.append(cumulative_fair_bound_i(n, degree, gap, delta))
+        claims.append(cumulative_fair_bound_ii(n, degree, delta))
+    return min(claims)
+
+
+def good_balancer_bound(
+    d_plus: int, num_self_loops: int, delta: int = 1
+) -> float:
+    """Theorem 3.3's explicit final discrepancy ``(2δ+1)d+ + 4d°``."""
+    return (2 * delta + 1) * d_plus + 4 * num_self_loops
+
+
+def randomized_extra_bound(n: int, degree: int, gap: float) -> float:
+    """[5]/[18] row 2: ``O(min(d², d + √(d log d/μ)) · √log n)``."""
+    inner = min(
+        degree**2,
+        degree + math.sqrt(degree * log(degree + 1) / gap),
+    )
+    return inner * math.sqrt(log(n))
+
+
+def randomized_rounding_bound(n: int, degree: int) -> float:
+    """[18] row 3: ``O(√(d log n))``."""
+    return math.sqrt(degree * log(n))
+
+
+def mimicking_bound(degree: int) -> float:
+    """[4] row 4: ``Θ(d)`` (their theorem gives exactly ``2d``)."""
+    return 2.0 * degree
+
+
+# ----------------------------------------------------------------------
+# Lower bounds — Section 4
+# ----------------------------------------------------------------------
+
+def round_fair_lower_bound(degree: int, diameter: int) -> float:
+    """Theorem 4.1: ``Ω(d · diam)`` without cumulative fairness."""
+    return degree * max(diameter - 1, 0)
+
+
+def stateless_lower_bound(degree: int) -> float:
+    """Theorem 4.2: ``Ω(d)`` for any deterministic stateless scheme."""
+    return degree / 2 - 1
+
+
+def rotor_no_selfloop_lower_bound(degree: int, odd_girth: int) -> float:
+    """Theorem 4.3: ``Ω(d·φ(G))`` with ``2φ+1`` the odd girth."""
+    phi = (odd_girth - 1) // 2
+    return degree * phi
+
+
+# ----------------------------------------------------------------------
+# Table 1, assembled
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1: algorithm name, predicted bound, flags."""
+
+    algorithm: str
+    bound_description: str
+    reaches_o_d: bool
+    deterministic: bool
+    stateless: bool
+    negative_load_safe: bool
+    communication_free: bool
+
+
+TABLE1_ROWS: tuple[Table1Row, ...] = (
+    Table1Row(
+        "arbitrary_rounding_fixed",
+        "O(d log n / mu)",
+        False, True, True, True, True,
+    ),
+    Table1Row(
+        "arbitrary_rounding_random",
+        "O(d log n / mu)",
+        False, False, True, True, True,
+    ),
+    Table1Row(
+        "randomized_extra_tokens",
+        "O(min(d^2, d+sqrt(d log d/mu)) sqrt(log n))",
+        False, False, True, True, True,
+    ),
+    Table1Row(
+        "randomized_edge_rounding",
+        "O(sqrt(d log n))",
+        False, False, True, False, True,
+    ),
+    Table1Row(
+        "continuous_mimicking",
+        "Theta(d)",
+        True, True, False, False, False,
+    ),
+    Table1Row(
+        "rotor_router",
+        "O(d min(sqrt(log n/mu), sqrt(n)))",
+        False, True, False, True, True,
+    ),
+    Table1Row(
+        "send_floor",
+        "O(d min(sqrt(log n/mu), sqrt(n)))",
+        False, True, True, True, True,
+    ),
+    Table1Row(
+        "send_rounded",
+        "O(d min(sqrt(log n/mu), sqrt(n)))",
+        True, True, True, True, True,
+    ),
+    Table1Row(
+        "rotor_router_star",
+        "O(d min(sqrt(log n/mu), sqrt(n)))",
+        True, True, False, True, True,
+    ),
+)
+
+
+def predicted_after_t(
+    algorithm: str,
+    n: int,
+    degree: int,
+    gap: float,
+    d_plus: int | None = None,
+) -> float:
+    """Table 1 column 1 for our concrete algorithms."""
+    if algorithm in (
+        "send_floor",
+        "send_rounded",
+        "rotor_router",
+        "rotor_router_star",
+    ):
+        return cumulative_fair_bound(n, degree, gap, delta=1, d_plus=d_plus)
+    if algorithm.startswith("arbitrary_rounding"):
+        return rabani_bound(n, degree, gap)
+    if algorithm == "randomized_extra_tokens":
+        return randomized_extra_bound(n, degree, gap)
+    if algorithm == "randomized_edge_rounding":
+        return randomized_rounding_bound(n, degree)
+    if algorithm == "continuous_mimicking":
+        return mimicking_bound(degree)
+    raise KeyError(f"no Table 1 prediction for {algorithm!r}")

@@ -1,0 +1,172 @@
+"""Command-line entry point: ``repro-lb`` / ``python -m repro``.
+
+Examples::
+
+    repro-lb list                 # enumerate experiments
+    repro-lb run E1 E3            # run selected experiments
+    repro-lb run --full           # run everything at full size
+    repro-lb run --json out.json  # machine-readable results
+    repro-lb simulate rotor_router --family cycle --n 32 --rounds 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.runner import EXPERIMENTS, FULL_EXPERIMENTS, run_all
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lb",
+        description=(
+            "Reproduction harness for 'Improved Analysis of Deterministic "
+            "Load-Balancing Schemes' (Berenbrink et al., PODC 2015)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (default: all)",
+    )
+    run_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full-size configurations (slower)",
+    )
+    run_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write results as JSON to PATH",
+    )
+    run_parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print markdown tables instead of text tables",
+    )
+    sim_parser = subparsers.add_parser(
+        "simulate", help="run one algorithm on one graph"
+    )
+    sim_parser.add_argument(
+        "algorithm", help="registered balancer name (see repro.algorithms)"
+    )
+    sim_parser.add_argument(
+        "--family",
+        default="random_regular",
+        help="graph family (cycle, torus, hypercube, random_regular, ...)",
+    )
+    sim_parser.add_argument("--n", type=int, default=64)
+    sim_parser.add_argument("--degree", type=int, default=4)
+    sim_parser.add_argument("--self-loops", type=int, default=None)
+    sim_parser.add_argument("--rounds", type=int, default=None)
+    sim_parser.add_argument("--tokens-per-node", type=int, default=64)
+    sim_parser.add_argument("--seed", type=int, default=1)
+    sim_parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="dump the discrepancy trajectory as CSV",
+    )
+    return parser
+
+
+def _build_graph(args):
+    from repro.graphs import families
+
+    kwargs = {}
+    if args.self_loops is not None:
+        kwargs["num_self_loops"] = args.self_loops
+    if args.family == "random_regular":
+        return families.random_regular(
+            args.n, args.degree, args.seed, **kwargs
+        )
+    if args.family == "cycle":
+        return families.cycle(args.n, **kwargs)
+    if args.family == "complete":
+        return families.complete(args.n, **kwargs)
+    if args.family == "hypercube":
+        from repro.graphs.balancing import log2_ceil
+
+        return families.hypercube(log2_ceil(args.n), **kwargs)
+    if args.family == "torus":
+        side = max(3, int(round(args.n ** 0.5)))
+        return families.torus(side, 2, **kwargs)
+    return families.build(args.family, n=args.n, **kwargs)
+
+
+def _run_simulate(args) -> int:
+    from repro.algorithms.registry import make
+    from repro.analysis.convergence import horizon_for
+    from repro.core.engine import Simulator
+    from repro.core.loads import point_mass
+    from repro.graphs.spectral import eigenvalue_gap
+
+    graph = _build_graph(args)
+    gap = eigenvalue_gap(graph)
+    initial = point_mass(
+        graph.num_nodes, args.tokens_per_node * graph.num_nodes
+    )
+    rounds = args.rounds
+    if rounds is None:
+        rounds = horizon_for(graph, initial, gap=gap)
+    simulator = Simulator(graph, make(args.algorithm, seed=args.seed), initial)
+    result = simulator.run(rounds)
+    print(f"graph:      {graph.name} (d+={graph.total_degree})")
+    print(f"mu:         {gap:.5g}")
+    print(f"rounds:     {result.rounds_executed}")
+    print(f"discrepancy {result.initial_discrepancy} -> "
+          f"{result.final_discrepancy}")
+    if args.csv:
+        from repro.analysis.export import write_trajectory_csv
+
+        write_trajectory_csv(result.discrepancy_history, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list" or args.command is None:
+        print("available experiments:")
+        table = EXPERIMENTS
+        for experiment_id in sorted(table, key=_experiment_key):
+            print(f"  {experiment_id}")
+        print("full-size variants exist for:", ", ".join(
+            sorted(set(FULL_EXPERIMENTS) & set(EXPERIMENTS))
+        ))
+        return 0
+    if args.command == "run":
+        only = tuple(args.experiments) or None
+        results = run_all(fast=not args.full, only=only)
+        payload = []
+        for result in results:
+            if args.markdown:
+                print(result.to_markdown())
+            else:
+                print(result.to_text())
+            print(f"(elapsed: {result.elapsed_seconds:.2f}s)")
+            print()
+            payload.append(json.loads(result.to_json()))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"wrote {args.json}")
+        return 0
+    if args.command == "simulate":
+        return _run_simulate(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+def _experiment_key(experiment_id: str) -> tuple:
+    digits = "".join(ch for ch in experiment_id if ch.isdigit())
+    return (int(digits) if digits else 0, experiment_id)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

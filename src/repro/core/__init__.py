@@ -1,0 +1,104 @@
+"""Simulation core: engine, balancer interface, monitors, metrics."""
+
+from repro.core.balancer import AlgorithmProperties, Balancer
+from repro.core.coloring import (
+    TokenColoringLedger,
+    black_send_capacity_respected,
+)
+from repro.core.engine import SimulationResult, Simulator, simulate
+from repro.core.reference import ReferenceSimulator
+from repro.core.errors import (
+    BindingError,
+    ConservationError,
+    InvalidLoadVector,
+    InvalidSendMatrix,
+    NegativeLoadError,
+    SimulationError,
+)
+from repro.core.fairness import (
+    ClassVerdict,
+    CumulativeFairnessMonitor,
+    FairnessMonitor,
+    classify_run,
+    is_round_fair,
+)
+from repro.core.flows import FlowTracker
+from repro.core.loads import (
+    balanced,
+    bimodal,
+    initial_discrepancy,
+    linear_gradient,
+    point_mass,
+    random_spikes,
+    uniform_random,
+    validate_loads,
+)
+from repro.core.metrics import (
+    LoadSummary,
+    balancedness,
+    deviation_norm,
+    discrepancy,
+    final_plateau,
+    time_to_discrepancy,
+    underload_gap,
+)
+from repro.core.monitors import (
+    DiscrepancyRecorder,
+    LoadBoundsMonitor,
+    Monitor,
+    PeriodDetector,
+    TrajectoryRecorder,
+)
+from repro.core.potentials import (
+    PotentialMonitor,
+    final_discrepancy_bound,
+    phi,
+    phi_prime,
+)
+
+__all__ = [
+    "Balancer",
+    "AlgorithmProperties",
+    "TokenColoringLedger",
+    "black_send_capacity_respected",
+    "ReferenceSimulator",
+    "Simulator",
+    "SimulationResult",
+    "simulate",
+    "SimulationError",
+    "InvalidLoadVector",
+    "InvalidSendMatrix",
+    "NegativeLoadError",
+    "ConservationError",
+    "BindingError",
+    "Monitor",
+    "DiscrepancyRecorder",
+    "LoadBoundsMonitor",
+    "TrajectoryRecorder",
+    "PeriodDetector",
+    "FlowTracker",
+    "FairnessMonitor",
+    "CumulativeFairnessMonitor",
+    "ClassVerdict",
+    "classify_run",
+    "is_round_fair",
+    "PotentialMonitor",
+    "phi",
+    "phi_prime",
+    "final_discrepancy_bound",
+    "discrepancy",
+    "balancedness",
+    "underload_gap",
+    "deviation_norm",
+    "time_to_discrepancy",
+    "final_plateau",
+    "LoadSummary",
+    "validate_loads",
+    "point_mass",
+    "bimodal",
+    "uniform_random",
+    "balanced",
+    "linear_gradient",
+    "random_spikes",
+    "initial_discrepancy",
+]

@@ -1,0 +1,159 @@
+"""Balancer interface and the Table 1 property taxonomy.
+
+A *balancer* is a synchronous token-distribution rule: given the current
+load vector it decides, for every node, how many tokens go over each of
+the node's ``d+`` ports this round (ports ``0..d-1`` are original edges
+in adjacency order, ``d..d+-1`` are self-loops).  Tokens not assigned to
+any port stay at the node as its *remainder* (the paper's ``r_t(u)``,
+cf. Proposition A.2).
+
+The :class:`AlgorithmProperties` flags mirror the columns of Table 1:
+
+* ``deterministic`` (D) — no randomness;
+* ``stateless`` (SL) — sends depend only on the current load;
+* ``negative_load_safe`` (NL) — can never overdraw a node;
+* ``communication_free`` (NC) — needs no information beyond the node's
+  own load (not even neighbors' loads).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import BindingError
+from repro.graphs.balancing import BalancingGraph
+
+
+@dataclass(frozen=True)
+class AlgorithmProperties:
+    """The D / SL / NL / NC flags of Table 1."""
+
+    deterministic: bool
+    stateless: bool
+    negative_load_safe: bool
+    communication_free: bool
+
+    def flags(self) -> str:
+        """Compact ``D SL NL NC`` rendering using ✓/✗."""
+        marks = [
+            "D" if self.deterministic else "-",
+            "SL" if self.stateless else "-",
+            "NL" if self.negative_load_safe else "-",
+            "NC" if self.communication_free else "-",
+        ]
+        return " ".join(marks)
+
+    def as_dict(self) -> dict[str, bool]:
+        return {
+            "deterministic": self.deterministic,
+            "stateless": self.stateless,
+            "negative_load_safe": self.negative_load_safe,
+            "communication_free": self.communication_free,
+        }
+
+
+class Balancer(ABC):
+    """Abstract synchronous load-balancing algorithm.
+
+    Lifecycle: construct, :meth:`bind` to a graph (precomputes index
+    structures and resets mutable state), then the engine calls
+    :meth:`sends` once per round.  :meth:`reset` restores the initial
+    mutable state so the same instance can be reused across runs.
+    """
+
+    #: Human-readable name used in tables and reports.
+    name: str = "balancer"
+
+    #: Table 1 property flags; concrete classes override.
+    properties: AlgorithmProperties = AlgorithmProperties(
+        deterministic=True,
+        stateless=True,
+        negative_load_safe=True,
+        communication_free=True,
+    )
+
+    #: If True the engine permits a node's remainder to go negative.
+    allows_negative: bool = False
+
+    def __init__(self) -> None:
+        self._graph: BalancingGraph | None = None
+
+    @property
+    def graph(self) -> BalancingGraph:
+        if self._graph is None:
+            raise BindingError(
+                f"{type(self).__name__} is not bound to a graph; "
+                "call bind(graph) first"
+            )
+        return self._graph
+
+    @property
+    def is_bound(self) -> bool:
+        return self._graph is not None
+
+    def bind(self, graph: BalancingGraph) -> "Balancer":
+        """Attach to ``graph``; validates compatibility and resets state."""
+        self._validate_graph(graph)
+        self._graph = graph
+        self._on_bind(graph)
+        self.reset()
+        return self
+
+    def reset(self) -> None:
+        """Restore initial mutable state (rotors, RNG streams, caches)."""
+
+    def _validate_graph(self, graph: BalancingGraph) -> None:
+        """Hook: raise :class:`BindingError` on incompatible graphs."""
+
+    def _on_bind(self, graph: BalancingGraph) -> None:
+        """Hook: precompute per-graph index structures."""
+
+    @abstractmethod
+    def sends(self, loads: np.ndarray, t: int) -> np.ndarray:
+        """Per-port token counts for round ``t``.
+
+        Args:
+            loads: current load vector ``x_t`` (``int64``, length ``n``).
+            t: 1-based round index (the paper's time convention).
+
+        Returns:
+            ``(n, d+)`` nonnegative ``int64`` array.  Row sums may be
+            smaller than the corresponding load; the difference is the
+            node's remainder for this round.
+        """
+
+    def describe(self) -> dict:
+        """Summary used in experiment reports."""
+        return {"name": self.name, **self.properties.as_dict()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def split_extras_over_self_loops(
+    base_sends: np.ndarray,
+    extras: np.ndarray,
+    degree: int,
+) -> None:
+    """Distribute per-node extra tokens over self-loop ports, in place.
+
+    ``base_sends`` is an ``(n, d+)`` matrix already holding the uniform
+    part; ``extras[u]`` additional tokens are layered onto node ``u``'s
+    self-loop ports ``d, d+1, ...`` as evenly as possible (first loops
+    receive the odd token).  This is the deterministic, stateless
+    "remaining tokens over self-loops" rule used by the SEND algorithms.
+    """
+    num_loops = base_sends.shape[1] - degree
+    if num_loops == 0:
+        if np.any(extras != 0):
+            raise ValueError(
+                "cannot place extra tokens: graph has no self-loops"
+            )
+        return
+    per_loop, leftover = np.divmod(extras, num_loops)
+    base_sends[:, degree:] += per_loop[:, None]
+    loop_index = np.arange(num_loops)[None, :]
+    base_sends[:, degree:] += loop_index < leftover[:, None]

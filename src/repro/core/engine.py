@@ -1,0 +1,239 @@
+"""Synchronous simulation engine.
+
+A round of the discrete diffusion process (Section 1.3 of the paper):
+
+1. every node ``u`` looks at its load ``x_t(u)`` and assigns tokens to
+   its ``d+`` ports (the balancer's :meth:`sends`);
+2. tokens move simultaneously; self-loop tokens and the unassigned
+   remainder stay at the node;
+3. the new load is ``x_{t+1}(u) = r_t(u) + f^in_t(u)``.
+
+The engine executes this with vectorized gathers (using the graph's
+reverse-port map), enforces structural invariants every round (shape,
+nonnegative sends, no overdraw unless the balancer opted in, token
+conservation), and feeds attached monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.balancer import Balancer
+from repro.core.errors import (
+    ConservationError,
+    InvalidSendMatrix,
+    NegativeLoadError,
+)
+from repro.core.loads import validate_loads
+from repro.core.metrics import discrepancy
+from repro.core.monitors import Monitor
+from repro.graphs.balancing import BalancingGraph
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a (partial) run.
+
+    Attributes:
+        initial_loads: the vector the run started from.
+        final_loads: the vector after the last executed round.
+        rounds_executed: number of rounds actually executed.
+        discrepancy_history: discrepancy at each round boundary
+            (``[0]`` is the initial discrepancy) if recording was on.
+        stopped_early: True if a ``run_until`` predicate fired.
+    """
+
+    initial_loads: np.ndarray
+    final_loads: np.ndarray
+    rounds_executed: int
+    discrepancy_history: list[int] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def initial_discrepancy(self) -> int:
+        return discrepancy(self.initial_loads)
+
+    @property
+    def final_discrepancy(self) -> int:
+        return discrepancy(self.final_loads)
+
+    def summary(self) -> dict:
+        return {
+            "rounds": self.rounds_executed,
+            "initial_discrepancy": self.initial_discrepancy,
+            "final_discrepancy": self.final_discrepancy,
+            "stopped_early": self.stopped_early,
+        }
+
+
+class Simulator:
+    """Drives one balancer on one graph from one initial vector.
+
+    Args:
+        graph: the balancing graph ``G+``.
+        balancer: the algorithm; it is (re)bound to ``graph``.
+        initial_loads: length-``n`` nonnegative integer vector.
+        monitors: observers receiving every round.
+        record_history: keep the per-round discrepancy trajectory.
+        validate_every_round: full structural validation of each sends
+            matrix.  Cheap (vectorized) and on by default; can be turned
+            off for the innermost benchmark loops.
+    """
+
+    def __init__(
+        self,
+        graph: BalancingGraph,
+        balancer: Balancer,
+        initial_loads: np.ndarray,
+        *,
+        monitors: Iterable[Monitor] = (),
+        record_history: bool = True,
+        validate_every_round: bool = True,
+    ) -> None:
+        initial_loads = validate_loads(initial_loads)
+        if initial_loads.shape[0] != graph.num_nodes:
+            raise InvalidSendMatrix(
+                f"load vector has {initial_loads.shape[0]} entries for a "
+                f"graph with {graph.num_nodes} nodes"
+            )
+        self.graph = graph
+        self.balancer = balancer.bind(graph)
+        self.initial_loads = initial_loads.copy()
+        self._loads = initial_loads.copy()
+        self.monitors = list(monitors)
+        self.record_history = record_history
+        self.validate_every_round = validate_every_round
+        self.total_tokens = int(initial_loads.sum())
+        self.round = 1  # the paper's convention: x_1 is the initial vector
+        self.discrepancy_history: list[int] = (
+            [discrepancy(initial_loads)] if record_history else []
+        )
+        for monitor in self.monitors:
+            monitor.start(graph, self.balancer, self._loads)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Current load vector (owned by the engine; copy to mutate)."""
+        return self._loads
+
+    def step(self) -> np.ndarray:
+        """Execute one synchronous round; returns the new load vector."""
+        graph = self.graph
+        loads = self._loads
+        sends = self.balancer.sends(loads, self.round)
+        if self.validate_every_round:
+            self._validate_sends(sends, loads)
+        outgoing = sends.sum(axis=1)
+        remainder = loads - outgoing
+        if not self.balancer.allows_negative and remainder.min() < 0:
+            node = int(np.argmin(remainder))
+            raise NegativeLoadError(
+                f"round {self.round}: node {node} sent "
+                f"{int(outgoing[node])} tokens but holds "
+                f"{int(loads[node])} "
+                f"(balancer {self.balancer.name!r} does not allow "
+                "negative load)"
+            )
+        incoming = sends[graph.adjacency, graph.reverse_port].sum(axis=1)
+        kept = sends[:, graph.degree:].sum(axis=1)
+        new_loads = remainder + incoming + kept
+        if new_loads.sum() != self.total_tokens:
+            raise ConservationError(
+                f"round {self.round}: token count changed from "
+                f"{self.total_tokens} to {int(new_loads.sum())}"
+            )
+        for monitor in self.monitors:
+            monitor.observe(self.round, loads, sends, new_loads)
+        if self.record_history:
+            self.discrepancy_history.append(discrepancy(new_loads))
+        self._loads = new_loads
+        self.round += 1
+        return new_loads
+
+    def run(self, rounds: int) -> SimulationResult:
+        """Execute ``rounds`` rounds."""
+        for _ in range(rounds):
+            self.step()
+        return self._result(rounds, stopped_early=False)
+
+    def run_until(
+        self,
+        predicate: Callable[[np.ndarray], bool],
+        max_rounds: int,
+        check_every: int = 1,
+    ) -> SimulationResult:
+        """Run until ``predicate(loads)`` holds or ``max_rounds`` elapse."""
+        executed = 0
+        if predicate(self._loads):
+            return self._result(0, stopped_early=True)
+        while executed < max_rounds:
+            self.step()
+            executed += 1
+            if executed % check_every == 0 and predicate(self._loads):
+                return self._result(executed, stopped_early=True)
+        return self._result(executed, stopped_early=False)
+
+    def run_to_discrepancy(
+        self,
+        target: int,
+        max_rounds: int,
+        check_every: int = 1,
+    ) -> SimulationResult:
+        """Run until the discrepancy is at most ``target``."""
+        return self.run_until(
+            lambda loads: discrepancy(loads) <= target,
+            max_rounds,
+            check_every=check_every,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _validate_sends(self, sends: np.ndarray, loads: np.ndarray) -> None:
+        expected = (self.graph.num_nodes, self.graph.total_degree)
+        if sends.shape != expected:
+            raise InvalidSendMatrix(
+                f"sends matrix has shape {sends.shape}, expected {expected}"
+            )
+        if not np.issubdtype(sends.dtype, np.integer):
+            raise InvalidSendMatrix(
+                f"sends matrix must be integer, got dtype {sends.dtype}"
+            )
+        if sends.min() < 0:
+            raise InvalidSendMatrix(
+                "sends matrix contains negative entries; tokens can only "
+                "move forward along edges"
+            )
+
+    def _result(self, rounds: int, stopped_early: bool) -> SimulationResult:
+        return SimulationResult(
+            initial_loads=self.initial_loads,
+            final_loads=self._loads.copy(),
+            rounds_executed=self.round - 1,
+            discrepancy_history=list(self.discrepancy_history),
+            stopped_early=stopped_early,
+        )
+
+
+def simulate(
+    graph: BalancingGraph,
+    balancer: Balancer,
+    initial_loads: np.ndarray,
+    rounds: int,
+    *,
+    monitors: Iterable[Monitor] = (),
+    record_history: bool = True,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    simulator = Simulator(
+        graph,
+        balancer,
+        initial_loads,
+        monitors=monitors,
+        record_history=record_history,
+    )
+    return simulator.run(rounds)

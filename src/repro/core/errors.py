@@ -1,0 +1,30 @@
+"""Exception types raised by the simulation core."""
+
+
+class SimulationError(Exception):
+    """Base class for simulation-core errors."""
+
+
+class InvalidLoadVector(SimulationError):
+    """Raised when an initial load vector fails validation."""
+
+
+class InvalidSendMatrix(SimulationError):
+    """Raised when a balancer emits a malformed sends matrix."""
+
+
+class NegativeLoadError(SimulationError):
+    """Raised when a balancer tries to send more tokens than a node holds.
+
+    Algorithms that legitimately overdraw (the paper's "negative load"
+    processes, e.g. randomized edge rounding [18] or continuous-mimicking
+    [4]) must declare ``allows_negative = True`` to opt out of this guard.
+    """
+
+
+class ConservationError(SimulationError):
+    """Raised when a round does not conserve the total number of tokens."""
+
+
+class BindingError(SimulationError):
+    """Raised when a balancer is bound to an incompatible graph."""

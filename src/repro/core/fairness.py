@@ -1,0 +1,234 @@
+"""Fairness checkers: Definitions 2.1 and 3.1 as runtime verdicts.
+
+The paper's algorithm classes are defined by per-round and cumulative
+conditions on the sends matrix:
+
+* **round-fair** ([17]): every port receives ``⌊x/d+⌋`` or ``⌈x/d+⌉``;
+* **cumulatively δ-fair** (Def. 2.1): every port always receives at
+  least ``⌊x/d+⌋``, and cumulative flows over any two original edges of
+  a node never differ by more than δ;
+* **good s-balancer** (Def. 3.1): round-fair, cumulatively 1-fair, and
+  in every round at least ``min(s, e(u))`` self-loops receive the ceiling
+  share, where ``e(u) = x(u) mod d+``.
+
+Each condition is available both as a pure function on one round's data
+and as a :class:`~repro.core.monitors.Monitor` accumulating a verdict
+over a whole run.  These monitors power the Observation 2.2 / 3.2 tests
+and the property columns regenerated for Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.monitors import Monitor
+
+
+def floor_share(loads: np.ndarray, d_plus: int) -> np.ndarray:
+    """``⌊x/d+⌋`` per node."""
+    return loads // d_plus
+
+
+def ceil_share(loads: np.ndarray, d_plus: int) -> np.ndarray:
+    """``⌈x/d+⌉`` per node."""
+    return -(-loads // d_plus)
+
+
+def excess_tokens(loads: np.ndarray, d_plus: int) -> np.ndarray:
+    """The paper's ``e(u) = x(u) - d+·⌊x(u)/d+⌋``."""
+    return loads % d_plus
+
+
+def violates_floor(
+    loads: np.ndarray, sends: np.ndarray, d_plus: int
+) -> np.ndarray:
+    """Bool per node: some port received fewer than ``⌊x/d+⌋`` tokens."""
+    return (sends < floor_share(loads, d_plus)[:, None]).any(axis=1)
+
+
+def violates_ceil(
+    loads: np.ndarray, sends: np.ndarray, d_plus: int
+) -> np.ndarray:
+    """Bool per node: some port received more than ``⌈x/d+⌉`` tokens."""
+    return (sends > ceil_share(loads, d_plus)[:, None]).any(axis=1)
+
+
+def is_round_fair(
+    loads: np.ndarray, sends: np.ndarray, d_plus: int
+) -> bool:
+    """True if every port of every node received floor or ceil."""
+    low = violates_floor(loads, sends, d_plus)
+    high = violates_ceil(loads, sends, d_plus)
+    return not bool((low | high).any())
+
+
+def self_preference_deficit(
+    loads: np.ndarray,
+    sends: np.ndarray,
+    degree: int,
+    d_plus: int,
+    s: int,
+) -> np.ndarray:
+    """Per-node shortfall of Def. 3.1's s-self-preference condition.
+
+    Returns ``max(0, min(s, e(u)) - #{self-loops receiving ⌈x/d+⌉})``;
+    zero everywhere iff the round was s-self-preferring.
+    """
+    ceil = ceil_share(loads, d_plus)
+    excess = excess_tokens(loads, d_plus)
+    preferred = (sends[:, degree:] >= ceil[:, None]).sum(axis=1)
+    required = np.minimum(s, excess)
+    # When e(u) == 0 floor == ceil and the condition is vacuous.
+    required = np.where(excess == 0, 0, required)
+    return np.maximum(0, required - preferred)
+
+
+@dataclass
+class RoundVerdict:
+    """Per-round fairness facts collected by :class:`FairnessMonitor`."""
+
+    floor_violations: int
+    ceil_violations: int
+    self_preference_deficit: int
+
+
+class FairnessMonitor(Monitor):
+    """Accumulates every per-round fairness condition over a run.
+
+    Args:
+        s: self-preference parameter to check (Def. 3.1); 0 disables.
+        keep_rounds: record a :class:`RoundVerdict` per round (tests).
+    """
+
+    def __init__(self, s: int = 0, keep_rounds: bool = False) -> None:
+        self.s = s
+        self.keep_rounds = keep_rounds
+        self.rounds: list[RoundVerdict] = []
+        self.total_floor_violations = 0
+        self.total_ceil_violations = 0
+        self.total_self_preference_deficit = 0
+        self._degree = 0
+        self._d_plus = 0
+
+    def start(self, graph, balancer, loads) -> None:
+        self._degree = graph.degree
+        self._d_plus = graph.total_degree
+        self.rounds = []
+        self.total_floor_violations = 0
+        self.total_ceil_violations = 0
+        self.total_self_preference_deficit = 0
+
+    def observe(self, t, loads_before, sends, loads_after) -> None:
+        floor_bad = int(
+            violates_floor(loads_before, sends, self._d_plus).sum()
+        )
+        ceil_bad = int(violates_ceil(loads_before, sends, self._d_plus).sum())
+        deficit = 0
+        if self.s > 0:
+            deficit = int(
+                self_preference_deficit(
+                    loads_before,
+                    sends,
+                    self._degree,
+                    self._d_plus,
+                    self.s,
+                ).sum()
+            )
+        self.total_floor_violations += floor_bad
+        self.total_ceil_violations += ceil_bad
+        self.total_self_preference_deficit += deficit
+        if self.keep_rounds:
+            self.rounds.append(RoundVerdict(floor_bad, ceil_bad, deficit))
+
+    @property
+    def always_at_least_floor(self) -> bool:
+        """Def. 2.1's first bullet held in every observed round."""
+        return self.total_floor_violations == 0
+
+    @property
+    def always_round_fair(self) -> bool:
+        """[17]'s round-fairness held in every observed round."""
+        return (
+            self.total_floor_violations == 0
+            and self.total_ceil_violations == 0
+        )
+
+    @property
+    def always_self_preferring(self) -> bool:
+        """Def. 3.1's condition 2 held in every observed round."""
+        return self.total_self_preference_deficit == 0
+
+
+class CumulativeFairnessMonitor(Monitor):
+    """Tracks Def. 2.1's cumulative spread over original edges.
+
+    ``observed_delta`` is the largest value, over all rounds and nodes,
+    of ``max_{e1,e2 in E_u} |F_t(e1) - F_t(e2)|``.  An algorithm is
+    *cumulatively δ-fair on the run* iff ``observed_delta <= δ`` and the
+    floor condition held (checked by :class:`FairnessMonitor`).
+    """
+
+    def __init__(self) -> None:
+        self.observed_delta = 0
+        self._cumulative: np.ndarray | None = None
+        self._degree = 0
+
+    def start(self, graph, balancer, loads) -> None:
+        self._degree = graph.degree
+        self._cumulative = np.zeros(
+            (graph.num_nodes, graph.degree), dtype=np.int64
+        )
+        self.observed_delta = 0
+
+    def observe(self, t, loads_before, sends, loads_after) -> None:
+        self._cumulative += sends[:, : self._degree]
+        spread = int(
+            (
+                self._cumulative.max(axis=1) - self._cumulative.min(axis=1)
+            ).max()
+        )
+        self.observed_delta = max(self.observed_delta, spread)
+
+    def is_cumulatively_fair(self, delta: int) -> bool:
+        return self.observed_delta <= delta
+
+
+@dataclass(frozen=True)
+class ClassVerdict:
+    """Aggregated classification of a run against the paper's classes."""
+
+    at_least_floor: bool
+    round_fair: bool
+    observed_delta: int
+    self_preferring: bool
+    s: int
+
+    def is_cumulatively_fair(self, delta: int) -> bool:
+        """Def. 2.1 with parameter δ."""
+        return self.at_least_floor and self.observed_delta <= delta
+
+    @property
+    def is_good_balancer(self) -> bool:
+        """Def. 3.1 with the monitor's parameter s."""
+        return (
+            self.round_fair
+            and self.observed_delta <= 1
+            and self.self_preferring
+            and self.s >= 1
+        )
+
+
+def classify_run(
+    fairness: FairnessMonitor,
+    cumulative: CumulativeFairnessMonitor,
+) -> ClassVerdict:
+    """Combine the two monitors into a single verdict."""
+    return ClassVerdict(
+        at_least_floor=fairness.always_at_least_floor,
+        round_fair=fairness.always_round_fair,
+        observed_delta=cumulative.observed_delta,
+        self_preferring=fairness.always_self_preferring,
+        s=fairness.s,
+    )

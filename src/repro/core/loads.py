@@ -1,0 +1,106 @@
+"""Initial load-vector generators.
+
+The paper's results are parameterized by the initial discrepancy
+``K = max x₁ - min x₁``; these helpers build the standard workloads used
+throughout the experiments, all returning validated ``int64`` vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidLoadVector
+
+
+def validate_loads(loads: np.ndarray, *, allow_negative: bool = False) -> np.ndarray:
+    """Validate and normalize a load vector to contiguous ``int64``."""
+    loads = np.ascontiguousarray(loads)
+    if loads.ndim != 1:
+        raise InvalidLoadVector(
+            f"load vector must be 1-dimensional, got shape {loads.shape}"
+        )
+    if loads.size == 0:
+        raise InvalidLoadVector("load vector must be non-empty")
+    if not np.issubdtype(loads.dtype, np.integer):
+        if np.any(loads != np.floor(loads)):
+            raise InvalidLoadVector(
+                "loads must be integers (tokens are indivisible)"
+            )
+    loads = loads.astype(np.int64)
+    if not allow_negative and loads.min() < 0:
+        raise InvalidLoadVector("loads must be nonnegative")
+    return loads
+
+
+def point_mass(n: int, tokens: int, node: int = 0) -> np.ndarray:
+    """All ``tokens`` on a single node — initial discrepancy ``K = tokens``."""
+    if not 0 <= node < n:
+        raise InvalidLoadVector(f"node {node} out of range [0, {n})")
+    if tokens < 0:
+        raise InvalidLoadVector("tokens must be nonnegative")
+    loads = np.zeros(n, dtype=np.int64)
+    loads[node] = tokens
+    return loads
+
+
+def bimodal(n: int, high: int, low: int = 0) -> np.ndarray:
+    """First half of the nodes at ``high``, second half at ``low``."""
+    if high < low:
+        raise InvalidLoadVector("high must be >= low")
+    loads = np.full(n, low, dtype=np.int64)
+    loads[: n // 2] = high
+    return loads
+
+
+def uniform_random(
+    n: int,
+    total_tokens: int,
+    seed: int,
+) -> np.ndarray:
+    """``total_tokens`` thrown uniformly at random onto ``n`` nodes."""
+    if total_tokens < 0:
+        raise InvalidLoadVector("total_tokens must be nonnegative")
+    rng = np.random.default_rng(seed)
+    counts = rng.multinomial(total_tokens, np.full(n, 1.0 / n))
+    return counts.astype(np.int64)
+
+
+def balanced(n: int, per_node: int) -> np.ndarray:
+    """Perfectly balanced vector (useful as a fixed point in tests)."""
+    if per_node < 0:
+        raise InvalidLoadVector("per_node must be nonnegative")
+    return np.full(n, per_node, dtype=np.int64)
+
+
+def linear_gradient(n: int, step: int = 1, base: int = 0) -> np.ndarray:
+    """Loads ``base, base+step, ..., base+(n-1)*step`` — discrepancy ``(n-1)*step``."""
+    if step < 0 or base < 0:
+        raise InvalidLoadVector("step and base must be nonnegative")
+    return (base + step * np.arange(n)).astype(np.int64)
+
+
+def random_spikes(
+    n: int,
+    num_spikes: int,
+    spike_height: int,
+    seed: int,
+    base: int = 0,
+) -> np.ndarray:
+    """``num_spikes`` random nodes at ``base + spike_height``, rest at ``base``."""
+    if num_spikes < 0 or num_spikes > n:
+        raise InvalidLoadVector(f"num_spikes must be in [0, {n}]")
+    rng = np.random.default_rng(seed)
+    loads = np.full(n, base, dtype=np.int64)
+    spikes = rng.choice(n, size=num_spikes, replace=False)
+    loads[spikes] += spike_height
+    return loads
+
+
+def initial_discrepancy(loads: np.ndarray) -> int:
+    """The paper's ``K``: max minus min of the initial vector."""
+    return int(loads.max() - loads.min())
+
+
+def average_load(loads: np.ndarray) -> float:
+    """The paper's ``x̄`` — average tokens per node."""
+    return float(loads.mean())

@@ -1,0 +1,106 @@
+"""Load-vector quality metrics used across the paper's statements.
+
+* **discrepancy** — ``max x - min x`` (the headline metric);
+* **balancedness** — ``max x - x̄`` (gap to the average from above);
+* **underload gap** — ``x̄ - min x``;
+* **deviation norms** — ``‖x - x̄‖_p`` for trajectory analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def discrepancy(loads: np.ndarray) -> int:
+    """``max_u x(u) - min_u x(u)``."""
+    return int(loads.max() - loads.min())
+
+
+def balancedness(loads: np.ndarray) -> float:
+    """``max_u x(u) - x̄`` — the paper's "balancedness" (overload gap)."""
+    return float(loads.max() - loads.mean())
+
+
+def underload_gap(loads: np.ndarray) -> float:
+    """``x̄ - min_u x(u)`` — symmetric counterpart of balancedness."""
+    return float(loads.mean() - loads.min())
+
+
+def deviation_norm(loads: np.ndarray, p: float = np.inf) -> float:
+    """``‖x - x̄‖_p`` with the paper's vector-norm convention."""
+    centered = loads.astype(np.float64) - loads.mean()
+    if np.isinf(p):
+        return float(np.abs(centered).max())
+    return float((np.abs(centered) ** p).sum() ** (1.0 / p))
+
+
+def is_perfectly_balanced(loads: np.ndarray) -> bool:
+    """True if the discrepancy is at most 1 token.
+
+    ``m`` tokens on ``n`` nodes cannot do better than discrepancy
+    ``0`` (if ``n | m``) or ``1`` (otherwise).
+    """
+    return discrepancy(loads) <= 1
+
+
+@dataclass(frozen=True)
+class LoadSummary:
+    """Snapshot statistics of one load vector."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    discrepancy: int
+    balancedness: float
+    underload_gap: float
+
+    @classmethod
+    def of(cls, loads: np.ndarray) -> "LoadSummary":
+        return cls(
+            minimum=int(loads.min()),
+            maximum=int(loads.max()),
+            mean=float(loads.mean()),
+            discrepancy=discrepancy(loads),
+            balancedness=balancedness(loads),
+            underload_gap=underload_gap(loads),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "discrepancy": self.discrepancy,
+            "balancedness": self.balancedness,
+            "underload_gap": self.underload_gap,
+        }
+
+
+def time_to_discrepancy(
+    history: list[int] | np.ndarray,
+    target: int,
+) -> int | None:
+    """First index (round) at which the recorded discrepancy is <= target.
+
+    ``history[i]`` is the discrepancy at the *beginning* of round ``i+1``
+    (i.e. ``history[0]`` describes the initial vector).  Returns None if
+    the target is never reached within the recorded horizon.
+    """
+    for index, value in enumerate(history):
+        if value <= target:
+            return index
+    return None
+
+
+def final_plateau(history: list[int] | np.ndarray, window: int = 16) -> int:
+    """Maximum discrepancy over the last ``window`` recorded rounds.
+
+    Deterministic schemes often settle into short cycles rather than a
+    fixed point; the plateau maximum is the honest "final discrepancy".
+    """
+    if len(history) == 0:
+        raise ValueError("history is empty")
+    tail = history[-window:]
+    return int(max(tail))

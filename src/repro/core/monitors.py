@@ -1,0 +1,137 @@
+"""Monitor framework: per-round observers attached to the engine.
+
+Monitors receive every round's ``(t, loads_before, sends, loads_after)``
+and are the mechanism behind flow accounting, fairness verification,
+potential tracking, and trajectory recording.  They deliberately have no
+ability to influence the simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.balancer import Balancer
+from repro.core.metrics import discrepancy
+from repro.graphs.balancing import BalancingGraph
+
+
+class Monitor:
+    """Base class for simulation observers (no-op by default)."""
+
+    def start(
+        self,
+        graph: BalancingGraph,
+        balancer: Balancer,
+        loads: np.ndarray,
+    ) -> None:
+        """Called once before the first round with the initial vector."""
+
+    def observe(
+        self,
+        t: int,
+        loads_before: np.ndarray,
+        sends: np.ndarray,
+        loads_after: np.ndarray,
+    ) -> None:
+        """Called after every completed round ``t``."""
+
+
+class DiscrepancyRecorder(Monitor):
+    """Records the discrepancy trajectory (one entry per round boundary).
+
+    ``history[0]`` is the initial discrepancy; ``history[t]`` the
+    discrepancy at the beginning of round ``t + 1``.
+    """
+
+    def __init__(self) -> None:
+        self.history: list[int] = []
+
+    def start(self, graph, balancer, loads) -> None:
+        self.history = [discrepancy(loads)]
+
+    def observe(self, t, loads_before, sends, loads_after) -> None:
+        self.history.append(discrepancy(loads_after))
+
+    @property
+    def final(self) -> int:
+        return self.history[-1]
+
+    @property
+    def minimum(self) -> int:
+        return min(self.history)
+
+
+class LoadBoundsMonitor(Monitor):
+    """Tracks the global min/max load ever observed.
+
+    Used to verify the NL (no negative load) column of Table 1: an
+    algorithm is negative-load safe on a run iff ``min_ever >= 0``.
+    """
+
+    def __init__(self) -> None:
+        self.min_ever: int | None = None
+        self.max_ever: int | None = None
+
+    def start(self, graph, balancer, loads) -> None:
+        self.min_ever = int(loads.min())
+        self.max_ever = int(loads.max())
+
+    def observe(self, t, loads_before, sends, loads_after) -> None:
+        self.min_ever = min(self.min_ever, int(loads_after.min()))
+        self.max_ever = max(self.max_ever, int(loads_after.max()))
+
+    @property
+    def went_negative(self) -> bool:
+        return self.min_ever is not None and self.min_ever < 0
+
+
+class TrajectoryRecorder(Monitor):
+    """Records full load vectors every ``stride`` rounds (memory heavy)."""
+
+    def __init__(self, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.stride = stride
+        self.snapshots: list[np.ndarray] = []
+        self.rounds: list[int] = []
+
+    def start(self, graph, balancer, loads) -> None:
+        self.snapshots = [loads.copy()]
+        self.rounds = [0]
+
+    def observe(self, t, loads_before, sends, loads_after) -> None:
+        if t % self.stride == 0:
+            self.snapshots.append(loads_after.copy())
+            self.rounds.append(t)
+
+    def as_array(self) -> np.ndarray:
+        return np.stack(self.snapshots, axis=0)
+
+
+class PeriodDetector(Monitor):
+    """Detects when the load vector revisits a previous state.
+
+    Deterministic stateless dynamics on a finite state space must enter
+    a cycle; Theorem 4.3's construction alternates with period 2.  The
+    detector hashes each vector and reports the first recurrence.
+    """
+
+    def __init__(self) -> None:
+        self._seen: dict[bytes, int] = {}
+        self.period: int | None = None
+        self.first_repeat_round: int | None = None
+
+    def start(self, graph, balancer, loads) -> None:
+        self._seen = {loads.tobytes(): 0}
+        self.period = None
+        self.first_repeat_round = None
+
+    def observe(self, t, loads_before, sends, loads_after) -> None:
+        if self.period is not None:
+            return
+        key = loads_after.tobytes()
+        if key in self._seen:
+            self.period = t - self._seen[key]
+            self.first_repeat_round = t
+        else:
+            self._seen[key] = t

@@ -1,0 +1,142 @@
+"""Section 3's potential functions ``φ_t(c)`` and ``φ'_t(c)``.
+
+For a threshold parameter ``c``:
+
+* ``φ_t(c)  = Σ_v max(x_t(v) - c·d+, 0)`` counts tokens stacked above
+  height ``c·d+`` ("red tokens" in the proof of Lemma 3.5);
+* ``φ'_t(c) = Σ_v max(c·d+ + s - x_t(v), 0)`` counts gaps below height
+  ``c·d+ + s`` (Lemma 3.7).
+
+Lemmas 3.5/3.7 show both are non-increasing along any good s-balancer
+run; Theorem 3.3 drives them to zero phase by phase.  The monitor
+records the trajectories so tests and experiment E12 can verify the
+monotone drop empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.monitors import Monitor
+
+
+def phi(loads: np.ndarray, c: int, d_plus: int) -> int:
+    """``φ(c) = Σ_v max(x(v) - c·d+, 0)``."""
+    return int(np.maximum(loads - c * d_plus, 0).sum())
+
+
+def phi_prime(loads: np.ndarray, c: int, d_plus: int, s: int) -> int:
+    """``φ'(c) = Σ_v max(c·d+ + s - x(v), 0)``."""
+    return int(np.maximum(c * d_plus + s - loads, 0).sum())
+
+
+def phi_profile(loads: np.ndarray, d_plus: int, c_max: int) -> np.ndarray:
+    """``φ(c)`` for ``c = 0..c_max`` as one vector."""
+    return np.array(
+        [phi(loads, c, d_plus) for c in range(c_max + 1)], dtype=np.int64
+    )
+
+
+def potential_drop(
+    loads_before: np.ndarray,
+    loads_after: np.ndarray,
+    c: int,
+    d_plus: int,
+    s: int,
+) -> int:
+    """Lemma 3.5's guaranteed one-round drop ``Σ_u Δ_t(c, u)``.
+
+    ``Δ_t(c, u) = min(x_{t-1}(u), c·d+ + s) - max(x_t(u), c·d+)`` for
+    nodes whose load crossed downwards through the band, else 0.
+    """
+    upper = np.minimum(loads_before, c * d_plus + s)
+    lower = np.maximum(loads_after, c * d_plus)
+    eligible = (
+        (loads_before > loads_after)
+        & (loads_before > c * d_plus)
+        & (loads_after < c * d_plus + s)
+    )
+    drops = np.where(eligible, upper - lower, 0)
+    return int(np.maximum(drops, 0).sum())
+
+
+def potential_drop_prime(
+    loads_before: np.ndarray,
+    loads_after: np.ndarray,
+    c: int,
+    d_plus: int,
+    s: int,
+) -> int:
+    """Lemma 3.7's guaranteed one-round drop ``Σ_u Δ'_t(c, u)``."""
+    upper = np.minimum(loads_after, c * d_plus + s)
+    lower = np.maximum(loads_before, c * d_plus)
+    eligible = (
+        (loads_before < loads_after)
+        & (loads_before < c * d_plus + s)
+        & (loads_after > c * d_plus)
+    )
+    drops = np.where(eligible, upper - lower, 0)
+    return int(np.maximum(drops, 0).sum())
+
+
+class PotentialMonitor(Monitor):
+    """Records ``φ_t(c)`` and ``φ'_t(c)`` trajectories for several ``c``.
+
+    Args:
+        c_values: thresholds to track.
+        s: the balancer's self-preference parameter (enters ``φ'``).
+    """
+
+    def __init__(self, c_values: list[int], s: int) -> None:
+        self.c_values = list(c_values)
+        self.s = s
+        self.phi_history: dict[int, list[int]] = {}
+        self.phi_prime_history: dict[int, list[int]] = {}
+        self._d_plus = 0
+
+    def start(self, graph, balancer, loads) -> None:
+        self._d_plus = graph.total_degree
+        self.phi_history = {
+            c: [phi(loads, c, self._d_plus)] for c in self.c_values
+        }
+        self.phi_prime_history = {
+            c: [phi_prime(loads, c, self._d_plus, self.s)]
+            for c in self.c_values
+        }
+
+    def observe(self, t, loads_before, sends, loads_after) -> None:
+        for c in self.c_values:
+            self.phi_history[c].append(phi(loads_after, c, self._d_plus))
+            self.phi_prime_history[c].append(
+                phi_prime(loads_after, c, self._d_plus, self.s)
+            )
+
+    def phi_is_monotone(self, c: int) -> bool:
+        """True if ``φ(c)`` never increased along the run (Lemma 3.5)."""
+        history = self.phi_history[c]
+        return all(b <= a for a, b in zip(history, history[1:]))
+
+    def phi_prime_is_monotone(self, c: int) -> bool:
+        """True if ``φ'(c)`` never increased along the run (Lemma 3.7)."""
+        history = self.phi_prime_history[c]
+        return all(b <= a for a, b in zip(history, history[1:]))
+
+    def all_monotone(self) -> bool:
+        return all(
+            self.phi_is_monotone(c) and self.phi_prime_is_monotone(c)
+            for c in self.c_values
+        )
+
+
+def threshold_c0(average: float, d_plus: int, d_self: int, delta: int) -> int:
+    """Theorem 3.3's first threshold ``c₀``.
+
+    The smallest integer with ``c₀·d+ >= x̄ + δ·d+ + 2d° + d+/2``.
+    """
+    target = average + delta * d_plus + 2 * d_self + d_plus / 2.0
+    return int(np.ceil(target / d_plus))
+
+
+def final_discrepancy_bound(d_plus: int, d_self: int, delta: int = 1) -> int:
+    """Theorem 3.3's explicit discrepancy bound ``(2δ+1)d+ + 4d°``."""
+    return (2 * delta + 1) * d_plus + 4 * d_self

@@ -1,0 +1,59 @@
+"""A deliberately naive reference engine for differential testing.
+
+:class:`ReferenceSimulator` executes the same round semantics as
+:class:`~repro.core.engine.Simulator` using per-token Python loops — no
+vectorization, no index precomputation, nothing clever.  It exists so
+the fast engine can be property-tested against an implementation whose
+correctness is obvious by inspection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.balancer import Balancer
+from repro.core.errors import NegativeLoadError
+from repro.graphs.balancing import BalancingGraph
+
+
+class ReferenceSimulator:
+    """Slow, obviously-correct round execution (tests only)."""
+
+    def __init__(
+        self,
+        graph: BalancingGraph,
+        balancer: Balancer,
+        initial_loads: np.ndarray,
+    ) -> None:
+        self.graph = graph
+        self.balancer = balancer.bind(graph)
+        self.loads = [int(v) for v in initial_loads]
+        self.round = 1
+
+    def step(self) -> list[int]:
+        graph = self.graph
+        loads_array = np.array(self.loads, dtype=np.int64)
+        sends = self.balancer.sends(loads_array, self.round)
+        new_loads = [0] * graph.num_nodes
+        # Remainders stay put.
+        for node in range(graph.num_nodes):
+            outgoing = int(sends[node].sum())
+            remainder = self.loads[node] - outgoing
+            if remainder < 0 and not self.balancer.allows_negative:
+                raise NegativeLoadError(
+                    f"node {node} overdrew in reference engine"
+                )
+            new_loads[node] += remainder
+        # Tokens travel one port at a time.
+        for node in range(graph.num_nodes):
+            for port in range(graph.total_degree):
+                target = graph.port_target(node, port)
+                new_loads[target] += int(sends[node, port])
+        self.loads = new_loads
+        self.round += 1
+        return new_loads
+
+    def run(self, rounds: int) -> list[int]:
+        for _ in range(rounds):
+            self.step()
+        return self.loads

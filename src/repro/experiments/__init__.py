@@ -1,0 +1,56 @@
+"""Experiment drivers regenerating every table/figure-equivalent."""
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    run_engine_throughput,
+    run_selfloop_ablation,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.deviation import DeviationConfig, run_deviation
+from repro.experiments.figures import TrajectoryConfig, run_trajectories
+from repro.experiments.lower_bounds import (
+    LowerBoundConfig,
+    run_rotor_alternating,
+    run_stateless,
+    run_steady_state,
+)
+from repro.experiments.runner import EXPERIMENTS, FULL_EXPERIMENTS, run_all
+from repro.experiments.table1 import Table1Config, run_table1
+from repro.experiments.theorem23 import (
+    Theorem23Config,
+    run_cycle_sweep,
+    run_expander_sweep,
+    run_minimal_selfloop_sweep,
+)
+from repro.experiments.theorem33 import (
+    Theorem33Config,
+    run_good_balancers,
+    run_potential_monotonicity,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_all",
+    "EXPERIMENTS",
+    "FULL_EXPERIMENTS",
+    "Table1Config",
+    "run_table1",
+    "Theorem23Config",
+    "run_expander_sweep",
+    "run_cycle_sweep",
+    "run_minimal_selfloop_sweep",
+    "Theorem33Config",
+    "run_good_balancers",
+    "run_potential_monotonicity",
+    "LowerBoundConfig",
+    "run_steady_state",
+    "run_stateless",
+    "run_rotor_alternating",
+    "AblationConfig",
+    "run_selfloop_ablation",
+    "run_engine_throughput",
+    "DeviationConfig",
+    "run_deviation",
+    "TrajectoryConfig",
+    "run_trajectories",
+]

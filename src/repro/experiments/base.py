@@ -1,0 +1,76 @@
+"""Shared experiment infrastructure.
+
+Every experiment driver returns an :class:`ExperimentResult` — a list of
+row dictionaries plus metadata — which renders as a paper-style text
+table, a markdown table (for EXPERIMENTS.md), or JSON.  Experiments are
+deterministic given their config (seeds included in the config).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import render_markdown_table, render_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + metadata produced by one experiment driver."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict]
+    columns: list[str] | None = None
+    notes: list[str] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def to_text(self) -> str:
+        parts = [
+            render_table(
+                self.rows,
+                columns=self.columns,
+                title=f"[{self.experiment_id}] {self.title}",
+            )
+        ]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        parts = [f"### {self.experiment_id}: {self.title}", ""]
+        parts.append(render_markdown_table(self.rows, self.columns))
+        if self.notes:
+            parts.append("")
+            for note in self.notes:
+                parts.append(f"- {note}")
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "rows": self.rows,
+                "notes": self.notes,
+                "metadata": self.metadata,
+            },
+            indent=2,
+            default=str,
+        )
+
+
+class timed:
+    """Context manager stamping ``elapsed_seconds`` onto a result."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "timed":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,85 @@
+"""Run every experiment; entry point behind ``python -m repro``.
+
+``run_all(fast=True)`` uses the default (laptop-second) configurations;
+``fast=False`` enlarges the sweeps to the sizes reported in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    run_engine_throughput,
+    run_selfloop_ablation,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.lower_bounds import (
+    LowerBoundConfig,
+    run_rotor_alternating,
+    run_stateless,
+    run_steady_state,
+)
+from repro.experiments.deviation import DeviationConfig, run_deviation
+from repro.experiments.figures import TrajectoryConfig, run_trajectories
+from repro.experiments.table1 import Table1Config, run_table1
+from repro.experiments.theorem23 import (
+    Theorem23Config,
+    run_cycle_sweep,
+    run_expander_sweep,
+    run_minimal_selfloop_sweep,
+)
+from repro.experiments.theorem33 import (
+    Theorem33Config,
+    run_good_balancers,
+    run_potential_monotonicity,
+)
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "E1": lambda: run_table1(Table1Config()),
+    "E2": lambda: run_expander_sweep(Theorem23Config()),
+    "E3": lambda: run_cycle_sweep(Theorem23Config()),
+    "E4": lambda: run_minimal_selfloop_sweep(Theorem23Config()),
+    "E5": lambda: run_good_balancers(Theorem33Config()),
+    "E6": lambda: run_steady_state(LowerBoundConfig()),
+    "E7": lambda: run_stateless(LowerBoundConfig()),
+    "E8": lambda: run_rotor_alternating(LowerBoundConfig()),
+    "E11": lambda: run_selfloop_ablation(AblationConfig()),
+    "E12": lambda: run_potential_monotonicity(Theorem33Config()),
+    "E13": lambda: run_engine_throughput(n=256, rounds=100),
+    "E14": lambda: run_deviation(DeviationConfig(n=64, rounds=150)),
+    "F1": lambda: run_trajectories(TrajectoryConfig(n=64, degree=6)),
+}
+
+FULL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    **EXPERIMENTS,
+    "E1": lambda: run_table1(Table1Config(n=256, degree=8)),
+    "E2": lambda: run_expander_sweep(
+        Theorem23Config(expander_sizes=(64, 128, 256, 512))
+    ),
+    "E3": lambda: run_cycle_sweep(
+        Theorem23Config(cycle_sizes=(17, 25, 33, 49, 65, 97, 129))
+    ),
+    "E13": lambda: run_engine_throughput(n=1024, rounds=200),
+    "E14": lambda: run_deviation(DeviationConfig()),
+    "F1": lambda: run_trajectories(TrajectoryConfig()),
+}
+
+
+def run_all(
+    fast: bool = True,
+    only: tuple[str, ...] | None = None,
+) -> list[ExperimentResult]:
+    """Run all (or selected) experiments; returns their results."""
+    table = EXPERIMENTS if fast else FULL_EXPERIMENTS
+    selected = only or tuple(table)
+    results = []
+    for experiment_id in selected:
+        if experiment_id not in table:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; "
+                f"known: {sorted(table)}"
+            )
+        results.append(table[experiment_id]())
+    return results

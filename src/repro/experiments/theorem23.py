@@ -1,0 +1,219 @@
+"""Experiments E2/E3/E4/E9 — Theorem 2.3's three discrepancy regimes.
+
+* **E2 (expanders, claim i)**: on random d-regular graphs the
+  post-``T`` discrepancy of cumulatively fair balancers should track
+  ``d·√(log n/μ)``, while the adversarial round-fair baseline tracks
+  the much larger ``d·log n/μ``.
+* **E3 (cycles, claim ii)**: on cycles ``μ = Θ(1/n²)`` makes claim (i)
+  useless; claim (ii) predicts ``O(d·√n)``.  We sweep cycle sizes and
+  fit the scaling exponent of discrepancy vs n — the reproduction
+  succeeds if it is ≈ 0.5 (and nowhere near the ``n²`` of claim iii).
+* **E4 (minimal self-loops, claim iii)**: with only ``d° = 1``
+  self-loop claims (i)/(ii) don't apply; we check the discrepancy still
+  sits below ``d·log n/μ``.
+* **E9 (separation)**: same instances, cumulatively-fair vs adversarial
+  arbitrary rounding — who wins and by how much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algorithms.registry import make
+from repro.analysis.convergence import measure_after_t
+from repro.analysis.sweeps import fit_power_law
+from repro.analysis.theory import (
+    cumulative_fair_bound_i,
+    cumulative_fair_bound_ii,
+    cumulative_fair_bound_iii,
+    rabani_bound,
+)
+from repro.core.loads import point_mass
+from repro.experiments.base import ExperimentResult, timed
+from repro.graphs import families
+from repro.graphs.spectral import eigenvalue_gap
+
+
+@dataclass
+class Theorem23Config:
+    """Shared configuration for the Theorem 2.3 sweeps."""
+
+    expander_sizes: tuple[int, ...] = (64, 128, 256)
+    expander_degree: int = 6
+    cycle_sizes: tuple[int, ...] = (17, 25, 33, 49, 65)
+    tokens_per_node: int = 64
+    seed: int = 7
+    algorithms: tuple[str, ...] = field(
+        default_factory=lambda: ("rotor_router", "send_floor")
+    )
+    adversary: str = "arbitrary_rounding_fixed"
+
+
+def _measure(graph, name, tokens_per_node, seed, gap=None):
+    balancer = make(name, seed=seed)
+    initial = point_mass(graph.num_nodes, tokens_per_node * graph.num_nodes)
+    return measure_after_t(graph, balancer, initial, gap=gap)
+
+
+def run_expander_sweep(
+    config: Theorem23Config | None = None,
+) -> ExperimentResult:
+    """E2: claim (i) on expanders + E9 separation from the [17] class."""
+    config = config or Theorem23Config()
+    rows: list[dict] = []
+    with timed() as clock:
+        for n in config.expander_sizes:
+            graph = families.random_regular(
+                n, config.expander_degree, config.seed
+            )
+            gap = eigenvalue_gap(graph)
+            bound_i = cumulative_fair_bound_i(n, graph.degree, gap)
+            bound_17 = rabani_bound(n, graph.degree, gap)
+            row = {
+                "n": n,
+                "d": graph.degree,
+                "mu": gap,
+                "bound_i": bound_i,
+                "bound_[17]": bound_17,
+            }
+            for name in config.algorithms:
+                report = _measure(
+                    graph, name, config.tokens_per_node, config.seed, gap
+                )
+                row[name] = report.plateau_discrepancy
+                row[f"{name}/bound_i"] = (
+                    report.plateau_discrepancy / bound_i
+                )
+            adversary = _measure(
+                graph,
+                config.adversary,
+                config.tokens_per_node,
+                config.seed,
+                gap,
+            )
+            row["adversary"] = adversary.plateau_discrepancy
+            rows.append(row)
+    notes = [
+        "claim (i): fair-balancer columns should stay within a constant "
+        "multiple of bound_i as n grows",
+        "E9 separation: 'adversary' (fixed-priority rounding, the [17] "
+        "class) should exceed the fair balancers",
+    ]
+    return ExperimentResult(
+        experiment_id="E2",
+        title="Theorem 2.3(i) on expanders: discrepancy after O(T) "
+        "vs d*sqrt(log n/mu)",
+        rows=rows,
+        notes=notes,
+        elapsed_seconds=clock.elapsed,
+    )
+
+
+def run_cycle_sweep(
+    config: Theorem23Config | None = None,
+) -> ExperimentResult:
+    """E3: claim (ii) on cycles — scaling of discrepancy vs n.
+
+    Odd cycle sizes are used so the same table can carry the
+    *worst-case* contrast: the Theorem 4.3 construction (rotor-router
+    with ``d° = 0``, adversarial rotors) is locked at ``2·d·φ ≈ 2n``
+    forever, while the cumulatively fair balancers (``d° = d``) stay
+    below ``d·√n`` after ``O(T)`` — a linear-vs-sublinear crossover in
+    one sweep.
+    """
+    from repro.lower_bounds.rotor_alternating import (
+        build_rotor_alternating_instance,
+    )
+
+    config = config or Theorem23Config()
+    rows: list[dict] = []
+    with timed() as clock:
+        for n in config.cycle_sizes:
+            graph = families.cycle(n)
+            gap = eigenvalue_gap(graph)
+            bound_ii = cumulative_fair_bound_ii(n, graph.degree)
+            bound_iii = cumulative_fair_bound_iii(n, graph.degree, gap)
+            row = {
+                "n": n,
+                "mu": gap,
+                "bound_ii(d*sqrt n)": bound_ii,
+                "bound_iii(d*logn/mu)": bound_iii,
+            }
+            for name in config.algorithms:
+                report = _measure(
+                    graph, name, config.tokens_per_node, config.seed, gap
+                )
+                row[name] = report.plateau_discrepancy
+            bare = families.cycle(n, num_self_loops=0)
+            instance = build_rotor_alternating_instance(bare)
+            row["worst_case_d0"] = int(
+                instance.initial_loads.max() - instance.initial_loads.min()
+            )
+            rows.append(row)
+        fits = {}
+        if len(rows) >= 2:
+            for name in list(config.algorithms) + ["worst_case_d0"]:
+                xs = [row["n"] for row in rows]
+                ys = [max(row[name], 1) for row in rows]
+                fits[name] = fit_power_law(xs, ys)
+    notes = [
+        "claim (ii): fair-balancer discrepancy stays below d*sqrt(n) "
+        "(and far below the ~n^2-scale claim iii bound)",
+        "worst_case_d0 = Theorem 4.3 instance (no self-loops, "
+        "adversarial rotors): locked at ~2n forever — the linear "
+        "scaling the fair balancers escape",
+    ]
+    for name, fit in fits.items():
+        notes.append(
+            f"power-law fit {name}: discrepancy ~ n^{fit.slope:.2f} "
+            f"(R^2={fit.r_squared:.3f})"
+        )
+    return ExperimentResult(
+        experiment_id="E3",
+        title="Theorem 2.3(ii) on cycles: discrepancy after O(T) vs d*sqrt(n)",
+        rows=rows,
+        notes=notes,
+        metadata={"fits": {k: vars(v) for k, v in fits.items()}},
+        elapsed_seconds=clock.elapsed,
+    )
+
+
+def run_minimal_selfloop_sweep(
+    config: Theorem23Config | None = None,
+) -> ExperimentResult:
+    """E4: claim (iii) with d° = 1 self-loop."""
+    config = config or Theorem23Config()
+    rows: list[dict] = []
+    with timed() as clock:
+        for n in config.expander_sizes:
+            graph = families.random_regular(
+                n,
+                config.expander_degree,
+                config.seed,
+                num_self_loops=1,
+            )
+            gap = eigenvalue_gap(graph)
+            bound = cumulative_fair_bound_iii(n, graph.degree, gap)
+            row = {
+                "n": n,
+                "d_plus": graph.total_degree,
+                "mu": gap,
+                "bound_iii": bound,
+            }
+            for name in config.algorithms:
+                report = _measure(
+                    graph, name, config.tokens_per_node, config.seed, gap
+                )
+                row[name] = report.plateau_discrepancy
+                row[f"{name}/bound"] = report.plateau_discrepancy / bound
+            rows.append(row)
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Theorem 2.3(iii): single self-loop (d°=1), bound d*log n/mu",
+        rows=rows,
+        notes=[
+            "claim (iii) is the only claim applicable at d°=1; ratios "
+            "must stay below a constant"
+        ],
+        elapsed_seconds=clock.elapsed,
+    )

@@ -1,0 +1,186 @@
+"""Experiment E5/E12 — Theorem 3.3: good s-balancers reach O(d).
+
+Theorem 3.3: a good s-balancer reaches discrepancy
+``(2δ+1)d+ + 4d°`` within ``O(log K + (d/s)·log²n/μ)`` rounds.  Two
+sweeps:
+
+* **s-sweep at fixed μ**: the generalized ROTOR-ROUTER* with
+  ``s ∈ {1, 2, ..., d}`` special self-loops on *one* graph — Theorem
+  3.3 predicts the time to reach the bound is non-increasing in ``s``
+  (the ``d/s`` factor), cleanly isolated because the graph (hence μ)
+  never changes.
+* **SEND([x/d+]) at several d+**: the paper's Observation 3.2 cases
+  ``d+ > 2d`` and ``d+ >= 3d``.
+
+We record both the formal target ``(2δ+1)d+ + 4d°`` and a stricter
+``2·d+`` target, plus (E12) that the φ/φ′ potentials never increase
+along the run (Lemmas 3.5/3.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.rotor_router_star import RotorRouterStar
+from repro.algorithms.send_rounded import (
+    SendRounded,
+    effective_self_preference,
+)
+from repro.analysis.convergence import measure_time_to_target
+from repro.analysis.theory import good_balancer_bound
+from repro.core.engine import Simulator
+from repro.core.loads import point_mass
+from repro.core.potentials import PotentialMonitor
+from repro.experiments.base import ExperimentResult, timed
+from repro.graphs import families
+from repro.graphs.spectral import eigenvalue_gap
+
+
+@dataclass
+class Theorem33Config:
+    n: int = 128
+    degree: int = 6
+    seed: int = 11
+    tokens_per_node: int = 64
+    s_values: tuple[int, ...] = (1, 2, 4, 6)
+    self_loop_factors: tuple[float, ...] = (1.5, 2.0, 3.0)
+    budget_multiplier: float = 40.0
+
+
+def _star_cases(config: Theorem33Config):
+    """Generalized ROTOR-ROUTER* cases on one fixed graph."""
+    graph = families.random_regular(config.n, config.degree, config.seed)
+    return [
+        (
+            f"rotor_router_star[s={s}]",
+            graph,
+            RotorRouterStar(num_special=s),
+            s,
+        )
+        for s in config.s_values
+        if s <= graph.num_self_loops
+    ]
+
+
+def _send_rounded_cases(config: Theorem33Config):
+    """SEND([x/d+]) cases across self-loop counts (d+ varies)."""
+    cases = []
+    for factor in config.self_loop_factors:
+        loops = max(int(round(factor * config.degree)), config.degree)
+        graph = families.random_regular(
+            config.n, config.degree, config.seed, num_self_loops=loops
+        )
+        s = effective_self_preference(graph.degree, graph.total_degree)
+        cases.append(
+            (
+                f"send_rounded[d°={loops}]",
+                graph,
+                SendRounded(),
+                max(s, 1),
+            )
+        )
+    return cases
+
+
+def run_good_balancers(
+    config: Theorem33Config | None = None,
+) -> ExperimentResult:
+    """E5: time for good s-balancers to reach the Theorem 3.3 bound."""
+    config = config or Theorem33Config()
+    rows: list[dict] = []
+    with timed() as clock:
+        for label, graph, balancer, s in (
+            _star_cases(config) + _send_rounded_cases(config)
+        ):
+            gap = eigenvalue_gap(graph)
+            bound = int(
+                good_balancer_bound(
+                    graph.total_degree, graph.num_self_loops, delta=1
+                )
+            )
+            strict_target = 2 * graph.total_degree
+            initial = point_mass(
+                graph.num_nodes,
+                config.tokens_per_node * graph.num_nodes,
+            )
+            report = measure_time_to_target(
+                graph,
+                balancer,
+                initial,
+                strict_target,
+                max_multiplier=config.budget_multiplier,
+                gap=gap,
+            )
+            rows.append(
+                {
+                    "algorithm": label,
+                    "d_plus": graph.total_degree,
+                    "s": s,
+                    "mu": gap,
+                    "bound(2δ+1)d++4d°": bound,
+                    "target(2d+)": strict_target,
+                    "final_disc": report.final_discrepancy,
+                    "time_to_target": report.time_to_target,
+                    "reached_bound": report.final_discrepancy <= bound,
+                }
+            )
+    notes = [
+        "Theorem 3.3: every row must satisfy reached_bound; within the "
+        "rotor_router_star[s=...] block (fixed graph, fixed mu) "
+        "time_to_target must be non-increasing in s",
+    ]
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Theorem 3.3: good s-balancers reach O(d) discrepancy; "
+        "speed vs s",
+        rows=rows,
+        notes=notes,
+        elapsed_seconds=clock.elapsed,
+    )
+
+
+def run_potential_monotonicity(
+    config: Theorem33Config | None = None,
+    rounds: int = 400,
+) -> ExperimentResult:
+    """E12: Lemmas 3.5/3.7 — potentials never increase along runs."""
+    config = config or Theorem33Config()
+    rows: list[dict] = []
+    with timed() as clock:
+        cases = _star_cases(config)[:2] + _send_rounded_cases(config)[:2]
+        for label, graph, balancer, s in cases:
+            initial = point_mass(
+                graph.num_nodes,
+                config.tokens_per_node * graph.num_nodes,
+            )
+            average = initial.sum() / graph.num_nodes
+            c_center = int(average // graph.total_degree)
+            c_values = sorted(
+                {max(c, 0) for c in (c_center, c_center + 1, c_center + 2)}
+            )
+            monitor = PotentialMonitor(c_values, s)
+            simulator = Simulator(
+                graph, balancer, initial, monitors=(monitor,)
+            )
+            simulator.run(rounds)
+            rows.append(
+                {
+                    "algorithm": label,
+                    "c_values": str(c_values),
+                    "phi_monotone": all(
+                        monitor.phi_is_monotone(c) for c in c_values
+                    ),
+                    "phi_prime_monotone": all(
+                        monitor.phi_prime_is_monotone(c) for c in c_values
+                    ),
+                    "phi_final": monitor.phi_history[c_values[0]][-1],
+                }
+            )
+    return ExperimentResult(
+        experiment_id="E12",
+        title="Lemmas 3.5/3.7: potential monotonicity along good "
+        "s-balancer runs",
+        rows=rows,
+        notes=["every *_monotone column must be 'yes'"],
+        elapsed_seconds=clock.elapsed,
+    )

@@ -1,0 +1,69 @@
+"""Graph substrate: d-regular graphs, balancing graphs, spectral tools."""
+
+from repro.graphs.balancing import BalancingGraph
+from repro.graphs.errors import (
+    GraphConstructionError,
+    GraphError,
+    GraphValidationError,
+)
+from repro.graphs.families import (
+    FAMILY_BUILDERS,
+    build,
+    circulant,
+    circulant_clique,
+    complete,
+    complete_bipartite_regular,
+    cycle,
+    hypercube,
+    petersen,
+    random_regular,
+    ring_of_cliques,
+    torus,
+)
+from repro.graphs.irregular import (
+    PaddedBalancingGraph,
+    from_irregular_edges,
+    from_networkx_irregular,
+)
+from repro.graphs.spectral import (
+    SpectralProfile,
+    continuous_balancing_time,
+    eigenvalue_gap,
+    eigenvalues,
+    error_norm,
+    mixing_time_scale,
+    second_eigenvalue,
+    spectral_profile,
+    stationary_distribution,
+)
+
+__all__ = [
+    "BalancingGraph",
+    "GraphError",
+    "GraphValidationError",
+    "GraphConstructionError",
+    "FAMILY_BUILDERS",
+    "build",
+    "cycle",
+    "complete",
+    "circulant",
+    "circulant_clique",
+    "hypercube",
+    "torus",
+    "random_regular",
+    "petersen",
+    "ring_of_cliques",
+    "complete_bipartite_regular",
+    "SpectralProfile",
+    "spectral_profile",
+    "eigenvalues",
+    "eigenvalue_gap",
+    "second_eigenvalue",
+    "stationary_distribution",
+    "continuous_balancing_time",
+    "mixing_time_scale",
+    "error_norm",
+    "PaddedBalancingGraph",
+    "from_irregular_edges",
+    "from_networkx_irregular",
+]

@@ -1,0 +1,18 @@
+"""Exception types raised by the graph substrate."""
+
+
+class GraphError(Exception):
+    """Base class for all graph-related errors."""
+
+
+class GraphValidationError(GraphError):
+    """Raised when an adjacency structure is not a valid d-regular graph.
+
+    The simulation engine relies on strong structural guarantees
+    (regularity, symmetry, no parallel edges); any violation is reported
+    through this exception with a human-readable reason.
+    """
+
+
+class GraphConstructionError(GraphError):
+    """Raised when a graph family generator receives invalid parameters."""

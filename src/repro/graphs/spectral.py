@@ -1,0 +1,186 @@
+"""Spectral toolkit for the balancing graph's Markov chain.
+
+The continuous reference process is the random walk with transition
+matrix ``P`` on ``G+`` (see :meth:`BalancingGraph.transition_matrix`).
+The paper's bounds are phrased in terms of the **eigenvalue gap**
+``μ = 1 - λ₂`` where ``λ₂`` is the second largest eigenvalue of ``P``,
+and of the continuous balancing time ``T = O(log(Kn)/μ)``.
+
+For regular graphs ``P`` is symmetric, so a dense ``eigh`` suffices at
+the laptop scales we target; a sparse path kicks in for large ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.balancing import BalancingGraph
+
+_DENSE_LIMIT = 3000
+
+
+def eigenvalues(graph: BalancingGraph) -> np.ndarray:
+    """All eigenvalues of ``P`` in descending order."""
+    matrix = graph.transition_matrix()
+    values = np.linalg.eigvalsh(matrix)
+    return values[::-1]
+
+
+def second_eigenvalue(graph: BalancingGraph) -> float:
+    """Second largest eigenvalue ``λ₂`` of ``P``."""
+    n = graph.num_nodes
+    if n == 1:
+        return 0.0
+    if n <= _DENSE_LIMIT:
+        return float(eigenvalues(graph)[1])
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.linalg import eigsh
+
+    sparse = csr_matrix(graph.transition_matrix())
+    top = eigsh(sparse, k=2, which="LA", return_eigenvectors=False)
+    return float(np.sort(top)[0])
+
+
+def eigenvalue_gap(graph: BalancingGraph) -> float:
+    """The paper's ``μ = 1 - λ₂`` (clamped away from 0 numerically)."""
+    gap = 1.0 - second_eigenvalue(graph)
+    return max(gap, 1e-15)
+
+
+def smallest_eigenvalue(graph: BalancingGraph) -> float:
+    """Smallest eigenvalue ``λ_n``; ``>= 0`` whenever ``d° >= d``."""
+    return float(eigenvalues(graph)[-1])
+
+
+def is_positive_chain(graph: BalancingGraph, tolerance: float = 1e-9) -> bool:
+    """True if all eigenvalues of ``P`` are nonnegative.
+
+    Theorem 2.3(ii)'s proof uses ``λ_i ∈ [0, 1]``, which holds whenever
+    every node keeps at least half its transition mass on itself
+    (``d° >= d``).
+    """
+    return smallest_eigenvalue(graph) >= -tolerance
+
+
+def stationary_distribution(graph: BalancingGraph) -> np.ndarray:
+    """Stationary distribution of ``P`` (uniform for regular graphs)."""
+    n = graph.num_nodes
+    return np.full(n, 1.0 / n)
+
+
+def continuous_balancing_time(
+    n: int,
+    initial_discrepancy: int,
+    gap: float,
+    constant: float = 16.0,
+) -> int:
+    """The paper's ``T = O(log(Kn)/μ)`` with its explicit constant 16.
+
+    This is the horizon after which Theorem 2.3 bounds the discrepancy
+    of cumulatively fair balancers; it is also (up to constants) the time
+    for the continuous process to balance almost completely.
+    """
+    k = max(int(initial_discrepancy), 2)
+    return max(1, math.ceil(constant * math.log(n * k) / gap))
+
+
+def mixing_time_scale(n: int, gap: float) -> float:
+    """The recurring quantity ``t_μ = 6 log n / μ`` from the analysis."""
+    return 6.0 * math.log(max(n, 2)) / gap
+
+
+def error_matrix(graph: BalancingGraph, t: int) -> np.ndarray:
+    """``Λ_t = P^t - P∞``, the deviation from stationarity after t steps."""
+    matrix = graph.transition_matrix()
+    power = np.linalg.matrix_power(matrix, t)
+    return power - np.full_like(matrix, 1.0 / graph.num_nodes)
+
+
+def error_norm(graph: BalancingGraph, t: int) -> float:
+    """``max_u Σ_v |Λ_t(u, v)|`` — the infinity-norm of the error matrix."""
+    return float(np.abs(error_matrix(graph, t)).sum(axis=1).max())
+
+
+def probability_current(graph: BalancingGraph, t: int) -> float:
+    """``max_w Σ_v |P^{t+1}(v, w) - P^t(v, w)|``.
+
+    This "probability change" of the reversible walk in successive steps
+    is exactly the quantity summed in inequality (9) of the paper; claims
+    (i)-(iii) of Theorem 2.3 are three different ways of bounding its
+    partial sums.
+    """
+    matrix = graph.transition_matrix()
+    power_t = np.linalg.matrix_power(matrix, t)
+    diff = matrix @ power_t - power_t
+    return float(np.abs(diff).sum(axis=0).max())
+
+
+@dataclass(frozen=True)
+class SpectralProfile:
+    """Cached spectral summary of a balancing graph."""
+
+    n: int
+    degree: int
+    num_self_loops: int
+    gap: float
+    lambda_2: float
+    lambda_min: float
+
+    @property
+    def d_plus(self) -> int:
+        return self.degree + self.num_self_loops
+
+    def balancing_time(self, initial_discrepancy: int) -> int:
+        """T for this graph and a given initial discrepancy K."""
+        return continuous_balancing_time(
+            self.n, initial_discrepancy, self.gap
+        )
+
+
+def spectral_profile(graph: BalancingGraph) -> SpectralProfile:
+    """Compute the :class:`SpectralProfile` of ``graph``."""
+    values = eigenvalues(graph)
+    lambda_2 = float(values[1]) if graph.num_nodes > 1 else 0.0
+    return SpectralProfile(
+        n=graph.num_nodes,
+        degree=graph.degree,
+        num_self_loops=graph.num_self_loops,
+        gap=max(1.0 - lambda_2, 1e-15),
+        lambda_2=lambda_2,
+        lambda_min=float(values[-1]),
+    )
+
+
+def cycle_gap_formula(n: int, num_self_loops: int) -> float:
+    """Closed-form ``μ`` for the cycle with ``d°`` self-loops.
+
+    The cycle's walk matrix is a circulant; its eigenvalues are
+    ``(d° + 2 cos(2πk/n)) / d+``, hence
+    ``μ = 2 (1 - cos(2π/n)) / d+``.  Used to cross-check the numerical
+    spectral code.
+    """
+    d_plus = 2 + num_self_loops
+    return 2.0 * (1.0 - math.cos(2.0 * math.pi / n)) / d_plus
+
+
+def hypercube_gap_formula(dimension: int, num_self_loops: int) -> float:
+    """Closed-form ``μ`` for the hypercube with ``d°`` self-loops.
+
+    Eigenvalues of the walk on ``Q_dim`` with loops are
+    ``(d° + dim - 2k) / d+`` for ``k = 0..dim``, so ``μ = 2/d+``.
+    """
+    d_plus = dimension + num_self_loops
+    return 2.0 / d_plus
+
+
+def complete_gap_formula(n: int, num_self_loops: int) -> float:
+    """Closed-form ``μ`` for ``K_n`` with ``d°`` self-loops.
+
+    Non-principal eigenvalues all equal ``(d° - 1) / d+``, hence
+    ``μ = (d+ - d° + 1) / d+ = n / d+``.
+    """
+    d_plus = (n - 1) + num_self_loops
+    return n / d_plus

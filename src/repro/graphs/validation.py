@@ -1,0 +1,115 @@
+"""Structural validation for d-regular adjacency arrays.
+
+The engine assumes the *original* graph ``G`` is a simple, connected,
+undirected, d-regular graph given as an ``(n, d)`` integer array where
+``adjacency[u]`` lists the neighbors of node ``u``.  These helpers verify
+every assumption and compute the reverse-port map used for vectorized
+flow application.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.errors import GraphValidationError
+
+
+def validate_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Validate an ``(n, d)`` adjacency array for a simple d-regular graph.
+
+    Checks shape, value range, absence of self-edges, absence of parallel
+    edges, and symmetry (``v in adjacency[u]`` iff ``u in adjacency[v]``).
+
+    Returns the validated array as contiguous ``int64``.
+
+    Raises:
+        GraphValidationError: if any structural assumption is violated.
+    """
+    adjacency = np.ascontiguousarray(adjacency, dtype=np.int64)
+    if adjacency.ndim != 2:
+        raise GraphValidationError(
+            f"adjacency must be 2-dimensional, got shape {adjacency.shape}"
+        )
+    n, d = adjacency.shape
+    if n == 0:
+        raise GraphValidationError("graph must have at least one node")
+    if d == 0:
+        raise GraphValidationError("graph must have degree at least 1")
+    if adjacency.min() < 0 or adjacency.max() >= n:
+        raise GraphValidationError(
+            f"neighbor indices must lie in [0, {n - 1}]"
+        )
+    rows = np.arange(n)[:, None]
+    if np.any(adjacency == rows):
+        bad = int(np.nonzero(np.any(adjacency == rows, axis=1))[0][0])
+        raise GraphValidationError(
+            f"node {bad} lists itself as a neighbor; self-loops are added "
+            "via BalancingGraph(num_self_loops=...), not the adjacency"
+        )
+    sorted_rows = np.sort(adjacency, axis=1)
+    duplicate_mask = sorted_rows[:, 1:] == sorted_rows[:, :-1]
+    if np.any(duplicate_mask):
+        bad = int(np.nonzero(np.any(duplicate_mask, axis=1))[0][0])
+        raise GraphValidationError(
+            f"node {bad} has parallel edges (duplicate neighbor entries)"
+        )
+    _check_symmetry(adjacency)
+    return adjacency
+
+
+def _check_symmetry(adjacency: np.ndarray) -> None:
+    """Verify that the neighbor relation is symmetric."""
+    n, d = adjacency.shape
+    neighbor_sets = [set(map(int, adjacency[u])) for u in range(n)]
+    for u in range(n):
+        for v in adjacency[u]:
+            if u not in neighbor_sets[int(v)]:
+                raise GraphValidationError(
+                    f"edge ({u}, {int(v)}) is not symmetric: "
+                    f"{int(v)} does not list {u} as a neighbor"
+                )
+
+
+def reverse_port_map(adjacency: np.ndarray) -> np.ndarray:
+    """Compute the reverse-port map of a validated adjacency array.
+
+    ``reverse[u, p] = q`` such that ``adjacency[adjacency[u, p], q] == u``.
+    In words: if node ``u`` reaches ``v`` through its port ``p``, then ``v``
+    reaches ``u`` back through its port ``q``.  The simulation engine uses
+    this to gather incoming flow with a single fancy-indexing expression.
+    """
+    n, d = adjacency.shape
+    port_of = [
+        {int(v): p for p, v in enumerate(adjacency[u])} for u in range(n)
+    ]
+    reverse = np.empty((n, d), dtype=np.int64)
+    for u in range(n):
+        for p in range(d):
+            v = int(adjacency[u, p])
+            reverse[u, p] = port_of[v][u]
+    return reverse
+
+
+def is_connected(adjacency: np.ndarray) -> bool:
+    """Return True if the graph described by ``adjacency`` is connected."""
+    n = adjacency.shape[0]
+    seen = np.zeros(n, dtype=bool)
+    stack = [0]
+    seen[0] = True
+    while stack:
+        u = stack.pop()
+        for v in adjacency[u]:
+            v = int(v)
+            if not seen[v]:
+                seen[v] = True
+                stack.append(v)
+    return bool(seen.all())
+
+
+def require_connected(adjacency: np.ndarray) -> None:
+    """Raise :class:`GraphValidationError` if the graph is disconnected."""
+    if not is_connected(adjacency):
+        raise GraphValidationError(
+            "graph is disconnected; load balancing cannot equalize loads "
+            "across components"
+        )

@@ -1,0 +1,35 @@
+"""Lower-bound constructions from Section 4 of the paper."""
+
+from repro.lower_bounds.fixed_flow import FixedFlowBalancer
+from repro.lower_bounds.rotor_alternating import (
+    RotorAlternatingInstance,
+    build_rotor_alternating_instance,
+    verify_period_two,
+)
+from repro.lower_bounds.stateless_clique import (
+    StatelessInstance,
+    build_stateless_instance,
+    clique_is_complete,
+    is_fixed_point,
+)
+from repro.lower_bounds.steady_state import (
+    SteadyStateInstance,
+    build_steady_state_instance,
+    exchange_fairness_error,
+    per_node_flow_spread,
+)
+
+__all__ = [
+    "FixedFlowBalancer",
+    "SteadyStateInstance",
+    "build_steady_state_instance",
+    "per_node_flow_spread",
+    "exchange_fairness_error",
+    "StatelessInstance",
+    "build_stateless_instance",
+    "clique_is_complete",
+    "is_fixed_point",
+    "RotorAlternatingInstance",
+    "build_rotor_alternating_instance",
+    "verify_period_two",
+]

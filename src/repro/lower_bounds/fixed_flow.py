@@ -1,0 +1,66 @@
+"""Load-oblivious fixed-flow balancer shared by the lower-bound builders.
+
+Theorem 4.1's adversarial scheme repeats the same per-edge flow every
+round; Theorem 4.3's rotor construction alternates between two flow
+matrices.  :class:`FixedFlowBalancer` implements both patterns: it
+cycles through a fixed list of sends matrices, ignoring the loads.
+
+Such a balancer is a legitimate member of [17]'s round-fair class *on
+the specific trajectory it is built for* (the construction guarantees
+that the scheduled flows are consistent with the actual loads); the
+engine's overdraw guard still verifies that it never spends tokens a
+node does not have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.balancer import AlgorithmProperties, Balancer
+from repro.core.errors import BindingError
+
+
+class FixedFlowBalancer(Balancer):
+    """Cycles through a fixed schedule of sends matrices.
+
+    Args:
+        schedule: list of ``(n, d+)`` integer arrays; round ``t`` uses
+            entry ``(t - 1) mod len(schedule)``.
+    """
+
+    name = "fixed_flow"
+    properties = AlgorithmProperties(
+        deterministic=True,
+        stateless=False,  # flows are scheduled, not a function of load
+        negative_load_safe=True,
+        communication_free=True,
+    )
+
+    def __init__(self, schedule: list[np.ndarray]) -> None:
+        super().__init__()
+        if not schedule:
+            raise ValueError("schedule must contain at least one matrix")
+        self._schedule = [
+            np.ascontiguousarray(matrix, dtype=np.int64)
+            for matrix in schedule
+        ]
+
+    def _validate_graph(self, graph) -> None:
+        expected = (graph.num_nodes, graph.total_degree)
+        for index, matrix in enumerate(self._schedule):
+            if matrix.shape != expected:
+                raise BindingError(
+                    f"schedule[{index}] has shape {matrix.shape}, "
+                    f"expected {expected}"
+                )
+            if matrix.min() < 0:
+                raise BindingError(
+                    f"schedule[{index}] contains negative flows"
+                )
+
+    def sends(self, loads: np.ndarray, t: int) -> np.ndarray:
+        return self._schedule[(t - 1) % len(self._schedule)]
+
+    @property
+    def period(self) -> int:
+        return len(self._schedule)

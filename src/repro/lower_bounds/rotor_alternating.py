@@ -1,0 +1,198 @@
+"""Theorem 4.3: ROTOR-ROUTER without self-loops stuck at Ω(d · φ(G)).
+
+Construction (Appendix C.3), for a non-bipartite d-regular graph ``G``
+with ``d° = 0`` and odd girth ``2φ + 1``:
+
+* pick ``u`` on a shortest odd cycle and label ``b(v) = dist(v, u)``;
+* put on every directed edge ``(v1, v2)`` the *alternating* flow
+
+    - ``L`` if ``b(v1) = b(v2)`` (possible only with both >= φ),
+    - ``L + Δ`` if ``b(v1)`` is even, ``L - Δ`` if odd,
+      where ``Δ = max(φ - min(b(v1), b(v2)), 0)``;
+
+* odd rounds use the reversed flows, so
+  ``f_t(v1,v2) + f_t(v2,v1) = 2L`` and the system alternates between
+  exactly two global states (period 2).
+
+Within one node the scheduled flows take at most two consecutive values
+``{a, a+1}``, so an actual rotor-router realizes them: order each
+node's ports with the high-flow ports (the paper's set ``P1``) first
+and start the rotor at 0.  Node ``u`` then alternates between loads
+``(L+φ)·d`` and ``(L−φ)·d`` while the average stays ``L·d``: the
+discrepancy can never drop below ``c·d·φ(G)``.
+
+For an odd cycle (``d = 2``, ``φ = (n-1)/2``) this gives the Ω(n) bound
+quoted in Section 1.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.rotor_router import RotorRouter
+from repro.graphs.balancing import BalancingGraph
+from repro.graphs.errors import GraphConstructionError
+
+
+@dataclass
+class RotorAlternatingInstance:
+    """Theorem 4.3 instance with the fully configured rotor-router."""
+
+    graph: BalancingGraph
+    balancer: RotorRouter
+    initial_loads: np.ndarray
+    root: int
+    phi: int
+    base_load: int
+    even_flows: np.ndarray
+    odd_flows: np.ndarray
+
+    @property
+    def predicted_discrepancy(self) -> int:
+        """The provable floor: root swings ``d·φ`` around the mean."""
+        return self.graph.degree * self.phi
+
+
+def _root_on_shortest_odd_cycle(graph: BalancingGraph) -> tuple[int, int]:
+    """A vertex on a shortest odd cycle and the odd girth.
+
+    In a BFS from ``s``, an edge joining two equal-depth nodes closes an
+    odd closed walk of length ``2·depth + 1`` through ``s``; if that
+    length equals the odd girth the walk is a shortest odd cycle and
+    ``s`` lies on it.
+    """
+    best_root = -1
+    best_length: int | None = None
+    for source in range(graph.num_nodes):
+        dist = graph.distances_from(source)
+        for node in range(graph.num_nodes):
+            for neighbor in graph.neighbors(node):
+                if node < neighbor and dist[node] == dist[neighbor]:
+                    length = 2 * int(dist[node]) + 1
+                    if best_length is None or length < best_length:
+                        best_length = length
+                        best_root = source
+    if best_length is None:
+        raise GraphConstructionError(
+            "graph is bipartite: Theorem 4.3 requires an odd cycle"
+        )
+    return best_root, best_length
+
+
+def _scheduled_flows(
+    graph: BalancingGraph,
+    labels: np.ndarray,
+    phi: int,
+    base_load: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Even-round and odd-round per-port flow matrices."""
+    n = graph.num_nodes
+    degree = graph.degree
+    even = np.zeros((n, graph.total_degree), dtype=np.int64)
+    odd = np.zeros((n, graph.total_degree), dtype=np.int64)
+    for node in range(n):
+        for port, neighbor in enumerate(graph.neighbors(node)):
+            b1 = int(labels[node])
+            b2 = int(labels[neighbor])
+            if b1 == b2:
+                even[node, port] = base_load
+                odd[node, port] = base_load
+                continue
+            delta = max(phi - min(b1, b2), 0)
+            if b1 % 2 == 0:
+                even[node, port] = base_load + delta
+                odd[node, port] = base_load - delta
+            else:
+                even[node, port] = base_load - delta
+                odd[node, port] = base_load + delta
+    return even, odd
+
+
+def build_rotor_alternating_instance(
+    graph: BalancingGraph,
+    base_load: int | None = None,
+) -> RotorAlternatingInstance:
+    """Build the Theorem 4.3 instance on a non-bipartite graph.
+
+    Args:
+        graph: d-regular, non-bipartite, with ``num_self_loops == 0``
+            (the theorem's ``G+ = G`` setting).
+        base_load: the construction's ``L``; defaults to the smallest
+            value keeping all flows nonnegative (``φ``).
+    """
+    if graph.num_self_loops != 0:
+        raise GraphConstructionError(
+            "Theorem 4.3 concerns the rotor-router WITHOUT self-loops; "
+            "build the graph with num_self_loops=0"
+        )
+    root, odd_girth = _root_on_shortest_odd_cycle(graph)
+    phi = (odd_girth - 1) // 2
+    if base_load is None:
+        base_load = phi
+    if base_load < phi:
+        raise GraphConstructionError(
+            f"base_load must be at least φ = {phi} to keep flows "
+            "nonnegative"
+        )
+    labels = graph.distances_from(root)
+    even, odd = _scheduled_flows(graph, labels, phi, base_load)
+    initial_loads = even.sum(axis=1)
+
+    # Port order: the ports whose even-round flow is the larger value
+    # (the paper's P1) first, then the rest; rotor starts at 0 so the
+    # extra tokens of even rounds cover exactly P1, after which the
+    # rotor sits at the first P2 port for the odd round.
+    degree = graph.degree
+    orders = np.empty((graph.num_nodes, degree), dtype=np.int64)
+    for node in range(graph.num_nodes):
+        flows = even[node, :degree]
+        high = flows.max()
+        first = [p for p in range(degree) if flows[p] == high]
+        rest = [p for p in range(degree) if flows[p] != high]
+        orders[node] = first + rest
+    balancer = RotorRouter(
+        port_orders=orders,
+        initial_rotors=np.zeros(graph.num_nodes, dtype=np.int64),
+    )
+    balancer.name = "rotor_router[thm4.3]"
+    return RotorAlternatingInstance(
+        graph=graph,
+        balancer=balancer,
+        initial_loads=initial_loads,
+        root=root,
+        phi=phi,
+        base_load=base_load,
+        even_flows=even,
+        odd_flows=odd,
+    )
+
+
+def verify_period_two(
+    instance: RotorAlternatingInstance,
+    cycles: int = 4,
+) -> bool:
+    """Run the actual rotor-router; verify the state alternates.
+
+    Executes ``2 * cycles`` rounds and checks that every even-round
+    vector equals the initial one and every odd-round vector equals the
+    scheduled odd state.
+    """
+    from repro.core.engine import Simulator
+
+    simulator = Simulator(
+        instance.graph,
+        instance.balancer,
+        instance.initial_loads,
+        record_history=False,
+    )
+    odd_state = instance.odd_flows.sum(axis=1)
+    for cycle in range(cycles):
+        after_odd = simulator.step()
+        if not np.array_equal(after_odd, odd_state):
+            return False
+        after_even = simulator.step()
+        if not np.array_equal(after_even, instance.initial_loads):
+            return False
+    return True

@@ -1,0 +1,106 @@
+"""Theorem 4.2: stateless algorithms cannot beat Ω(d) discrepancy.
+
+Construction (Appendix C.2): take the circulant graph whose offsets are
+``1..⌊d/2⌋`` (plus the antipodal offset for odd ``d``), so that
+``C = {0, ..., ⌊d/2⌋ - 1}`` forms a ⌊d/2⌋-clique.  Give every node of
+``C`` load ``ℓ = |C| - 1`` and everyone else load 0.
+
+A deterministic stateless algorithm reacts to load ``ℓ`` with some
+fixed send pattern of at most ``ℓ`` positive values; the adversary
+aligns those values with clique-internal edges, so each clique node
+ships its tokens to its clique peers and receives exactly ``ℓ`` back —
+a fixed point with discrepancy ``ℓ = Θ(d)`` forever.
+
+Our concrete stateless algorithms realize the adversary *without* any
+rewiring: with ``ℓ < d+`` the floor share is 0, so
+
+* SEND(⌊x/d+⌋) and SEND([x/d+]) send nothing at all — the trivial
+  fixed point;
+* arbitrary rounding with the fixed-priority policy sends its ``ℓ``
+  extra tokens to its ``ℓ`` lowest-numbered neighbors, which for clique
+  nodes are exactly the other clique members (sorted adjacency) — the
+  paper's circulating fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.balancer import Balancer
+from repro.graphs.balancing import BalancingGraph
+from repro.graphs.families import circulant_clique
+
+
+@dataclass
+class StatelessInstance:
+    """Theorem 4.2 instance: graph, adversarial loads, and predictions."""
+
+    graph: BalancingGraph
+    initial_loads: np.ndarray
+    clique: tuple[int, ...]
+
+    @property
+    def clique_load(self) -> int:
+        """``ℓ = |C| - 1``."""
+        return len(self.clique) - 1
+
+    @property
+    def predicted_discrepancy(self) -> int:
+        """The stuck discrepancy ``ℓ = ⌊d/2⌋ - 1 = Θ(d)``."""
+        return self.clique_load
+
+
+def build_stateless_instance(
+    n: int,
+    degree: int,
+    num_self_loops: int | None = None,
+) -> StatelessInstance:
+    """Build the Theorem 4.2 instance on ``n`` nodes of given degree."""
+    graph = circulant_clique(n, degree, num_self_loops)
+    clique = tuple(range(degree // 2))
+    loads = np.zeros(n, dtype=np.int64)
+    loads[list(clique)] = len(clique) - 1
+    return StatelessInstance(
+        graph=graph,
+        initial_loads=loads,
+        clique=clique,
+    )
+
+
+def clique_is_complete(instance: StatelessInstance) -> bool:
+    """Sanity check: the designated nodes really form a clique."""
+    graph = instance.graph
+    members = set(instance.clique)
+    for u in instance.clique:
+        neighbors = set(graph.neighbors(u))
+        if not (members - {u}) <= neighbors:
+            return False
+    return True
+
+
+def is_fixed_point(
+    instance: StatelessInstance,
+    balancer: Balancer,
+    rounds: int = 8,
+) -> bool:
+    """True if ``balancer`` leaves the adversarial loads unchanged.
+
+    Runs a few rounds and compares the load vector each time; a single
+    change disproves the fixed point.
+    """
+    from repro.core.engine import Simulator
+
+    simulator = Simulator(
+        instance.graph,
+        balancer,
+        instance.initial_loads,
+        record_history=False,
+    )
+    reference = instance.initial_loads
+    for _ in range(rounds):
+        loads = simulator.step()
+        if not np.array_equal(loads, reference):
+            return False
+    return True

@@ -1,0 +1,105 @@
+"""Theorem 4.1: a round-fair balancer stuck at Ω(d · diam) discrepancy.
+
+Construction (Appendix C.1): pick a pair ``(u, w)`` realizing the
+diameter and label every node ``v`` with its BFS distance
+``b(v) = dist(v, u)``.  Put the constant flow
+
+    ``f(v1, v2) = min(b(v1), b(v2))``
+
+on every directed edge, every round.  Because ``b`` changes by at most
+1 along an edge, flows out of one node differ by at most 1 (round-fair
+in the exchange sense of [17]); because ``f(v1,v2) = f(v2,v1)``, every
+node's load is invariant.  The loads ``x(v) = Σ_e f(e)`` then differ by
+``Θ(d · diam)`` between ``u`` and ``w`` — forever.
+
+The point of the theorem: this scheme is **not cumulatively fair** for
+any constant δ (flow imbalances between a node's edges accumulate
+linearly in t), which is why Theorem 2.3's hypotheses cannot be
+dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.balancing import BalancingGraph
+from repro.lower_bounds.fixed_flow import FixedFlowBalancer
+
+
+@dataclass
+class SteadyStateInstance:
+    """Theorem 4.1 instance: graph, balancer, loads, and predictions."""
+
+    graph: BalancingGraph
+    balancer: FixedFlowBalancer
+    initial_loads: np.ndarray
+    source: int
+    sink: int
+    diameter: int
+
+    @property
+    def predicted_discrepancy(self) -> int:
+        """The provable floor ``d · (diam - 1)``."""
+        return self.graph.degree * max(self.diameter - 1, 0)
+
+    @property
+    def actual_discrepancy(self) -> int:
+        return int(self.initial_loads.max() - self.initial_loads.min())
+
+
+def build_steady_state_instance(
+    graph: BalancingGraph,
+) -> SteadyStateInstance:
+    """Build the Theorem 4.1 instance on ``graph`` (self-loops unused).
+
+    Works on any connected d-regular graph; the flows live on original
+    edges only, so the graph's ``d°`` is irrelevant (the paper's
+    construction has no self-loops).
+    """
+    source, sink = graph.eccentric_pair()
+    labels = graph.distances_from(source)
+    n = graph.num_nodes
+    d_plus = graph.total_degree
+    flows = np.zeros((n, d_plus), dtype=np.int64)
+    for node in range(n):
+        for port, neighbor in enumerate(graph.neighbors(node)):
+            flows[node, port] = min(
+                int(labels[node]), int(labels[neighbor])
+            )
+    initial_loads = flows.sum(axis=1)
+    balancer = FixedFlowBalancer([flows])
+    balancer.name = "steady_state_round_fair"
+    return SteadyStateInstance(
+        graph=graph,
+        balancer=balancer,
+        initial_loads=initial_loads,
+        source=source,
+        sink=int(sink),
+        diameter=int(labels.max()),
+    )
+
+
+def per_node_flow_spread(instance: SteadyStateInstance) -> int:
+    """``max_u max_{e1,e2} |f(e1) - f(e2)|`` — must be <= 1 (round fair)."""
+    degree = instance.graph.degree
+    flows = instance.balancer._schedule[0][:, :degree]
+    return int((flows.max(axis=1) - flows.min(axis=1)).max())
+
+
+def exchange_fairness_error(instance: SteadyStateInstance) -> float:
+    """Deviation from [17]'s continuous pairwise exchange, per edge.
+
+    The continuous process exchanges ``(x(u) - x(v)) / (d + 1)`` net
+    load over edge ``(u, v)``; the construction's net exchange is 0.
+    Returns ``max_(u,v) |x(u) - x(v)| / (d + 1)`` — round-fairness in the
+    exchange sense requires this to be < 1.
+    """
+    graph = instance.graph
+    loads = instance.initial_loads
+    worst = 0
+    for node in range(graph.num_nodes):
+        for neighbor in graph.neighbors(node):
+            worst = max(worst, abs(int(loads[node]) - int(loads[neighbor])))
+    return worst / (graph.degree + 1)

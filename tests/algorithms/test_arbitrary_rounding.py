@@ -1,0 +1,96 @@
+"""Unit tests for the [17] round-fair class with pluggable policies."""
+
+import numpy as np
+
+from repro.algorithms import (
+    ArbitraryRoundingDiffusion,
+    FixedPriorityPolicy,
+    RandomPolicy,
+)
+from repro.core.engine import Simulator
+from repro.core.loads import point_mass
+
+from tests.helpers import run_monitored, spread_loads
+
+
+class TestFixedPriority:
+    def test_extras_to_lowest_ports(self, expander24):
+        balancer = ArbitraryRoundingDiffusion(FixedPriorityPolicy())
+        balancer.bind(expander24)
+        d_plus = expander24.total_degree
+        loads = np.full(24, d_plus + 3, dtype=np.int64)
+        sends = balancer.sends(loads, 1)
+        assert (sends[:, :3] == 2).all()
+        assert (sends[:, 3:] == 1).all()
+
+    def test_round_fair(self, expander24):
+        balancer = ArbitraryRoundingDiffusion(FixedPriorityPolicy())
+        balancer.bind(expander24)
+        loads = spread_loads(24, seed=41)
+        sends = balancer.sends(loads, 1)
+        d_plus = expander24.total_degree
+        floor = (loads // d_plus)[:, None]
+        assert (sends >= floor).all()
+        assert (sends <= floor + 1).all()
+
+    def test_is_deterministic_flagged(self):
+        balancer = ArbitraryRoundingDiffusion(FixedPriorityPolicy())
+        assert balancer.properties.deterministic
+
+    def test_not_cumulatively_fair(self, expander24):
+        """The fixed-priority member violates Def. 2.1 for any constant."""
+        result, verdict, _, _ = run_monitored(
+            expander24,
+            ArbitraryRoundingDiffusion(FixedPriorityPolicy()),
+            point_mass(24, 24 * 64),
+            rounds=120,
+        )
+        assert verdict.round_fair  # member of [17]'s class...
+        assert verdict.observed_delta > 3  # ...but cumulatively unfair
+
+
+class TestRandomPolicy:
+    def test_mask_has_exact_counts(self, expander24):
+        policy = RandomPolicy(seed=5)
+        extras = np.arange(24) % expander24.total_degree
+        mask = policy.extra_mask(
+            np.zeros(24, dtype=np.int64),
+            extras,
+            expander24.total_degree,
+            1,
+        )
+        np.testing.assert_array_equal(mask.sum(axis=1), extras)
+
+    def test_reproducible_after_reset(self, expander24):
+        balancer = ArbitraryRoundingDiffusion(RandomPolicy(seed=9))
+        balancer.bind(expander24)
+        loads = spread_loads(24, seed=42)
+        first = balancer.sends(loads, 1)
+        balancer.reset()
+        second = balancer.sends(loads, 1)
+        np.testing.assert_array_equal(first, second)
+
+    def test_flagged_nondeterministic(self):
+        balancer = ArbitraryRoundingDiffusion(RandomPolicy(seed=1))
+        assert not balancer.properties.deterministic
+
+    def test_round_fair(self, expander24):
+        balancer = ArbitraryRoundingDiffusion(RandomPolicy(seed=3))
+        balancer.bind(expander24)
+        loads = spread_loads(24, seed=43)
+        sends = balancer.sends(loads, 1)
+        d_plus = expander24.total_degree
+        floor = (loads // d_plus)[:, None]
+        assert (sends >= floor).all()
+        assert (sends <= floor + 1).all()
+
+
+class TestConvergence:
+    def test_balances_eventually(self, expander24):
+        simulator = Simulator(
+            expander24,
+            ArbitraryRoundingDiffusion(FixedPriorityPolicy()),
+            point_mass(24, 24 * 64),
+        )
+        result = simulator.run(400)
+        assert result.final_discrepancy < result.initial_discrepancy / 10

@@ -1,0 +1,83 @@
+"""Unit tests for the continuous diffusion reference process."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.continuous import (
+    ContinuousDiffusion,
+    continuous_discrepancy,
+)
+from repro.graphs import families
+
+
+class TestStep:
+    def test_matches_matrix_power(self):
+        graph = families.cycle(8)
+        process = ContinuousDiffusion(graph)
+        x = np.zeros(8)
+        x[0] = 80.0
+        for _ in range(5):
+            x = process.step(x)
+        expected = np.linalg.matrix_power(
+            graph.transition_matrix(), 5
+        ) @ np.eye(8)[0] * 80.0
+        np.testing.assert_allclose(x, expected, atol=1e-10)
+
+    def test_conserves_mass(self):
+        graph = families.petersen()
+        process = ContinuousDiffusion(graph)
+        x = np.arange(10, dtype=float)
+        for _ in range(20):
+            x = process.step(x)
+        assert x.sum() == pytest.approx(45.0)
+
+    def test_port_flows_shape_and_value(self):
+        graph = families.cycle(4)
+        process = ContinuousDiffusion(graph)
+        flows = process.port_flows(np.array([8.0, 0, 0, 0]))
+        assert flows.shape == (4, 4)
+        assert flows[0, 0] == pytest.approx(2.0)
+
+
+class TestConvergence:
+    def test_discrepancy_monotone_for_lazy_chain(self):
+        # With d° >= d the chain is positive: max is non-increasing.
+        graph = families.random_regular(16, 4, seed=2)
+        process = ContinuousDiffusion(graph)
+        result = process.run(np.eye(16)[0] * 160, rounds=50)
+        history = result.discrepancy_history
+        assert all(b <= a + 1e-9 for a, b in zip(history, history[1:]))
+
+    def test_converges_to_average(self):
+        graph = families.complete(6)
+        process = ContinuousDiffusion(graph)
+        result = process.run(np.array([6.0, 0, 0, 0, 0, 0]), rounds=60)
+        np.testing.assert_allclose(result.final_loads, 1.0, atol=1e-6)
+
+    def test_run_until_discrepancy(self):
+        graph = families.random_regular(16, 4, seed=4)
+        process = ContinuousDiffusion(graph)
+        result = process.run_until_discrepancy(
+            np.eye(16)[0] * 1600, target=1.0, max_rounds=10_000
+        )
+        assert result.final_discrepancy <= 1.0
+        assert result.rounds_executed < 10_000
+
+    def test_balancing_time_scales_with_gap(self):
+        fast = families.complete(16)
+        slow = families.cycle(16)
+        x = np.eye(16)[0] * 160
+        t_fast = ContinuousDiffusion(fast).balancing_time(x)
+        t_slow = ContinuousDiffusion(slow).balancing_time(x)
+        assert t_slow > t_fast
+
+    def test_history_disabled(self):
+        graph = families.cycle(5)
+        result = ContinuousDiffusion(graph).run(
+            np.ones(5), rounds=3, record_history=False
+        )
+        assert result.discrepancy_history == []
+
+
+def test_continuous_discrepancy_helper():
+    assert continuous_discrepancy(np.array([1.5, 4.0])) == pytest.approx(2.5)

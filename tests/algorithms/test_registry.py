@@ -1,0 +1,58 @@
+"""Unit tests for the algorithm registry."""
+
+import pytest
+
+from repro.algorithms.registry import (
+    BASELINE_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    REGISTRY,
+    all_names,
+    make,
+)
+from repro.core.balancer import Balancer
+
+
+class TestRegistry:
+    def test_every_name_constructs_a_balancer(self):
+        for name in REGISTRY:
+            balancer = make(name, seed=1)
+            assert isinstance(balancer, Balancer)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown balancer"):
+            make("gradient_descent")
+
+    def test_all_names_cover_registry(self):
+        assert set(all_names()) == set(REGISTRY)
+
+    def test_paper_and_baselines_disjoint(self):
+        assert not set(PAPER_ALGORITHMS) & set(BASELINE_ALGORITHMS)
+
+    def test_seeds_ignored_by_deterministic(self, expander24):
+        import numpy as np
+
+        from repro.core.loads import point_mass
+
+        a = make("rotor_router", seed=1).bind(expander24)
+        b = make("rotor_router", seed=99).bind(expander24)
+        loads = point_mass(24, 777)
+        np.testing.assert_array_equal(
+            a.sends(loads, 1), b.sends(loads, 1)
+        )
+
+    def test_seed_changes_randomized(self, expander24):
+        import numpy as np
+
+        from repro.core.loads import point_mass
+
+        a = make("randomized_edge_rounding", seed=1).bind(expander24)
+        b = make("randomized_edge_rounding", seed=2).bind(expander24)
+        # 1003 mod d+ != 0, so the per-edge coins actually matter.
+        loads = point_mass(24, 1003, node=3)
+        assert not np.array_equal(a.sends(loads, 1), b.sends(loads, 1))
+
+    def test_table1_rows_reference_known_names(self):
+        from repro.analysis.theory import TABLE1_ROWS
+
+        for row in TABLE1_ROWS:
+            assert row.algorithm in REGISTRY

@@ -1,0 +1,135 @@
+"""Unit tests for the ROTOR-ROUTER balancer."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import RotorRouter, interleaved_port_order
+from repro.core.engine import Simulator
+from repro.core.errors import BindingError
+from repro.core.loads import point_mass
+from repro.graphs import families
+
+from tests.helpers import run_monitored, spread_loads
+
+
+class TestPortOrder:
+    def test_interleaves(self):
+        order = interleaved_port_order(2, 2)
+        assert list(order) == [0, 2, 1, 3]
+
+    def test_extra_loops_trail(self):
+        order = interleaved_port_order(1, 3)
+        assert list(order) == [0, 1, 2, 3]
+
+    def test_no_loops(self):
+        assert list(interleaved_port_order(3, 0)) == [0, 1, 2]
+
+
+class TestMechanics:
+    def test_divisible_load_sends_equal(self, expander24):
+        balancer = RotorRouter().bind(expander24)
+        d_plus = expander24.total_degree
+        loads = np.full(24, 2 * d_plus, dtype=np.int64)
+        sends = balancer.sends(loads, 1)
+        assert (sends == 2).all()
+        assert (balancer.rotors == 0).all()  # no extras, rotor fixed
+
+    def test_extras_go_to_consecutive_ports(self):
+        graph = families.cycle(4, num_self_loops=2)  # d+ = 4
+        balancer = RotorRouter().bind(graph)
+        loads = np.array([6, 0, 0, 0], dtype=np.int64)
+        sends = balancer.sends(loads, 1)
+        # rotor order interleaves [0, 2, 1, 3]; q=1, e=2 extras at
+        # cyclic positions 0,1 -> ports 0 and 2.
+        assert list(sends[0]) == [2, 1, 2, 1]
+        assert balancer.rotors[0] == 2
+
+    def test_rotor_advances_by_load_mod_dplus(self, expander24):
+        balancer = RotorRouter().bind(expander24)
+        d_plus = expander24.total_degree
+        loads = spread_loads(24, seed=21)
+        balancer.sends(loads, 1)
+        np.testing.assert_array_equal(
+            balancer.rotors, loads % d_plus
+        )
+
+    def test_round_fair_every_round(self, expander24):
+        balancer = RotorRouter().bind(expander24)
+        loads = spread_loads(24, seed=22)
+        d_plus = expander24.total_degree
+        sends = balancer.sends(loads, 1)
+        floor = (loads // d_plus)[:, None]
+        assert (sends >= floor).all()
+        assert (sends <= floor + 1).all()
+
+    def test_sends_everything(self, expander24):
+        balancer = RotorRouter().bind(expander24)
+        loads = spread_loads(24, seed=23)
+        sends = balancer.sends(loads, 1)
+        np.testing.assert_array_equal(sends.sum(axis=1), loads)
+
+    def test_reset_restores_rotors(self, expander24):
+        balancer = RotorRouter().bind(expander24)
+        balancer.sends(spread_loads(24, seed=24), 1)
+        balancer.reset()
+        assert (balancer.rotors == 0).all()
+
+    def test_works_without_self_loops(self):
+        graph = families.cycle(5, num_self_loops=0)
+        balancer = RotorRouter().bind(graph)
+        loads = np.array([5, 0, 0, 0, 0], dtype=np.int64)
+        sends = balancer.sends(loads, 1)
+        assert sends.sum() == 5
+
+
+class TestCustomConfiguration:
+    def test_custom_orders_validated(self):
+        graph = families.cycle(4)
+        bad = np.zeros((4, 4), dtype=np.int64)
+        with pytest.raises(BindingError, match="permutation"):
+            RotorRouter(port_orders=bad).bind(graph)
+
+    def test_custom_orders_shape_checked(self):
+        graph = families.cycle(4)
+        with pytest.raises(BindingError, match="shape"):
+            RotorRouter(
+                port_orders=np.zeros((2, 2), dtype=np.int64)
+            ).bind(graph)
+
+    def test_custom_rotors_range_checked(self):
+        graph = families.cycle(4)
+        with pytest.raises(BindingError, match="lie in"):
+            RotorRouter(
+                initial_rotors=np.array([0, 0, 9, 0])
+            ).bind(graph)
+
+    def test_custom_rotors_used(self):
+        graph = families.cycle(4, num_self_loops=0)
+        balancer = RotorRouter(
+            initial_rotors=np.array([1, 0, 0, 0])
+        ).bind(graph)
+        loads = np.array([1, 0, 0, 0], dtype=np.int64)
+        sends = balancer.sends(loads, 1)
+        assert sends[0, 1] == 1  # extra starts at cyclic position 1
+
+
+class TestClassMembership:
+    def test_cumulatively_one_fair(self, expander24):
+        """Observation 2.2: ROTOR-ROUTER is cumulatively 1-fair."""
+        result, verdict, _, _ = run_monitored(
+            expander24, RotorRouter(), point_mass(24, 24 * 64), rounds=80
+        )
+        assert verdict.at_least_floor
+        assert verdict.round_fair
+        assert verdict.observed_delta <= 1
+
+    def test_balances_on_torus(self, torus9):
+        simulator = Simulator(torus9, RotorRouter(), point_mass(9, 900))
+        result = simulator.run(300)
+        assert result.final_discrepancy <= 2 * torus9.degree
+
+    def test_determinism_across_instances(self, expander24):
+        a = Simulator(expander24, RotorRouter(), point_mass(24, 517))
+        b = Simulator(expander24, RotorRouter(), point_mass(24, 517))
+        for _ in range(20):
+            np.testing.assert_array_equal(a.step(), b.step())

@@ -1,0 +1,104 @@
+"""Unit tests for ROTOR-ROUTER* (including the generalized s variant)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import RotorRouterStar
+from repro.core.engine import Simulator
+from repro.core.errors import BindingError
+from repro.core.loads import point_mass
+from repro.graphs import families
+
+from tests.helpers import run_monitored, spread_loads
+
+
+class TestBinding:
+    def test_requires_self_loop(self):
+        graph = families.cycle(5, num_self_loops=0)
+        with pytest.raises(BindingError, match="needs d"):
+            RotorRouterStar().bind(graph)
+
+    def test_requires_enough_loops_for_s(self):
+        graph = families.cycle(5, num_self_loops=2)
+        with pytest.raises(BindingError, match="special"):
+            RotorRouterStar(num_special=3).bind(graph)
+
+    def test_rejects_zero_special(self):
+        with pytest.raises(ValueError):
+            RotorRouterStar(num_special=0)
+
+
+class TestMechanics:
+    def test_special_port_gets_ceiling(self, expander24):
+        balancer = RotorRouterStar().bind(expander24)
+        loads = spread_loads(24, seed=31)
+        sends = balancer.sends(loads, 1)
+        ceil = -(-loads // expander24.total_degree)
+        excess = loads % expander24.total_degree
+        special = sends[:, balancer.special_ports[0]]
+        # Ceiling whenever the load does not divide evenly.
+        np.testing.assert_array_equal(
+            special, np.where(excess > 0, ceil, loads // expander24.total_degree)
+        )
+
+    def test_round_fair(self, expander24):
+        balancer = RotorRouterStar().bind(expander24)
+        loads = spread_loads(24, seed=32)
+        sends = balancer.sends(loads, 1)
+        d_plus = expander24.total_degree
+        floor = (loads // d_plus)[:, None]
+        ceil = (-(-loads // d_plus))[:, None]
+        assert (sends >= floor).all()
+        assert (sends <= ceil).all()
+
+    def test_no_remainder(self, expander24):
+        balancer = RotorRouterStar().bind(expander24)
+        loads = spread_loads(24, seed=33)
+        sends = balancer.sends(loads, 1)
+        np.testing.assert_array_equal(sends.sum(axis=1), loads)
+
+    def test_generalized_s_gives_min_s_e_ceilings(self):
+        graph = families.random_regular(12, 4, seed=3, num_self_loops=6)
+        balancer = RotorRouterStar(num_special=3).bind(graph)
+        d_plus = graph.total_degree  # 10
+        for x in range(4 * d_plus):
+            loads = np.full(12, x, dtype=np.int64)
+            balancer.reset()
+            sends = balancer.sends(loads, 1)
+            floor, excess = divmod(x, d_plus)
+            specials = sends[0, list(balancer.special_ports)]
+            expected_ceilings = min(3, excess)
+            assert (specials == floor + 1).sum() == expected_ceilings
+            assert sends.sum(axis=1)[0] == x
+            assert sends.min() >= floor
+            assert sends.max() <= floor + (1 if excess else 0)
+
+    def test_name_reflects_s(self):
+        assert RotorRouterStar().name == "rotor_router_star"
+        assert "s=4" in RotorRouterStar(num_special=4).name
+
+
+class TestClassMembership:
+    def test_good_one_balancer_verdict(self, expander24):
+        """Observation 3.2: ROTOR-ROUTER* is a good 1-balancer."""
+        result, verdict, _, _ = run_monitored(
+            expander24,
+            RotorRouterStar(),
+            point_mass(24, 24 * 64),
+            rounds=80,
+            s=1,
+        )
+        assert verdict.round_fair
+        assert verdict.observed_delta <= 1
+        assert verdict.self_preferring
+        assert verdict.is_good_balancer
+
+    def test_reaches_o_d(self, expander24):
+        simulator = Simulator(
+            expander24, RotorRouterStar(), point_mass(24, 24 * 64)
+        )
+        simulator.run(500)
+        bound = (
+            3 * expander24.total_degree + 4 * expander24.num_self_loops
+        )
+        assert simulator.discrepancy_history[-1] <= bound

@@ -1,0 +1,80 @@
+"""Unit tests for SEND(⌊x/d+⌋)."""
+
+import numpy as np
+
+from repro.algorithms import SendFloor
+from repro.core.engine import Simulator
+from repro.core.loads import point_mass
+
+from tests.helpers import run_monitored, spread_loads
+
+
+class TestSends:
+    def test_floor_on_every_original_edge(self, expander24):
+        balancer = SendFloor().bind(expander24)
+        loads = spread_loads(24, seed=1)
+        sends = balancer.sends(loads, 1)
+        d_plus = expander24.total_degree
+        expected = loads // d_plus
+        for port in range(expander24.degree):
+            np.testing.assert_array_equal(sends[:, port], expected)
+
+    def test_self_loops_get_at_least_floor(self, expander24):
+        balancer = SendFloor().bind(expander24)
+        loads = spread_loads(24, seed=2)
+        sends = balancer.sends(loads, 1)
+        floor = (loads // expander24.total_degree)[:, None]
+        assert (sends[:, expander24.degree:] >= floor).all()
+
+    def test_sends_everything_no_remainder(self, expander24):
+        balancer = SendFloor().bind(expander24)
+        loads = spread_loads(24, seed=3)
+        sends = balancer.sends(loads, 1)
+        np.testing.assert_array_equal(sends.sum(axis=1), loads)
+
+    def test_zero_self_loops_keeps_excess(self):
+        from repro.graphs import families
+
+        graph = families.cycle(6, num_self_loops=0)
+        balancer = SendFloor().bind(graph)
+        loads = np.array([5, 0, 0, 0, 0, 0], dtype=np.int64)
+        sends = balancer.sends(loads, 1)
+        assert sends[0].sum() == 4  # 2 per edge, 1 stays as remainder
+
+    def test_stateless_same_input_same_output(self, expander24):
+        balancer = SendFloor().bind(expander24)
+        loads = spread_loads(24, seed=4)
+        first = balancer.sends(loads, 1)
+        second = balancer.sends(loads, 99)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestClassMembership:
+    def test_cumulatively_zero_fair(self, expander24):
+        """Observation 2.2: SEND(⌊x/d+⌋) is cumulatively 0-fair."""
+        result, verdict, _, _ = run_monitored(
+            expander24, SendFloor(), point_mass(24, 24 * 64), rounds=60
+        )
+        assert verdict.at_least_floor
+        assert verdict.is_cumulatively_fair(0)
+
+    def test_never_negative(self, expander24):
+        _, _, _, bounds = run_monitored(
+            expander24, SendFloor(), point_mass(24, 1000), rounds=60
+        )
+        assert bounds.min_ever >= 0
+
+
+class TestConvergence:
+    def test_balances_on_expander(self, expander24):
+        simulator = Simulator(
+            expander24, SendFloor(), point_mass(24, 24 * 64)
+        )
+        result = simulator.run(400)
+        assert result.final_discrepancy <= 3 * expander24.degree
+
+    def test_balanced_is_fixed_point_mod_dplus(self, expander24):
+        loads = np.full(24, expander24.total_degree * 3, dtype=np.int64)
+        simulator = Simulator(expander24, SendFloor(), loads)
+        after = simulator.step()
+        np.testing.assert_array_equal(after, loads)

@@ -1,0 +1,122 @@
+"""Unit tests for SEND([x/d+]) and its self-preference accounting."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SendRounded, effective_self_preference
+from repro.algorithms.send_rounded import nearest_share
+from repro.core.errors import BindingError
+from repro.core.loads import point_mass
+from repro.graphs import families
+
+from tests.helpers import run_monitored, spread_loads
+
+
+class TestNearestShare:
+    def test_rounds_down_below_half(self):
+        assert nearest_share(np.array([5]), 12)[0] == 0
+
+    def test_rounds_up_at_half(self):
+        assert nearest_share(np.array([6]), 12)[0] == 1
+
+    def test_rounds_up_above_half(self):
+        assert nearest_share(np.array([19]), 12)[0] == 2
+
+    def test_exact_multiples(self):
+        assert nearest_share(np.array([24]), 12)[0] == 2
+
+
+class TestEffectiveSelfPreference:
+    def test_zero_at_two_d(self):
+        assert effective_self_preference(4, 8) == 0
+
+    def test_positive_above_two_d(self):
+        assert effective_self_preference(4, 9) == 1
+
+    def test_capped_by_paper_value(self):
+        # d=1, d+=10: paper says 8, token counting gives ceil((9-1)/2)=4.
+        assert effective_self_preference(1, 10) == 4
+
+    def test_omega_d_at_three_d(self):
+        for d in (2, 4, 8):
+            assert effective_self_preference(d, 3 * d) >= d // 2
+
+
+class TestBinding:
+    def test_rejects_too_few_self_loops(self):
+        graph = families.cycle(6, num_self_loops=1)  # d+ = 3 < 2d = 4
+        with pytest.raises(BindingError, match="2d"):
+            SendRounded().bind(graph)
+
+    def test_accepts_exactly_two_d(self):
+        SendRounded().bind(families.cycle(6, num_self_loops=2))
+
+
+class TestSends:
+    def test_originals_get_nearest_share(self, expander24):
+        balancer = SendRounded().bind(expander24)
+        loads = spread_loads(24, seed=11)
+        sends = balancer.sends(loads, 1)
+        share = nearest_share(loads, expander24.total_degree)
+        for port in range(expander24.degree):
+            np.testing.assert_array_equal(sends[:, port], share)
+
+    def test_round_fair(self, expander24):
+        balancer = SendRounded().bind(expander24)
+        loads = spread_loads(24, seed=12)
+        sends = balancer.sends(loads, 1)
+        d_plus = expander24.total_degree
+        floor = (loads // d_plus)[:, None]
+        ceil = (-(-loads // d_plus))[:, None]
+        assert (sends >= floor).all()
+        assert (sends <= ceil).all()
+
+    def test_no_remainder(self, expander24):
+        balancer = SendRounded().bind(expander24)
+        loads = spread_loads(24, seed=13)
+        sends = balancer.sends(loads, 1)
+        np.testing.assert_array_equal(sends.sum(axis=1), loads)
+
+    def test_exhaustive_small_loads(self):
+        """Every load value up to 5·d+ obeys all Def. 3.1 constraints."""
+        graph = families.cycle(3, num_self_loops=5)  # d=2, d+=7
+        balancer = SendRounded().bind(graph)
+        s = balancer.self_preference
+        d_plus = graph.total_degree
+        for x in range(5 * d_plus + 1):
+            loads = np.full(3, x, dtype=np.int64)
+            sends = balancer.sends(loads, 1)
+            assert sends.sum(axis=1)[0] == x
+            floor, excess = divmod(x, d_plus)
+            assert sends.min() >= floor
+            assert sends.max() <= floor + (1 if excess else 0)
+            if excess:
+                preferred = int(
+                    (sends[0, graph.degree:] == floor + 1).sum()
+                )
+                assert preferred >= min(s, excess)
+
+
+class TestClassMembership:
+    def test_good_balancer_verdict(self):
+        """Observation 3.2: SEND([x/d+]) is a good s-balancer, d+ > 2d."""
+        graph = families.random_regular(24, 4, seed=6, num_self_loops=8)
+        s = effective_self_preference(4, 12)
+        result, verdict, _, _ = run_monitored(
+            graph, SendRounded(), point_mass(24, 24 * 32), rounds=80, s=s
+        )
+        assert verdict.round_fair
+        assert verdict.observed_delta == 0
+        assert verdict.self_preferring
+        assert verdict.is_good_balancer
+
+    def test_reaches_o_d_discrepancy(self):
+        from repro.core.engine import Simulator
+
+        graph = families.random_regular(32, 4, seed=8, num_self_loops=12)
+        simulator = Simulator(
+            graph, SendRounded(), point_mass(32, 32 * 64)
+        )
+        simulator.run(600)
+        bound = 3 * graph.total_degree + 4 * graph.num_self_loops
+        assert simulator.discrepancy_history[-1] <= bound

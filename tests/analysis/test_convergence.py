@@ -1,0 +1,103 @@
+"""Unit tests for the standardized convergence measurements."""
+
+import pytest
+
+from repro.algorithms import RotorRouter, SendFloor
+from repro.analysis.convergence import (
+    discrepancy_trajectory,
+    horizon_for,
+    measure_after_t,
+    measure_time_to_target,
+)
+from repro.core.loads import point_mass
+from repro.graphs import families
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return families.random_regular(24, 4, seed=13)
+
+
+class TestHorizon:
+    def test_horizon_positive(self, graph):
+        assert horizon_for(graph, point_mass(24, 240)) >= 1
+
+    def test_horizon_scales_with_multiplier(self, graph):
+        loads = point_mass(24, 240)
+        base = horizon_for(graph, loads, 1.0)
+        double = horizon_for(graph, loads, 2.0)
+        assert double == pytest.approx(2 * base, abs=1)
+
+    def test_explicit_gap_respected(self, graph):
+        loads = point_mass(24, 240)
+        slow = horizon_for(graph, loads, 1.0, gap=0.01)
+        fast = horizon_for(graph, loads, 1.0, gap=0.5)
+        assert slow > fast
+
+
+class TestMeasureAfterT:
+    def test_report_fields(self, graph):
+        report = measure_after_t(
+            graph, RotorRouter(), point_mass(24, 24 * 16)
+        )
+        assert report.algorithm == "rotor_router"
+        assert report.n == 24
+        assert report.rounds_executed == report.horizon
+        assert report.final_discrepancy <= report.initial_discrepancy
+        assert report.plateau_discrepancy >= report.final_discrepancy - 1
+
+    def test_max_rounds_caps_horizon(self, graph):
+        report = measure_after_t(
+            graph,
+            SendFloor(),
+            point_mass(24, 24 * 16),
+            max_rounds=5,
+        )
+        assert report.rounds_executed == 5
+
+    def test_as_dict_roundtrip(self, graph):
+        report = measure_after_t(
+            graph, SendFloor(), point_mass(24, 240)
+        )
+        data = report.as_dict()
+        assert data["algorithm"] == "send_floor"
+        assert "plateau" in data
+
+
+class TestMeasureTimeToTarget:
+    def test_reaches_target(self, graph):
+        report = measure_time_to_target(
+            graph,
+            RotorRouter(),
+            point_mass(24, 24 * 16),
+            target=8,
+        )
+        assert report.time_to_target is not None
+        assert report.final_discrepancy <= 8
+        assert report.target == 8
+
+    def test_unreachable_target_returns_none(self, graph):
+        # Discrepancy 0 usually unreachable when n does not divide m.
+        report = measure_time_to_target(
+            graph,
+            SendFloor(),
+            point_mass(24, 24 * 16 + 7),
+            target=0,
+            max_multiplier=0.05,
+        )
+        assert report.time_to_target is None
+
+
+class TestTrajectory:
+    def test_series_shapes(self, graph):
+        rounds, series = discrepancy_trajectory(
+            graph, RotorRouter(), point_mass(24, 240), rounds=20
+        )
+        assert rounds.shape == series.shape
+        assert series[0] == 240
+
+    def test_stride(self, graph):
+        rounds, series = discrepancy_trajectory(
+            graph, SendFloor(), point_mass(24, 240), rounds=20, stride=5
+        )
+        assert list(rounds) == [0, 5, 10, 15, 20]

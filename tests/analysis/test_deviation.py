@@ -1,0 +1,91 @@
+"""Tests for the discrete-vs-continuous deviation machinery."""
+
+import pytest
+
+from repro.algorithms import make
+from repro.analysis.deviation import (
+    deviation_is_bounded,
+    deviation_report,
+    deviation_trajectory,
+)
+from repro.core.loads import point_mass
+from repro.graphs import families
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return families.random_regular(24, 4, seed=31)
+
+
+class TestTrajectory:
+    def test_starts_at_zero(self, graph):
+        history = deviation_trajectory(
+            graph, make("rotor_router"), point_mass(24, 240), 10
+        )
+        assert history[0] == 0.0
+        assert len(history) == 11
+
+    def test_nonnegative(self, graph):
+        history = deviation_trajectory(
+            graph, make("send_floor"), point_mass(24, 240), 20
+        )
+        assert all(value >= 0 for value in history)
+
+    def test_zero_for_balanced_divisible_start(self, graph):
+        import numpy as np
+
+        loads = np.full(24, 4 * graph.total_degree, dtype=np.int64)
+        history = deviation_trajectory(
+            graph, make("send_floor"), loads, 10
+        )
+        assert max(history) == 0.0
+
+
+class TestReport:
+    def test_fair_balancers_bounded(self, graph):
+        """The paper's claim: deviation is O(error scale) on expanders."""
+        for name in ("rotor_router", "send_floor", "send_rounded"):
+            report = deviation_report(
+                graph, make(name), point_mass(24, 24 * 64), 120
+            )
+            assert deviation_is_bounded(report, tolerance_factor=4.0), (
+                name,
+                report.max_deviation,
+                report.error_scale,
+            )
+
+    def test_report_fields(self, graph):
+        report = deviation_report(
+            graph, make("rotor_router"), point_mass(24, 240), 30
+        )
+        assert report.rounds == 30
+        assert report.max_deviation >= report.final_deviation >= 0
+        assert report.error_scale == 2 * graph.total_degree
+        data = report.as_dict()
+        assert data["normalized_max"] == pytest.approx(
+            report.max_deviation / report.error_scale
+        )
+
+
+class TestExperiment:
+    def test_driver_rows(self):
+        from repro.experiments.deviation import (
+            DeviationConfig,
+            run_deviation,
+        )
+
+        result = run_deviation(
+            DeviationConfig(n=32, degree=4, rounds=60, tokens_per_node=16)
+        )
+        by_name = {
+            row["algorithm"]: row["max/scale"] for row in result.rows
+        }
+        for name in ("rotor_router", "send_floor", "send_rounded"):
+            assert by_name[name] <= 4.0
+        # The adversary deviates at least as much as the fair schemes.
+        fair_worst = max(
+            by_name["rotor_router"],
+            by_name["send_floor"],
+            by_name["send_rounded"],
+        )
+        assert by_name["arbitrary_rounding_fixed"] >= fair_worst

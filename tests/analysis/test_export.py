@@ -1,0 +1,72 @@
+"""Tests for CSV / JSONL export helpers."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    read_jsonl,
+    trajectory_rows,
+    write_csv,
+    write_jsonl,
+    write_trajectory_csv,
+)
+
+
+ROWS = [
+    {"algorithm": "rotor_router", "disc": 3},
+    {"algorithm": "send_floor", "disc": 7},
+]
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(ROWS, tmp_path / "out.csv")
+        with path.open() as handle:
+            back = list(csv.DictReader(handle))
+        assert back[0]["algorithm"] == "rotor_router"
+        assert back[1]["disc"] == "7"
+
+    def test_column_subset(self, tmp_path):
+        path = write_csv(ROWS, tmp_path / "out.csv", columns=["disc"])
+        text = path.read_text()
+        assert "algorithm" not in text
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "out.csv")
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = write_jsonl(ROWS, tmp_path / "rows.jsonl")
+        assert read_jsonl(path) == ROWS
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert read_jsonl(path) == [{"a": 1}, {"a": 2}]
+
+
+class TestTrajectory:
+    def test_rows(self):
+        rows = trajectory_rows([10, 8, 5], value_name="disc")
+        assert rows == [
+            {"round": 0, "disc": 10},
+            {"round": 1, "disc": 8},
+            {"round": 2, "disc": 5},
+        ]
+
+    def test_stride(self):
+        rows = trajectory_rows([9, 9, 9, 9, 9], stride=2)
+        assert [row["round"] for row in rows] == [0, 2, 4]
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            trajectory_rows([1], stride=0)
+
+    def test_write_trajectory(self, tmp_path):
+        path = write_trajectory_csv([5, 4, 3], tmp_path / "traj.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "round,discrepancy"
+        assert lines[1] == "0,5"

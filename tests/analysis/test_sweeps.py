@@ -1,0 +1,69 @@
+"""Unit tests for sweep helpers and power-law fits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import (
+    bounded_ratio,
+    fit_power_law,
+    geometric_sizes,
+    sweep,
+)
+
+
+class TestPowerLaw:
+    def test_exact_square_law(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [x**2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_sqrt_law_with_constant(self):
+        xs = np.array([4.0, 16.0, 64.0, 256.0])
+        ys = 3.0 * np.sqrt(xs)
+        fit = fit_power_law(xs, ys)
+        assert fit.slope == pytest.approx(0.5)
+        assert fit.predict(100.0) == pytest.approx(30.0, rel=1e-6)
+
+    def test_flat_data(self):
+        fit = fit_power_law([1, 2, 4], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 3])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+
+class TestBoundedRatio:
+    def test_worst_ratio(self):
+        assert bounded_ratio([2, 9], [1, 3]) == pytest.approx(3.0)
+
+    def test_rejects_zero_prediction(self):
+        with pytest.raises(ValueError):
+            bounded_ratio([1], [0])
+
+
+class TestSweep:
+    def test_runs_over_grid(self):
+        rows = sweep([1, 2, 3], lambda x: {"x": x, "y": x * x})
+        assert [row["y"] for row in rows] == [1, 4, 9]
+
+
+class TestGeometricSizes:
+    def test_doubling(self):
+        assert geometric_sizes(4, 32) == [4, 8, 16, 32]
+
+    def test_no_duplicates_with_small_factor(self):
+        sizes = geometric_sizes(3, 8, factor=1.3)
+        assert sizes == sorted(set(sizes))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            geometric_sizes(10, 5)
+        with pytest.raises(ValueError):
+            geometric_sizes(1, 10, factor=1.0)

@@ -1,0 +1,65 @@
+"""Unit tests for table rendering."""
+
+from repro.analysis.tables import (
+    ratio_column,
+    render_markdown_table,
+    render_table,
+)
+
+
+ROWS = [
+    {"name": "alpha", "value": 1.5, "ok": True},
+    {"name": "beta", "value": None, "ok": False},
+]
+
+
+class TestTextTable:
+    def test_contains_header_and_rows(self):
+        text = render_table(ROWS, title="demo")
+        assert "demo" in text
+        assert "alpha" in text
+        assert "beta" in text
+
+    def test_none_rendered_as_dash(self):
+        text = render_table(ROWS)
+        assert "-" in text.splitlines()[-1]
+
+    def test_bool_rendering(self):
+        text = render_table(ROWS)
+        assert "yes" in text
+        assert "no" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([], title="empty")
+
+    def test_column_selection(self):
+        text = render_table(ROWS, columns=["name"])
+        assert "value" not in text
+
+    def test_large_float_formatting(self):
+        text = render_table([{"x": 123456.789}])
+        assert "1.23e+05" in text
+
+    def test_small_float_formatting(self):
+        text = render_table([{"x": 0.00123}])
+        assert "0.00123" in text
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = render_markdown_table(ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| name")
+        assert set(lines[1].replace("|", "").strip()) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_empty(self):
+        assert render_markdown_table([]) == "(no rows)"
+
+
+class TestRatioColumn:
+    def test_ratio_added(self):
+        rows = [{"m": 10.0, "p": 5.0}, {"m": 1.0, "p": 0.0}]
+        out = ratio_column(rows, "m", "p")
+        assert out[0]["ratio"] == 2.0
+        assert out[1]["ratio"] is None

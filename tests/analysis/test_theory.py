@@ -1,0 +1,104 @@
+"""Unit tests for the theory-bound formulas."""
+
+import math
+
+import pytest
+
+from repro.analysis import theory
+
+
+class TestHorizons:
+    def test_balancing_time_monotone_in_k(self):
+        assert theory.balancing_time(64, 1000, 0.1) > theory.balancing_time(
+            64, 10, 0.1
+        )
+
+    def test_balancing_time_inverse_in_gap(self):
+        assert theory.balancing_time(64, 10, 0.05) == pytest.approx(
+            2 * theory.balancing_time(64, 10, 0.1)
+        )
+
+    def test_good_balancer_time_decreases_in_s(self):
+        slow = theory.good_balancer_time(128, 100, 0.1, degree=8, s=1)
+        fast = theory.good_balancer_time(128, 100, 0.1, degree=8, s=8)
+        assert fast < slow
+
+
+class TestUpperBounds:
+    def test_rabani_dominates_claim_i(self):
+        # d log n / mu >= d sqrt(log n / mu) whenever log n / mu >= 1.
+        n, d, gap = 256, 8, 0.05
+        assert theory.rabani_bound(n, d, gap) >= (
+            theory.cumulative_fair_bound_i(n, d, gap, delta=0)
+        )
+
+    def test_claim_selection_on_expander(self):
+        # Good expansion: claim (i) is the minimum.
+        n, d, gap = 1024, 8, 0.3
+        combined = theory.cumulative_fair_bound(n, d, gap, d_plus=2 * d)
+        assert combined == pytest.approx(
+            theory.cumulative_fair_bound_i(n, d, gap)
+        )
+
+    def test_claim_selection_on_cycle(self):
+        # Terrible expansion: claim (ii) wins.
+        n, d, gap = 400, 2, 1e-4
+        combined = theory.cumulative_fair_bound(n, d, gap, d_plus=4)
+        assert combined == pytest.approx(
+            theory.cumulative_fair_bound_ii(n, d)
+        )
+
+    def test_claim_iii_only_without_loops(self):
+        n, d, gap = 256, 4, 0.1
+        combined = theory.cumulative_fair_bound(n, d, gap, d_plus=d + 1)
+        assert combined == pytest.approx(
+            theory.cumulative_fair_bound_iii(n, d, gap)
+        )
+
+    def test_delta_scales_linearly(self):
+        n, d, gap = 128, 4, 0.1
+        assert theory.cumulative_fair_bound_i(
+            n, d, gap, delta=3
+        ) == pytest.approx(
+            2 * theory.cumulative_fair_bound_i(n, d, gap, delta=1)
+        )
+
+    def test_good_balancer_bound_explicit(self):
+        assert theory.good_balancer_bound(12, 6, delta=1) == 60
+
+    def test_mimicking_bound(self):
+        assert theory.mimicking_bound(8) == 16
+
+    def test_randomized_rounding_bound(self):
+        assert theory.randomized_rounding_bound(
+            256, 9
+        ) == pytest.approx(math.sqrt(9 * math.log(256)))
+
+
+class TestLowerBounds:
+    def test_round_fair_lower_bound(self):
+        assert theory.round_fair_lower_bound(4, 10) == 36
+
+    def test_stateless_lower_bound(self):
+        assert theory.stateless_lower_bound(12) == 5
+
+    def test_rotor_lower_bound(self):
+        assert theory.rotor_no_selfloop_lower_bound(2, 9) == 8
+
+
+class TestPredictions:
+    def test_every_registered_algorithm_has_prediction(self):
+        from repro.algorithms.registry import REGISTRY
+
+        for name in REGISTRY:
+            value = theory.predicted_after_t(name, 128, 8, 0.1, 16)
+            assert value > 0
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            theory.predicted_after_t("quantum", 128, 8, 0.1)
+
+    def test_table1_rows_well_formed(self):
+        for row in theory.TABLE1_ROWS:
+            assert row.bound_description
+            assert isinstance(row.reaches_o_d, bool)

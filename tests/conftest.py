@@ -1,0 +1,38 @@
+"""Shared fixtures: small graphs reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import families
+
+
+@pytest.fixture(scope="session")
+def expander24():
+    """Small random 4-regular graph with d° = d self-loops."""
+    return families.random_regular(24, 4, seed=3)
+
+
+@pytest.fixture(scope="session")
+def cycle12():
+    return families.cycle(12)
+
+
+@pytest.fixture(scope="session")
+def odd_cycle9():
+    return families.cycle(9)
+
+
+@pytest.fixture(scope="session")
+def torus9():
+    return families.torus(3, 2)
+
+
+@pytest.fixture(scope="session")
+def hypercube16():
+    return families.hypercube(4)
+
+
+@pytest.fixture(scope="session")
+def petersen_graph():
+    return families.petersen()

@@ -1,0 +1,86 @@
+"""Unit tests for the Balancer base class and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.balancer import (
+    AlgorithmProperties,
+    Balancer,
+    split_extras_over_self_loops,
+)
+from repro.core.errors import BindingError
+from repro.graphs import families
+
+
+class Dummy(Balancer):
+    name = "dummy"
+
+    def sends(self, loads, t):
+        graph = self.graph
+        return np.zeros(
+            (graph.num_nodes, graph.total_degree), dtype=np.int64
+        )
+
+
+class TestLifecycle:
+    def test_unbound_access_raises(self):
+        with pytest.raises(BindingError, match="not bound"):
+            Dummy().graph
+
+    def test_bind_returns_self(self):
+        graph = families.cycle(4)
+        balancer = Dummy()
+        assert balancer.bind(graph) is balancer
+        assert balancer.is_bound
+        assert balancer.graph is graph
+
+    def test_rebind_to_other_graph(self):
+        balancer = Dummy()
+        balancer.bind(families.cycle(4))
+        other = families.cycle(6)
+        balancer.bind(other)
+        assert balancer.graph is other
+
+    def test_describe_includes_flags(self):
+        info = Dummy().describe()
+        assert info["name"] == "dummy"
+        assert info["deterministic"] is True
+
+
+class TestProperties:
+    def test_flags_string(self):
+        props = AlgorithmProperties(True, False, True, False)
+        assert props.flags() == "D - NL -"
+
+    def test_as_dict(self):
+        props = AlgorithmProperties(True, True, True, True)
+        assert all(props.as_dict().values())
+
+
+class TestSplitExtras:
+    def test_even_split(self):
+        sends = np.zeros((2, 5), dtype=np.int64)  # degree 2, 3 loops
+        extras = np.array([6, 0])
+        split_extras_over_self_loops(sends, extras, degree=2)
+        assert list(sends[0, 2:]) == [2, 2, 2]
+        assert list(sends[1, 2:]) == [0, 0, 0]
+
+    def test_uneven_split_prefers_first_loops(self):
+        sends = np.zeros((1, 5), dtype=np.int64)
+        split_extras_over_self_loops(sends, np.array([4]), degree=2)
+        assert list(sends[0, 2:]) == [2, 1, 1]
+
+    def test_no_loops_with_zero_extras_ok(self):
+        sends = np.zeros((1, 2), dtype=np.int64)
+        split_extras_over_self_loops(sends, np.array([0]), degree=2)
+        assert sends.sum() == 0
+
+    def test_no_loops_with_extras_raises(self):
+        sends = np.zeros((1, 2), dtype=np.int64)
+        with pytest.raises(ValueError):
+            split_extras_over_self_loops(sends, np.array([1]), degree=2)
+
+    def test_preserves_base(self):
+        sends = np.full((1, 4), 3, dtype=np.int64)
+        split_extras_over_self_loops(sends, np.array([3]), degree=2)
+        assert list(sends[0]) == [3, 3, 5, 4]

@@ -1,0 +1,155 @@
+"""Unit tests for the fairness checkers (Definitions 2.1 / 3.1)."""
+
+import numpy as np
+
+from repro.core import fairness
+from repro.core.fairness import (
+    CumulativeFairnessMonitor,
+    FairnessMonitor,
+    ceil_share,
+    classify_run,
+    excess_tokens,
+    floor_share,
+    is_round_fair,
+    self_preference_deficit,
+    violates_ceil,
+    violates_floor,
+)
+
+
+class TestShares:
+    def test_floor_ceil(self):
+        loads = np.array([0, 5, 8, 9])
+        assert list(floor_share(loads, 4)) == [0, 1, 2, 2]
+        assert list(ceil_share(loads, 4)) == [0, 2, 2, 3]
+
+    def test_excess(self):
+        loads = np.array([0, 5, 8, 9])
+        assert list(excess_tokens(loads, 4)) == [0, 1, 0, 1]
+
+
+class TestRoundChecks:
+    def test_fair_sends_pass(self):
+        loads = np.array([9])
+        sends = np.array([[3, 3, 3]])  # wait: floor(9/3)=3 each
+        assert is_round_fair(loads, sends, 3)
+
+    def test_floor_violation(self):
+        loads = np.array([9])
+        sends = np.array([[2, 3, 4]])
+        assert violates_floor(loads, sends, 3)[0]
+        assert violates_ceil(loads, sends, 3)[0]
+        assert not is_round_fair(loads, sends, 3)
+
+    def test_ceil_violation_only(self):
+        loads = np.array([7])
+        sends = np.array([[2, 2, 4]])  # floor 2, ceil 3
+        assert not violates_floor(loads, sends, 3)[0]
+        assert violates_ceil(loads, sends, 3)[0]
+
+    def test_self_preference_deficit_zero_when_satisfied(self):
+        loads = np.array([7])  # d+ = 3, floor 2, ceil 3, e = 1
+        sends = np.array([[2, 2, 3]])  # 1 original + 2 loops (degree 1)
+        deficit = self_preference_deficit(loads, sends, 1, 3, s=1)
+        assert deficit[0] == 0
+
+    def test_self_preference_deficit_detected(self):
+        loads = np.array([7])
+        sends = np.array([[3, 2, 2]])  # ceiling went to the original edge
+        deficit = self_preference_deficit(loads, sends, 1, 3, s=1)
+        assert deficit[0] == 1
+
+    def test_self_preference_vacuous_when_divisible(self):
+        loads = np.array([6])
+        sends = np.array([[2, 2, 2]])
+        deficit = self_preference_deficit(loads, sends, 1, 3, s=2)
+        assert deficit[0] == 0
+
+
+class FakeGraph:
+    """Minimal stand-in exposing degree/total_degree for monitors."""
+
+    def __init__(self, n, degree, d_plus):
+        self.num_nodes = n
+        self.degree = degree
+        self.total_degree = d_plus
+
+
+class TestMonitors:
+    def _feed(self, monitor, graph, rounds):
+        monitor.start(graph, None, np.zeros(graph.num_nodes, np.int64))
+        for t, (loads, sends) in enumerate(rounds, start=1):
+            monitor.observe(t, loads, sends, loads)
+
+    def test_fairness_monitor_clean_run(self):
+        graph = FakeGraph(1, 1, 3)
+        monitor = FairnessMonitor(s=1)
+        self._feed(
+            monitor,
+            graph,
+            [
+                (np.array([7]), np.array([[2, 2, 3]])),
+                (np.array([6]), np.array([[2, 2, 2]])),
+            ],
+        )
+        assert monitor.always_at_least_floor
+        assert monitor.always_round_fair
+        assert monitor.always_self_preferring
+
+    def test_fairness_monitor_flags_violations(self):
+        graph = FakeGraph(1, 1, 3)
+        monitor = FairnessMonitor(s=1, keep_rounds=True)
+        self._feed(
+            monitor,
+            graph,
+            [(np.array([7]), np.array([[3, 2, 2]]))],
+        )
+        assert monitor.always_round_fair  # 3 is the ceiling: still fair
+        assert not monitor.always_self_preferring
+        assert monitor.rounds[0].self_preference_deficit == 1
+
+    def test_cumulative_monitor_spread(self):
+        graph = FakeGraph(1, 2, 4)
+        monitor = CumulativeFairnessMonitor()
+        monitor.start(graph, None, np.zeros(1, np.int64))
+        monitor.observe(
+            1, np.array([4]), np.array([[2, 1, 1, 0]]), np.array([4])
+        )
+        assert monitor.observed_delta == 1
+        monitor.observe(
+            2, np.array([4]), np.array([[2, 1, 1, 0]]), np.array([4])
+        )
+        assert monitor.observed_delta == 2
+        assert monitor.is_cumulatively_fair(2)
+        assert not monitor.is_cumulatively_fair(1)
+
+
+class TestClassVerdict:
+    def test_good_balancer_requires_everything(self):
+        graph = FakeGraph(1, 1, 3)
+        fair = FairnessMonitor(s=1)
+        cumulative = CumulativeFairnessMonitor()
+        fair.start(graph, None, np.zeros(1, np.int64))
+        cumulative.start(graph, None, np.zeros(1, np.int64))
+        loads, sends = np.array([7]), np.array([[2, 2, 3]])
+        fair.observe(1, loads, sends, loads)
+        cumulative.observe(1, loads, sends, loads)
+        verdict = classify_run(fair, cumulative)
+        assert verdict.is_cumulatively_fair(0)
+        assert verdict.is_good_balancer
+
+    def test_not_good_without_self_preference(self):
+        graph = FakeGraph(1, 1, 3)
+        fair = FairnessMonitor(s=1)
+        cumulative = CumulativeFairnessMonitor()
+        fair.start(graph, None, np.zeros(1, np.int64))
+        cumulative.start(graph, None, np.zeros(1, np.int64))
+        loads, sends = np.array([7]), np.array([[3, 2, 2]])
+        fair.observe(1, loads, sends, loads)
+        cumulative.observe(1, loads, sends, loads)
+        verdict = classify_run(fair, cumulative)
+        assert not verdict.is_good_balancer
+
+
+def test_module_exports():
+    assert hasattr(fairness, "ClassVerdict")

@@ -1,0 +1,94 @@
+"""Unit tests for initial load generators and validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import loads
+from repro.core.errors import InvalidLoadVector
+
+
+class TestValidate:
+    def test_accepts_int_list(self):
+        out = loads.validate_loads(np.array([1, 2, 3]))
+        assert out.dtype == np.int64
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidLoadVector):
+            loads.validate_loads(np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidLoadVector):
+            loads.validate_loads(np.array([], dtype=np.int64))
+
+    def test_rejects_fractional(self):
+        with pytest.raises(InvalidLoadVector, match="indivisible"):
+            loads.validate_loads(np.array([1.5, 2.0]))
+
+    def test_accepts_integral_floats(self):
+        out = loads.validate_loads(np.array([1.0, 2.0]))
+        assert out.dtype == np.int64
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidLoadVector, match="nonnegative"):
+            loads.validate_loads(np.array([1, -1]))
+
+    def test_allow_negative_flag(self):
+        out = loads.validate_loads(
+            np.array([1, -1]), allow_negative=True
+        )
+        assert out[1] == -1
+
+
+class TestGenerators:
+    def test_point_mass(self):
+        vec = loads.point_mass(5, 100, node=2)
+        assert vec.sum() == 100
+        assert vec[2] == 100
+        assert loads.initial_discrepancy(vec) == 100
+
+    def test_point_mass_bad_node(self):
+        with pytest.raises(InvalidLoadVector):
+            loads.point_mass(5, 10, node=9)
+
+    def test_point_mass_negative_tokens(self):
+        with pytest.raises(InvalidLoadVector):
+            loads.point_mass(5, -1)
+
+    def test_bimodal(self):
+        vec = loads.bimodal(6, 10, 2)
+        assert list(vec) == [10, 10, 10, 2, 2, 2]
+        assert loads.initial_discrepancy(vec) == 8
+
+    def test_bimodal_rejects_inverted(self):
+        with pytest.raises(InvalidLoadVector):
+            loads.bimodal(4, 1, 5)
+
+    def test_uniform_random_total(self):
+        vec = loads.uniform_random(10, 1000, seed=4)
+        assert vec.sum() == 1000
+        assert vec.min() >= 0
+
+    def test_uniform_random_reproducible(self):
+        a = loads.uniform_random(10, 500, seed=7)
+        b = loads.uniform_random(10, 500, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_balanced(self):
+        vec = loads.balanced(4, 3)
+        assert loads.initial_discrepancy(vec) == 0
+
+    def test_linear_gradient(self):
+        vec = loads.linear_gradient(5, step=2, base=1)
+        assert list(vec) == [1, 3, 5, 7, 9]
+
+    def test_random_spikes(self):
+        vec = loads.random_spikes(20, 3, 50, seed=1, base=5)
+        assert (vec == 55).sum() == 3
+        assert (vec == 5).sum() == 17
+
+    def test_random_spikes_bad_count(self):
+        with pytest.raises(InvalidLoadVector):
+            loads.random_spikes(5, 9, 1, seed=0)
+
+    def test_average_load(self):
+        assert loads.average_load(np.array([1, 2, 3])) == 2.0

@@ -1,0 +1,66 @@
+"""Unit tests for load-vector metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import metrics
+
+
+class TestScalars:
+    def test_discrepancy(self):
+        assert metrics.discrepancy(np.array([3, 9, 5])) == 6
+
+    def test_discrepancy_balanced(self):
+        assert metrics.discrepancy(np.array([4, 4, 4])) == 0
+
+    def test_balancedness(self):
+        assert metrics.balancedness(np.array([0, 0, 6])) == pytest.approx(4)
+
+    def test_underload_gap(self):
+        assert metrics.underload_gap(np.array([0, 0, 6])) == pytest.approx(2)
+
+    def test_deviation_norm_inf(self):
+        assert metrics.deviation_norm(np.array([0, 0, 6])) == pytest.approx(4)
+
+    def test_deviation_norm_one(self):
+        assert metrics.deviation_norm(
+            np.array([0, 0, 6]), p=1
+        ) == pytest.approx(8)
+
+    def test_deviation_norm_two(self):
+        value = metrics.deviation_norm(np.array([0, 4]), p=2)
+        assert value == pytest.approx(np.sqrt(8))
+
+    def test_is_perfectly_balanced(self):
+        assert metrics.is_perfectly_balanced(np.array([3, 4, 3]))
+        assert not metrics.is_perfectly_balanced(np.array([2, 4, 3]))
+
+
+class TestSummary:
+    def test_of(self):
+        summary = metrics.LoadSummary.of(np.array([1, 5, 3]))
+        assert summary.minimum == 1
+        assert summary.maximum == 5
+        assert summary.discrepancy == 4
+        assert summary.mean == pytest.approx(3.0)
+
+    def test_as_dict(self):
+        data = metrics.LoadSummary.of(np.array([2, 2])).as_dict()
+        assert data["discrepancy"] == 0
+
+
+class TestTrajectories:
+    def test_time_to_discrepancy(self):
+        history = [10, 8, 5, 3, 3]
+        assert metrics.time_to_discrepancy(history, 5) == 2
+        assert metrics.time_to_discrepancy(history, 10) == 0
+        assert metrics.time_to_discrepancy(history, 1) is None
+
+    def test_final_plateau(self):
+        history = [9, 9, 2, 3, 2]
+        assert metrics.final_plateau(history, window=3) == 3
+        assert metrics.final_plateau(history, window=1) == 2
+
+    def test_final_plateau_empty(self):
+        with pytest.raises(ValueError):
+            metrics.final_plateau([])

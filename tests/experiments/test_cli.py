@@ -1,0 +1,53 @@
+"""Tests for the CLI and the experiment runner."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+class TestRunner:
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_all(only=("E999",))
+
+    def test_selected_subset(self):
+        results = run_all(only=("E7",))
+        assert len(results) == 1
+        assert results[0].experiment_id == "E7"
+
+    def test_registry_ids_well_formed(self):
+        # E* = paper artifacts, F* = figure-equivalents.
+        assert all(eid[0] in "EF" for eid in EXPERIMENTS)
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "E7", "--markdown"])
+        assert args.command == "run"
+        assert args.experiments == ["E7"]
+        assert args.markdown
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "E7"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4.2" in out
+
+    def test_run_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["run", "E7", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload[0]["experiment_id"] == "E7"
+
+    def test_run_markdown(self, capsys):
+        assert main(["run", "E7", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| algorithm" in out

@@ -1,0 +1,86 @@
+"""Tests for the ``repro-lb simulate`` subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "rotor_router",
+                "--family",
+                "cycle",
+                "--n",
+                "16",
+                "--rounds",
+                "200",
+                "--tokens-per-node",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycle(n=16)" in out
+        assert "discrepancy 128 ->" in out
+
+    def test_default_rounds_from_horizon(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "send_floor",
+                "--family",
+                "complete",
+                "--n",
+                "12",
+                "--tokens-per-node",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert "rounds:" in capsys.readouterr().out
+
+    def test_csv_output(self, tmp_path, capsys):
+        path = tmp_path / "traj.csv"
+        code = main(
+            [
+                "simulate",
+                "rotor_router_star",
+                "--family",
+                "torus",
+                "--n",
+                "16",
+                "--rounds",
+                "50",
+                "--csv",
+                str(path),
+            ]
+        )
+        assert code == 0
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "round,discrepancy"
+        assert len(lines) == 52  # header + 51 boundary values
+
+    def test_self_loops_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "rotor_router",
+                "--family",
+                "cycle",
+                "--n",
+                "12",
+                "--self-loops",
+                "4",
+                "--rounds",
+                "20",
+            ]
+        )
+        assert code == 0
+        assert "d+=6" in capsys.readouterr().out
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "quantum_annealer", "--n", "8"])

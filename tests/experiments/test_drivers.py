@@ -1,0 +1,167 @@
+"""Smoke + shape tests for every experiment driver (tiny configs).
+
+These are the reproduction's acceptance tests: each driver must run and
+its rows must satisfy the qualitative predictions recorded in DESIGN.md
+(loads invariant, fixed points, period-2, monotone potentials, bounds
+respected).
+"""
+
+import pytest
+
+from repro.experiments import (
+    AblationConfig,
+    LowerBoundConfig,
+    Table1Config,
+    Theorem23Config,
+    Theorem33Config,
+    run_cycle_sweep,
+    run_engine_throughput,
+    run_expander_sweep,
+    run_good_balancers,
+    run_minimal_selfloop_sweep,
+    run_potential_monotonicity,
+    run_rotor_alternating,
+    run_selfloop_ablation,
+    run_stateless,
+    run_steady_state,
+    run_table1,
+)
+
+
+TINY_23 = Theorem23Config(
+    expander_sizes=(32, 64),
+    expander_degree=4,
+    cycle_sizes=(9, 17),
+    tokens_per_node=16,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(
+            Table1Config(n=32, degree=4, tokens_per_node=16)
+        )
+
+    def test_all_algorithms_present(self, result):
+        from repro.algorithms.registry import all_names
+
+        assert {row["algorithm"] for row in result.rows} == set(
+            all_names()
+        )
+
+    def test_everyone_balances_below_prediction_scale(self, result):
+        for row in result.rows:
+            assert row["disc_after_T"] <= 10 * row["predicted"]
+
+    def test_deterministic_flags_match_registry(self, result):
+        from repro.algorithms.registry import make
+
+        for row in result.rows:
+            expected = make(row["algorithm"]).properties.deterministic
+            assert row["D"] == expected
+
+    def test_paper_algorithms_never_negative(self, result):
+        for row in result.rows:
+            if row["algorithm"] in (
+                "send_floor",
+                "send_rounded",
+                "rotor_router",
+                "rotor_router_star",
+            ):
+                assert row["NL"] is True
+
+    def test_renders(self, result):
+        assert "disc_after_T" in result.to_text()
+        assert result.to_markdown().startswith("### E1")
+        assert '"experiment_id": "E1"' in result.to_json()
+
+
+class TestTheorem23:
+    def test_expander_rows_bounded(self):
+        result = run_expander_sweep(TINY_23)
+        for row in result.rows:
+            for name in TINY_23.algorithms:
+                assert row[name] <= row["bound_i"]
+
+    def test_cycle_rows_bounded_and_worst_case_linear(self):
+        result = run_cycle_sweep(TINY_23)
+        for row in result.rows:
+            for name in TINY_23.algorithms:
+                assert row[name] <= row["bound_ii(d*sqrt n)"]
+            assert row["worst_case_d0"] >= row["n"]
+        fits = result.metadata["fits"]
+        assert fits["worst_case_d0"]["slope"] > 0.8
+
+    def test_minimal_selfloops_bounded(self):
+        result = run_minimal_selfloop_sweep(TINY_23)
+        for row in result.rows:
+            for name in TINY_23.algorithms:
+                assert row[name] <= row["bound_iii"]
+
+
+class TestTheorem33:
+    def test_all_rows_reach_bound(self):
+        config = Theorem33Config(
+            n=32, degree=4, tokens_per_node=16, s_values=(1, 2, 4)
+        )
+        result = run_good_balancers(config)
+        assert result.rows
+        for row in result.rows:
+            assert row["reached_bound"]
+
+    def test_potentials_monotone(self):
+        config = Theorem33Config(n=32, degree=4, tokens_per_node=16)
+        result = run_potential_monotonicity(config, rounds=120)
+        for row in result.rows:
+            assert row["phi_monotone"]
+            assert row["phi_prime_monotone"]
+
+
+class TestLowerBounds:
+    CONFIG = LowerBoundConfig(
+        run_rounds=30,
+        cycle_n=12,
+        torus_side=4,
+        stateless_n=32,
+        stateless_degree=8,
+        odd_cycle_n=11,
+    )
+
+    def test_steady_state_rows(self):
+        result = run_steady_state(self.CONFIG)
+        for row in result.rows:
+            assert row["loads_invariant"]
+            assert row["discrepancy"] >= row["predicted d*(diam-1)"]
+            assert row["flow_spread(<=1)"] <= 1
+
+    def test_stateless_rows(self):
+        result = run_stateless(self.CONFIG)
+        for row in result.rows:
+            assert row["fixed_point"]
+
+    def test_rotor_alternating_rows(self):
+        result = run_rotor_alternating(self.CONFIG)
+        for row in result.rows:
+            assert row["alternates(period2)"]
+            assert row["detected_period"] == 2
+            assert row["discrepancy"] >= row["predicted d*phi"]
+
+
+class TestAblations:
+    def test_selfloop_ablation_shape(self):
+        result = run_selfloop_ablation(
+            AblationConfig(n=32, degree=4, tokens_per_node=16, cycle_n=9)
+        )
+        families = {row["family"] for row in result.rows}
+        assert families == {"expander", "odd_cycle"}
+        zero_rows = [row for row in result.rows if row["d_self"] == 0]
+        assert all(
+            row["worst_case_stuck"] is not None for row in zero_rows
+        )
+
+    def test_throughput_rows(self):
+        result = run_engine_throughput(n=64, degree=4, rounds=20)
+        assert len(result.rows) >= 5
+        for row in result.rows:
+            assert row["rounds_per_sec"] > 0

@@ -1,0 +1,62 @@
+"""Tests for the figure-series generator (F1)."""
+
+import pytest
+
+from repro.experiments.figures import TrajectoryConfig, run_trajectories
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_trajectories(
+        TrajectoryConfig(
+            n=32,
+            degree=4,
+            tokens_per_node=16,
+            algorithms=("rotor_router", "send_floor"),
+            checkpoints=5,
+        )
+    )
+
+
+class TestSeries:
+    def test_series_aligned(self, result):
+        series = result.metadata["series"]
+        lengths = {len(values) for values in series.values()}
+        assert len(lengths) == 1
+
+    def test_series_start_at_k(self, result):
+        series = result.metadata["series"]
+        for values in series.values():
+            assert values[0] == 32 * 16
+
+    def test_rows_are_checkpoints(self, result):
+        rounds = [row["round"] for row in result.rows]
+        assert rounds[0] == 0
+        assert rounds[-1] == result.metadata["rounds"]
+        assert rounds == sorted(rounds)
+
+    def test_discrepancy_decreases_overall(self, result):
+        for name in ("rotor_router", "send_floor"):
+            first = result.rows[0][name]
+            last = result.rows[-1][name]
+            assert last < first
+
+    def test_csv_export(self, tmp_path):
+        path = tmp_path / "series.csv"
+        run_trajectories(
+            TrajectoryConfig(
+                n=16,
+                degree=4,
+                tokens_per_node=8,
+                algorithms=("rotor_router",),
+            ),
+            csv_path=path,
+        )
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "round,rotor_router"
+        assert len(lines) >= 3
+
+    def test_runner_includes_f1(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "F1" in EXPERIMENTS

@@ -1,0 +1,205 @@
+"""Unit tests for every graph family generator."""
+
+import pytest
+
+from repro.graphs import families
+from repro.graphs.errors import GraphConstructionError
+
+
+class TestCycle:
+    def test_structure(self):
+        graph = families.cycle(7)
+        assert graph.num_nodes == 7
+        assert graph.degree == 2
+        assert graph.neighbors(0) == (1, 6)
+
+    def test_default_self_loops(self):
+        assert families.cycle(5).num_self_loops == 2
+
+    def test_custom_self_loops(self):
+        assert families.cycle(5, num_self_loops=0).num_self_loops == 0
+
+    def test_rejects_small(self):
+        with pytest.raises(GraphConstructionError):
+            families.cycle(2)
+
+
+class TestComplete:
+    def test_structure(self):
+        graph = families.complete(5)
+        assert graph.degree == 4
+        assert graph.num_edges() == 10
+
+    def test_rejects_small(self):
+        with pytest.raises(GraphConstructionError):
+            families.complete(1)
+
+
+class TestCirculant:
+    def test_offsets(self):
+        graph = families.circulant(10, [1, 2])
+        assert graph.degree == 4
+        assert set(graph.neighbors(0)) == {1, 2, 8, 9}
+
+    def test_antipodal_offset(self):
+        # The antipodal offset contributes a single edge per node.
+        graph = families.circulant(8, [1, 4])
+        assert graph.degree == 3
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(GraphConstructionError):
+            families.circulant(10, [6])
+        with pytest.raises(GraphConstructionError):
+            families.circulant(10, [])
+
+    def test_clique_structure(self):
+        graph = families.circulant_clique(20, 8)
+        members = set(range(4))
+        for u in members:
+            assert members - {u} <= set(graph.neighbors(u))
+
+    def test_clique_odd_degree(self):
+        graph = families.circulant_clique(20, 5)
+        assert graph.degree == 5
+
+    def test_clique_odd_degree_needs_even_n(self):
+        with pytest.raises(GraphConstructionError):
+            families.circulant_clique(21, 5)
+
+    def test_clique_requires_enough_nodes(self):
+        with pytest.raises(GraphConstructionError):
+            families.circulant_clique(8, 8)
+
+
+class TestHypercube:
+    def test_structure(self):
+        graph = families.hypercube(4)
+        assert graph.num_nodes == 16
+        assert graph.degree == 4
+
+    def test_neighbors_differ_in_one_bit(self):
+        graph = families.hypercube(3)
+        for u in range(8):
+            for v in graph.neighbors(u):
+                assert bin(u ^ v).count("1") == 1
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(GraphConstructionError):
+            families.hypercube(0)
+
+
+class TestTorus:
+    def test_2d(self):
+        graph = families.torus(4, 2)
+        assert graph.num_nodes == 16
+        assert graph.degree == 4
+
+    def test_3d(self):
+        graph = families.torus(3, 3)
+        assert graph.num_nodes == 27
+        assert graph.degree == 6
+
+    def test_1d_is_cycle(self):
+        torus = families.torus(7, 1)
+        cycle = families.cycle(7)
+        assert torus.edge_list() == cycle.edge_list()
+
+    def test_diameter(self):
+        assert families.torus(4, 2).diameter() == 4
+
+    def test_rejects_small_side(self):
+        with pytest.raises(GraphConstructionError):
+            families.torus(2, 2)
+
+
+class TestRandomRegular:
+    def test_structure(self):
+        graph = families.random_regular(20, 3, seed=5)
+        assert graph.num_nodes == 20
+        assert graph.degree == 3
+        assert graph.is_connected()
+
+    def test_deterministic_given_seed(self):
+        a = families.random_regular(16, 4, seed=9)
+        b = families.random_regular(16, 4, seed=9)
+        assert a.edge_list() == b.edge_list()
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(GraphConstructionError):
+            families.random_regular(9, 3, seed=1)
+
+    def test_rejects_degree_ge_n(self):
+        with pytest.raises(GraphConstructionError):
+            families.random_regular(4, 4, seed=1)
+
+
+class TestPetersen:
+    def test_structure(self):
+        graph = families.petersen()
+        assert graph.num_nodes == 10
+        assert graph.degree == 3
+        assert graph.odd_girth() == 5
+        assert graph.diameter() == 2
+
+
+class TestRingOfCliques:
+    def test_regularity(self):
+        graph = families.ring_of_cliques(4, 3)
+        assert graph.num_nodes == 12
+        assert graph.degree == 4  # (clique_size - 1) + 2 matching edges
+
+    def test_diameter_grows_with_blocks(self):
+        small = families.ring_of_cliques(4, 3)
+        large = families.ring_of_cliques(8, 3)
+        assert large.diameter() > small.diameter()
+
+    def test_degree_independent_of_blocks(self):
+        a = families.ring_of_cliques(4, 4)
+        b = families.ring_of_cliques(10, 4)
+        assert a.degree == b.degree == 5
+
+    def test_clique_blocks_are_complete(self):
+        graph = families.ring_of_cliques(3, 4)
+        for node in range(4):
+            block = set(range(4)) - {node}
+            assert block <= set(graph.neighbors(node))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GraphConstructionError):
+            families.ring_of_cliques(2, 3)
+        with pytest.raises(GraphConstructionError):
+            families.ring_of_cliques(4, 1)
+
+    def test_steady_state_lower_bound_scales(self):
+        """Theorem 4.1 instance: discrepancy tracks d*(diam-1) here."""
+        from repro.lower_bounds import build_steady_state_instance
+
+        for blocks in (4, 8):
+            graph = families.ring_of_cliques(blocks, 3, num_self_loops=0)
+            instance = build_steady_state_instance(graph)
+            assert (
+                instance.actual_discrepancy
+                >= instance.predicted_discrepancy
+            )
+
+
+class TestCompleteBipartite:
+    def test_structure(self):
+        graph = families.complete_bipartite_regular(4)
+        assert graph.num_nodes == 8
+        assert graph.degree == 4
+        assert graph.is_bipartite()
+
+    def test_rejects_side_one(self):
+        with pytest.raises(GraphConstructionError):
+            families.complete_bipartite_regular(1)
+
+
+class TestBuildByName:
+    def test_build(self):
+        graph = families.build("cycle", n=6)
+        assert graph.num_nodes == 6
+
+    def test_unknown_family(self):
+        with pytest.raises(GraphConstructionError, match="unknown"):
+            families.build("moebius")

@@ -1,0 +1,91 @@
+"""Numerical verification of the appendix's mixing estimates.
+
+The proofs of Theorem 2.3 rest on quantitative mixing facts:
+
+* Lemma A.1-style decay: ``‖Λ_t‖ <= n²(1-μ)^t`` — the error matrix
+  dies geometrically at rate μ;
+* the probability-current bound from [14] used for claim (i): for
+  lazy chains (``P(u,u) >= 1/2``),
+  ``max_w Σ_v |P^{a+1}(v,w) - P^a(v,w)| < 24/√a``;
+* the claim (ii) mechanism: for positive chains the per-step current
+  is controlled by the eigenvalue differences ``λ^{a+1} - λ^a``.
+
+These are textbook facts, but the bounds' *constants* matter to the
+paper's statements, so we check them numerically on several families.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import families
+from repro.graphs.spectral import (
+    eigenvalue_gap,
+    error_norm,
+    probability_current,
+)
+
+
+GRAPHS = {
+    "cycle16": lambda: families.cycle(16),
+    "hypercube4": lambda: families.hypercube(4),
+    "petersen": lambda: families.petersen(),
+    "expander": lambda: families.random_regular(16, 4, seed=41),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+class TestErrorDecay:
+    def test_geometric_decay_bound(self, name):
+        graph = GRAPHS[name]()
+        n = graph.num_nodes
+        gap = eigenvalue_gap(graph)
+        for t in (1, 4, 16, 64):
+            assert error_norm(graph, t) <= n**2 * (1 - gap) ** t + 1e-9
+
+    def test_monotone_in_t(self, name):
+        graph = GRAPHS[name]()
+        values = [error_norm(graph, t) for t in (1, 2, 4, 8, 16)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+class TestProbabilityCurrent:
+    def test_lazy_chain_inverse_sqrt_bound(self, name):
+        """[14]'s bound used in Theorem 2.3(i): current < 24/sqrt(a)."""
+        graph = GRAPHS[name]()  # all have d° = d, hence lazy
+        for a in (1, 4, 9, 25):
+            assert probability_current(graph, a) < 24 / np.sqrt(a)
+
+    def test_current_at_zero_at_most_two(self, name):
+        """The a = 0 case handled separately in the proof."""
+        graph = GRAPHS[name]()
+        assert probability_current(graph, 0) <= 2.0 + 1e-12
+
+    def test_current_sum_bounded_by_sqrt_horizon(self, name):
+        """Σ_{a<=A} current(a) = O(√A) — the partial sums claim (i)
+        integrates; constant 48 from the proof's display."""
+        graph = GRAPHS[name]()
+        horizon = 36
+        total = sum(
+            probability_current(graph, a) for a in range(1, horizon)
+        )
+        assert total <= 48 * np.sqrt(horizon)
+
+
+class TestClaimIiMechanism:
+    def test_telescoping_eigenvalue_sum(self):
+        """Claim (ii): Σ_a |λ^{a+1} - λ^a| telescopes to <= 1 for
+        λ in [0, 1] — the positivity of the lazy chain is what makes
+        the √n bound work."""
+        for lam in (0.0, 0.3, 0.9, 0.99):
+            total = sum(
+                abs(lam ** (a + 1) - lam**a) for a in range(200)
+            )
+            assert total <= 1.0 + 1e-9
+
+    def test_nonlazy_chain_breaks_telescoping(self):
+        """With λ = -1 (bipartite, no self-loops) the sum diverges —
+        why claim (ii) requires d° >= d."""
+        lam = -1.0
+        total = sum(abs(lam ** (a + 1) - lam**a) for a in range(50))
+        assert total > 50

@@ -1,0 +1,110 @@
+"""Unit tests for the spectral toolkit, against closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import families, spectral
+
+
+class TestEigenvalues:
+    def test_descending_order(self):
+        values = spectral.eigenvalues(families.cycle(8))
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_principal_eigenvalue_is_one(self):
+        values = spectral.eigenvalues(families.petersen())
+        assert values[0] == pytest.approx(1.0)
+
+    def test_cycle_gap_matches_formula(self):
+        for n in (8, 12, 20):
+            graph = families.cycle(n)  # d° = 2
+            assert spectral.eigenvalue_gap(graph) == pytest.approx(
+                spectral.cycle_gap_formula(n, 2), rel=1e-9
+            )
+
+    def test_hypercube_gap_matches_formula(self):
+        for dim in (3, 4):
+            graph = families.hypercube(dim)
+            assert spectral.eigenvalue_gap(graph) == pytest.approx(
+                spectral.hypercube_gap_formula(dim, dim), rel=1e-9
+            )
+
+    def test_complete_gap_matches_formula(self):
+        graph = families.complete(8)
+        assert spectral.eigenvalue_gap(graph) == pytest.approx(
+            spectral.complete_gap_formula(8, 7), rel=1e-9
+        )
+
+    def test_lazy_chain_is_positive(self):
+        # d° >= d guarantees nonnegative spectrum.
+        assert spectral.is_positive_chain(families.cycle(10))
+        assert spectral.is_positive_chain(families.hypercube(3))
+
+    def test_no_self_loops_can_be_negative(self):
+        graph = families.cycle(8, num_self_loops=0)
+        assert spectral.smallest_eigenvalue(graph) == pytest.approx(-1.0)
+        assert not spectral.is_positive_chain(graph)
+
+
+class TestStationary:
+    def test_uniform(self):
+        pi = spectral.stationary_distribution(families.cycle(5))
+        np.testing.assert_allclose(pi, 0.2)
+
+    def test_fixed_point(self):
+        graph = families.petersen()
+        matrix = graph.transition_matrix()
+        pi = spectral.stationary_distribution(graph)
+        np.testing.assert_allclose(matrix.T @ pi, pi, atol=1e-12)
+
+
+class TestTimes:
+    def test_balancing_time_grows_with_k(self):
+        t1 = spectral.continuous_balancing_time(64, 10, 0.1)
+        t2 = spectral.continuous_balancing_time(64, 1000, 0.1)
+        assert t2 > t1
+
+    def test_balancing_time_inverse_in_gap(self):
+        t1 = spectral.continuous_balancing_time(64, 100, 0.2)
+        t2 = spectral.continuous_balancing_time(64, 100, 0.1)
+        assert t2 == pytest.approx(2 * t1, rel=0.01)
+
+    def test_mixing_time_scale(self):
+        assert spectral.mixing_time_scale(64, 0.5) == pytest.approx(
+            6 * math.log(64) / 0.5
+        )
+
+
+class TestErrorMatrix:
+    def test_error_decays(self):
+        graph = families.complete(8)
+        early = spectral.error_norm(graph, 1)
+        late = spectral.error_norm(graph, 20)
+        assert late < early
+        assert late < 1e-6
+
+    def test_error_zero_rows(self):
+        graph = families.cycle(6)
+        lam = spectral.error_matrix(graph, 3)
+        # Each row of P^t sums to 1, so each Λt row sums to 0.
+        np.testing.assert_allclose(lam.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_probability_current_decays(self):
+        graph = families.hypercube(3)
+        assert spectral.probability_current(
+            graph, 20
+        ) < spectral.probability_current(graph, 1)
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        graph = families.cycle(10)
+        profile = spectral.spectral_profile(graph)
+        assert profile.n == 10
+        assert profile.d_plus == 4
+        assert profile.gap == pytest.approx(
+            spectral.eigenvalue_gap(graph)
+        )
+        assert profile.balancing_time(100) >= 1

@@ -1,0 +1,100 @@
+"""Unit tests for adjacency validation and the reverse-port map."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.errors import GraphValidationError
+from repro.graphs.validation import (
+    is_connected,
+    require_connected,
+    reverse_port_map,
+    validate_adjacency,
+)
+
+
+def triangle():
+    return np.array([[1, 2], [0, 2], [0, 1]], dtype=np.int64)
+
+
+class TestValidateAdjacency:
+    def test_accepts_triangle(self):
+        out = validate_adjacency(triangle())
+        assert out.dtype == np.int64
+        assert out.shape == (3, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(GraphValidationError, match="2-dimensional"):
+            validate_adjacency(np.array([0, 1, 2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphValidationError):
+            validate_adjacency(np.empty((0, 2), dtype=np.int64))
+
+    def test_rejects_out_of_range(self):
+        bad = triangle()
+        bad[0, 0] = 7
+        with pytest.raises(GraphValidationError, match="lie in"):
+            validate_adjacency(bad)
+
+    def test_rejects_negative(self):
+        bad = triangle()
+        bad[1, 1] = -1
+        with pytest.raises(GraphValidationError):
+            validate_adjacency(bad)
+
+    def test_rejects_self_edge(self):
+        bad = np.array([[0, 1], [0, 2], [0, 1]], dtype=np.int64)
+        with pytest.raises(GraphValidationError, match="itself"):
+            validate_adjacency(bad)
+
+    def test_rejects_parallel_edges(self):
+        bad = np.array([[1, 1], [0, 0]], dtype=np.int64)
+        with pytest.raises(GraphValidationError, match="parallel"):
+            validate_adjacency(bad)
+
+    def test_rejects_asymmetric(self):
+        # 0 lists 1 but 1 does not list 0.
+        bad = np.array([[1, 2], [2, 3], [0, 1], [1, 0]], dtype=np.int64)
+        with pytest.raises(GraphValidationError, match="not symmetric"):
+            validate_adjacency(bad)
+
+    def test_accepts_float_integers(self):
+        out = validate_adjacency(triangle().astype(np.float64))
+        assert out.dtype == np.int64
+
+
+class TestReversePortMap:
+    def test_triangle_roundtrip(self):
+        adjacency = validate_adjacency(triangle())
+        reverse = reverse_port_map(adjacency)
+        n, d = adjacency.shape
+        for u in range(n):
+            for p in range(d):
+                v = adjacency[u, p]
+                assert adjacency[v, reverse[u, p]] == u
+
+    def test_cycle_roundtrip(self):
+        n = 8
+        nodes = np.arange(n)
+        adjacency = validate_adjacency(
+            np.stack([(nodes - 1) % n, (nodes + 1) % n], axis=1)
+        )
+        reverse = reverse_port_map(adjacency)
+        for u in range(n):
+            for p in range(2):
+                v = adjacency[u, p]
+                assert adjacency[v, reverse[u, p]] == u
+
+
+class TestConnectivity:
+    def test_triangle_connected(self):
+        assert is_connected(triangle())
+
+    def test_two_triangles_disconnected(self):
+        two = np.array(
+            [[1, 2], [0, 2], [0, 1], [4, 5], [3, 5], [3, 4]],
+            dtype=np.int64,
+        )
+        assert not is_connected(two)
+        with pytest.raises(GraphValidationError, match="disconnected"):
+            require_connected(two)

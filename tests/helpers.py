@@ -1,0 +1,47 @@
+"""Shared test utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import SimulationResult, Simulator
+from repro.core.fairness import (
+    ClassVerdict,
+    CumulativeFairnessMonitor,
+    FairnessMonitor,
+    classify_run,
+)
+from repro.core.flows import FlowTracker
+from repro.core.monitors import LoadBoundsMonitor
+
+
+def run_monitored(
+    graph,
+    balancer,
+    initial_loads,
+    rounds: int,
+    s: int = 1,
+) -> tuple[SimulationResult, ClassVerdict, FlowTracker, LoadBoundsMonitor]:
+    """Run with the full monitor suite; returns result + class verdict."""
+    fairness = FairnessMonitor(s=s)
+    cumulative = CumulativeFairnessMonitor()
+    flows = FlowTracker()
+    bounds = LoadBoundsMonitor()
+    simulator = Simulator(
+        graph,
+        balancer,
+        initial_loads,
+        monitors=(fairness, cumulative, flows, bounds),
+    )
+    result = simulator.run(rounds)
+    return result, classify_run(fairness, cumulative), flows, bounds
+
+
+def assert_conserved(result: SimulationResult) -> None:
+    assert result.final_loads.sum() == result.initial_loads.sum()
+
+
+def spread_loads(n: int, seed: int, high: int = 100) -> np.ndarray:
+    """Random nonnegative integer loads for ad-hoc cases."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, high, size=n).astype(np.int64)

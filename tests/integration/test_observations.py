@@ -1,0 +1,88 @@
+"""Integration tests for Observations 2.2 and 3.2.
+
+The paper's classification claims, verified end-to-end by running each
+algorithm through the engine with the fairness monitors attached, on
+several graph families and workloads.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    RotorRouter,
+    RotorRouterStar,
+    SendFloor,
+    SendRounded,
+    effective_self_preference,
+)
+from repro.core.loads import bimodal, point_mass, uniform_random
+from repro.graphs import families
+
+from tests.helpers import run_monitored
+
+
+GRAPHS = {
+    "expander": lambda: families.random_regular(20, 4, seed=17),
+    "cycle": lambda: families.cycle(14),
+    "torus": lambda: families.torus(4, 2),
+    "hypercube": lambda: families.hypercube(3),
+}
+
+WORKLOADS = {
+    "point_mass": lambda n: point_mass(n, n * 31),
+    "bimodal": lambda n: bimodal(n, 57, 3),
+    "random": lambda n: uniform_random(n, n * 13, seed=5),
+}
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("load_name", sorted(WORKLOADS))
+class TestObservation22:
+    """Observation 2.2 across graphs × workloads."""
+
+    def test_send_floor_cumulatively_0_fair(self, graph_name, load_name):
+        graph = GRAPHS[graph_name]()
+        loads = WORKLOADS[load_name](graph.num_nodes)
+        _, verdict, _, _ = run_monitored(
+            graph, SendFloor(), loads, rounds=50
+        )
+        assert verdict.is_cumulatively_fair(0)
+
+    def test_send_rounded_cumulatively_0_fair(self, graph_name, load_name):
+        graph = GRAPHS[graph_name]()
+        loads = WORKLOADS[load_name](graph.num_nodes)
+        _, verdict, _, _ = run_monitored(
+            graph, SendRounded(), loads, rounds=50
+        )
+        assert verdict.is_cumulatively_fair(0)
+
+    def test_rotor_router_cumulatively_1_fair(self, graph_name, load_name):
+        graph = GRAPHS[graph_name]()
+        loads = WORKLOADS[load_name](graph.num_nodes)
+        _, verdict, _, _ = run_monitored(
+            graph, RotorRouter(), loads, rounds=50
+        )
+        assert verdict.is_cumulatively_fair(1)
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+class TestObservation32:
+    """Observation 3.2: good s-balancer membership."""
+
+    def test_rotor_router_star_good_1_balancer(self, graph_name):
+        graph = GRAPHS[graph_name]()
+        loads = point_mass(graph.num_nodes, graph.num_nodes * 31)
+        _, verdict, _, _ = run_monitored(
+            graph, RotorRouterStar(), loads, rounds=60, s=1
+        )
+        assert verdict.is_good_balancer
+
+    def test_send_rounded_good_s_balancer_above_2d(self, graph_name):
+        graph = GRAPHS[graph_name]()
+        graph = graph.with_self_loops(2 * graph.degree + 2)
+        s = effective_self_preference(graph.degree, graph.total_degree)
+        assert s >= 1
+        loads = point_mass(graph.num_nodes, graph.num_nodes * 31)
+        _, verdict, _, _ = run_monitored(
+            graph, SendRounded(), loads, rounds=60, s=s
+        )
+        assert verdict.is_good_balancer

@@ -1,0 +1,67 @@
+"""Unit tests for the scheduled fixed-flow balancer."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.errors import BindingError
+from repro.graphs import families
+from repro.lower_bounds import FixedFlowBalancer
+
+
+def constant_schedule(graph, value):
+    matrix = np.full(
+        (graph.num_nodes, graph.total_degree), value, dtype=np.int64
+    )
+    matrix[:, graph.degree:] = 0
+    return matrix
+
+
+class TestScheduling:
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            FixedFlowBalancer([])
+
+    def test_shape_validated_at_bind(self):
+        graph = families.cycle(4, num_self_loops=0)
+        bad = np.zeros((2, 2), dtype=np.int64)
+        with pytest.raises(BindingError, match="shape"):
+            FixedFlowBalancer([bad]).bind(graph)
+
+    def test_negative_flows_rejected(self):
+        graph = families.cycle(4, num_self_loops=0)
+        bad = np.full((4, 2), -1, dtype=np.int64)
+        with pytest.raises(BindingError, match="negative"):
+            FixedFlowBalancer([bad]).bind(graph)
+
+    def test_schedule_cycles(self):
+        graph = families.cycle(4, num_self_loops=0)
+        a = constant_schedule(graph, 1)
+        b = constant_schedule(graph, 2)
+        balancer = FixedFlowBalancer([a, b]).bind(graph)
+        assert balancer.period == 2
+        loads = np.full(4, 10, dtype=np.int64)
+        np.testing.assert_array_equal(balancer.sends(loads, 1), a)
+        np.testing.assert_array_equal(balancer.sends(loads, 2), b)
+        np.testing.assert_array_equal(balancer.sends(loads, 3), a)
+
+    def test_constant_flow_is_steady_state(self):
+        graph = families.cycle(6, num_self_loops=0)
+        flows = constant_schedule(graph, 3)
+        balancer = FixedFlowBalancer([flows])
+        loads = flows.sum(axis=1)
+        simulator = Simulator(graph, balancer, loads)
+        for _ in range(5):
+            after = simulator.step()
+            np.testing.assert_array_equal(after, loads)
+
+    def test_overdraw_still_guarded(self):
+        graph = families.cycle(4, num_self_loops=0)
+        flows = constant_schedule(graph, 5)
+        balancer = FixedFlowBalancer([flows])
+        loads = np.ones(4, dtype=np.int64)
+        simulator = Simulator(graph, balancer, loads)
+        from repro.core.errors import NegativeLoadError
+
+        with pytest.raises(NegativeLoadError):
+            simulator.step()

@@ -1,0 +1,112 @@
+"""Tests for the Theorem 4.3 construction (rotor-router Ω(d·φ))."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.metrics import discrepancy
+from repro.graphs import families
+from repro.graphs.errors import GraphConstructionError
+from repro.lower_bounds import (
+    build_rotor_alternating_instance,
+    verify_period_two,
+)
+
+
+@pytest.fixture(
+    scope="module", params=["cycle9", "cycle15", "petersen"]
+)
+def instance(request):
+    graphs = {
+        "cycle9": lambda: families.cycle(9, num_self_loops=0),
+        "cycle15": lambda: families.cycle(15, num_self_loops=0),
+        "petersen": lambda: families.petersen(num_self_loops=0),
+    }
+    return build_rotor_alternating_instance(graphs[request.param]())
+
+
+class TestConstruction:
+    def test_phi_matches_odd_girth(self, instance):
+        odd_girth = instance.graph.odd_girth()
+        assert 2 * instance.phi + 1 == odd_girth
+
+    def test_flows_sum_to_2l(self, instance):
+        """f_0(v1,v2) + f_0(v2,v1) = 2L on every original edge."""
+        graph = instance.graph
+        even = instance.even_flows
+        for node in range(graph.num_nodes):
+            for port, neighbor in enumerate(graph.neighbors(node)):
+                back = list(graph.neighbors(neighbor)).index(node)
+                assert (
+                    even[node, port] + even[neighbor, back]
+                    == 2 * instance.base_load
+                )
+
+    def test_odd_flows_are_reversed_even_flows(self, instance):
+        graph = instance.graph
+        for node in range(graph.num_nodes):
+            for port, neighbor in enumerate(graph.neighbors(node)):
+                back = list(graph.neighbors(neighbor)).index(node)
+                assert (
+                    instance.odd_flows[node, port]
+                    == instance.even_flows[neighbor, back]
+                )
+
+    def test_flows_nonnegative(self, instance):
+        assert instance.even_flows.min() >= 0
+        assert instance.odd_flows.min() >= 0
+
+    def test_per_node_round_fair(self, instance):
+        """Scheduled flows take at most two consecutive values per node."""
+        degree = instance.graph.degree
+        flows = instance.even_flows[:, :degree]
+        spread = flows.max(axis=1) - flows.min(axis=1)
+        assert spread.max() <= 1
+
+    def test_root_load_swings_d_phi(self, instance):
+        graph = instance.graph
+        root = instance.root
+        even_load = instance.even_flows[root].sum()
+        odd_load = instance.odd_flows[root].sum()
+        assert even_load - odd_load == 2 * graph.degree * instance.phi
+
+
+class TestDynamics:
+    def test_period_two_verified_by_real_run(self, instance):
+        assert verify_period_two(instance, cycles=6)
+
+    def test_discrepancy_never_below_d_phi(self, instance):
+        simulator = Simulator(
+            instance.graph, instance.balancer, instance.initial_loads
+        )
+        simulator.run(24)
+        assert (
+            min(simulator.discrepancy_history)
+            >= instance.predicted_discrepancy
+        )
+
+    def test_initial_discrepancy_about_2n_on_cycles(self):
+        graph = families.cycle(21, num_self_loops=0)
+        instance = build_rotor_alternating_instance(graph)
+        assert discrepancy(instance.initial_loads) >= 21  # Ω(n)
+
+
+class TestValidation:
+    def test_rejects_bipartite(self):
+        graph = families.cycle(8, num_self_loops=0)
+        with pytest.raises(GraphConstructionError, match="bipartite"):
+            build_rotor_alternating_instance(graph)
+
+    def test_rejects_self_loops(self):
+        graph = families.cycle(9, num_self_loops=2)
+        with pytest.raises(GraphConstructionError, match="WITHOUT"):
+            build_rotor_alternating_instance(graph)
+
+    def test_rejects_small_base_load(self):
+        graph = families.cycle(9, num_self_loops=0)
+        with pytest.raises(GraphConstructionError, match="base_load"):
+            build_rotor_alternating_instance(graph, base_load=1)
+
+    def test_larger_base_load_also_alternates(self):
+        graph = families.cycle(9, num_self_loops=0)
+        instance = build_rotor_alternating_instance(graph, base_load=10)
+        assert verify_period_two(instance, cycles=4)

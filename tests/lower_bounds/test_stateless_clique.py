@@ -1,0 +1,65 @@
+"""Tests for the Theorem 4.2 construction (stateless Ω(d))."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make
+from repro.core.engine import Simulator
+from repro.lower_bounds import (
+    build_stateless_instance,
+    clique_is_complete,
+    is_fixed_point,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_stateless_instance(40, 10)
+
+
+class TestConstruction:
+    def test_clique_complete(self, instance):
+        assert clique_is_complete(instance)
+
+    def test_clique_loads(self, instance):
+        loads = instance.initial_loads
+        members = list(instance.clique)
+        assert (loads[members] == len(members) - 1).all()
+        others = np.delete(loads, members)
+        assert (others == 0).all()
+
+    def test_predicted_discrepancy_is_theta_d(self, instance):
+        degree = instance.graph.degree
+        assert instance.predicted_discrepancy == degree // 2 - 1
+
+
+class TestFixedPoints:
+    @pytest.mark.parametrize(
+        "name",
+        ["send_floor", "send_rounded", "arbitrary_rounding_fixed"],
+    )
+    def test_stateless_algorithms_stuck(self, instance, name):
+        assert is_fixed_point(instance, make(name), rounds=12)
+
+    def test_discrepancy_never_improves_for_send_floor(self, instance):
+        simulator = Simulator(
+            instance.graph,
+            make("send_floor"),
+            instance.initial_loads,
+        )
+        simulator.run(40)
+        assert (
+            min(simulator.discrepancy_history)
+            == instance.predicted_discrepancy
+        )
+
+    def test_stateful_rotor_router_escapes(self, instance):
+        """Contrast: the (stateful) rotor-router is NOT stuck."""
+        assert not is_fixed_point(
+            instance, make("rotor_router"), rounds=12
+        )
+
+    def test_odd_degree_variant(self):
+        odd = build_stateless_instance(40, 9)
+        assert clique_is_complete(odd)
+        assert is_fixed_point(odd, make("send_floor"), rounds=8)

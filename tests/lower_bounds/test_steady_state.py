@@ -1,0 +1,77 @@
+"""Tests for the Theorem 4.1 construction (Ω(d·diam) steady state)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import Simulator
+from repro.graphs import families
+from repro.lower_bounds import (
+    build_steady_state_instance,
+    exchange_fairness_error,
+    per_node_flow_spread,
+)
+
+
+@pytest.fixture(
+    scope="module",
+    params=["cycle", "torus", "hypercube"],
+)
+def instance(request):
+    if request.param == "cycle":
+        graph = families.cycle(16, num_self_loops=0)
+    elif request.param == "torus":
+        graph = families.torus(4, 2, num_self_loops=0)
+    else:
+        graph = families.hypercube(4, num_self_loops=0)
+    return build_steady_state_instance(graph)
+
+
+class TestConstruction:
+    def test_flows_are_min_distance(self, instance):
+        graph = instance.graph
+        labels = graph.distances_from(instance.source)
+        flows = instance.balancer._schedule[0]
+        for node in range(graph.num_nodes):
+            for port, neighbor in enumerate(graph.neighbors(node)):
+                assert flows[node, port] == min(
+                    labels[node], labels[neighbor]
+                )
+
+    def test_round_fair_spread(self, instance):
+        """Within one node, edge flows differ by at most 1."""
+        assert per_node_flow_spread(instance) <= 1
+
+    def test_exchange_fairness(self, instance):
+        """Net exchange deviates from continuous by < 1 per edge."""
+        assert exchange_fairness_error(instance) < 1.0
+
+    def test_source_has_zero_load(self, instance):
+        assert instance.initial_loads[instance.source] == 0
+
+    def test_discrepancy_at_least_d_diam_minus_one(self, instance):
+        assert (
+            instance.actual_discrepancy >= instance.predicted_discrepancy
+        )
+
+
+class TestDynamics:
+    def test_loads_invariant_forever(self, instance):
+        simulator = Simulator(
+            instance.graph,
+            instance.balancer,
+            instance.initial_loads,
+            record_history=False,
+        )
+        for _ in range(50):
+            after = simulator.step()
+            np.testing.assert_array_equal(after, instance.initial_loads)
+
+    def test_discrepancy_never_improves(self, instance):
+        simulator = Simulator(
+            instance.graph, instance.balancer, instance.initial_loads
+        )
+        simulator.run(30)
+        assert (
+            min(simulator.discrepancy_history)
+            >= instance.predicted_discrepancy
+        )

@@ -1,0 +1,49 @@
+"""Hypothesis strategies shared by the property-based suites."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graphs import families
+
+
+@st.composite
+def balancing_graphs(draw, max_self_loops: int = 8):
+    """A small graph from a random family with a random d° >= d."""
+    family = draw(
+        st.sampled_from(
+            ["cycle", "complete", "hypercube", "torus", "random_regular"]
+        )
+    )
+    if family == "cycle":
+        n = draw(st.integers(3, 16))
+        base = families.cycle(n)
+    elif family == "complete":
+        n = draw(st.integers(3, 10))
+        base = families.complete(n)
+    elif family == "hypercube":
+        dim = draw(st.integers(2, 4))
+        base = families.hypercube(dim)
+    elif family == "torus":
+        side = draw(st.integers(3, 4))
+        base = families.torus(side, 2)
+    else:
+        n = draw(st.sampled_from([8, 12, 16]))
+        degree = draw(st.sampled_from([3, 4]))
+        base = families.random_regular(n, degree, seed=draw(st.integers(0, 50)))
+    loops = draw(
+        st.integers(base.degree, base.degree + max_self_loops)
+    )
+    return base.with_self_loops(loops)
+
+
+@st.composite
+def load_vectors(draw, n: int, max_load: int = 200):
+    """A nonnegative integer load vector of length n."""
+    values = draw(
+        st.lists(
+            st.integers(0, max_load), min_size=n, max_size=n
+        )
+    )
+    return np.array(values, dtype=np.int64)

@@ -1,0 +1,81 @@
+"""Property-based verification of the paper's classification claims.
+
+Observations 2.2 / 3.2 as universally quantified statements over random
+small graphs and random load vectors, checked by the runtime monitors.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    RotorRouter,
+    RotorRouterStar,
+    SendFloor,
+    SendRounded,
+    effective_self_preference,
+)
+
+from tests.helpers import run_monitored
+from tests.property.strategies import balancing_graphs, load_vectors
+
+
+COMMON_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graph_and_loads(draw):
+    graph = draw(balancing_graphs())
+    loads = draw(load_vectors(graph.num_nodes))
+    return graph, loads
+
+
+@given(case=graph_and_loads(), rounds=st.integers(2, 10))
+@settings(**COMMON_SETTINGS)
+def test_send_floor_is_cumulatively_0_fair(case, rounds):
+    graph, loads = case
+    _, verdict, _, _ = run_monitored(graph, SendFloor(), loads, rounds)
+    assert verdict.is_cumulatively_fair(0)
+
+
+@given(case=graph_and_loads(), rounds=st.integers(2, 10))
+@settings(**COMMON_SETTINGS)
+def test_send_rounded_is_cumulatively_0_fair(case, rounds):
+    graph, loads = case
+    _, verdict, _, _ = run_monitored(graph, SendRounded(), loads, rounds)
+    assert verdict.is_cumulatively_fair(0)
+
+
+@given(case=graph_and_loads(), rounds=st.integers(2, 10))
+@settings(**COMMON_SETTINGS)
+def test_rotor_router_is_cumulatively_1_fair_and_round_fair(case, rounds):
+    graph, loads = case
+    _, verdict, _, _ = run_monitored(graph, RotorRouter(), loads, rounds)
+    assert verdict.round_fair
+    assert verdict.is_cumulatively_fair(1)
+
+
+@given(case=graph_and_loads(), rounds=st.integers(2, 10))
+@settings(**COMMON_SETTINGS)
+def test_rotor_router_star_is_good_1_balancer(case, rounds):
+    graph, loads = case
+    _, verdict, _, _ = run_monitored(
+        graph, RotorRouterStar(), loads, rounds, s=1
+    )
+    assert verdict.is_good_balancer
+
+
+@given(case=graph_and_loads(), rounds=st.integers(2, 8))
+@settings(**COMMON_SETTINGS)
+def test_send_rounded_is_good_s_balancer(case, rounds):
+    graph, loads = case
+    s = effective_self_preference(graph.degree, graph.total_degree)
+    if s < 1:
+        return  # d+ <= 2d: Observation 3.2 does not apply
+    _, verdict, _, _ = run_monitored(
+        graph, SendRounded(), loads, rounds, s=s
+    )
+    assert verdict.is_good_balancer

@@ -1,0 +1,63 @@
+"""Property-based structural invariants of the graph substrate."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+
+from repro.graphs.spectral import eigenvalue_gap, eigenvalues
+
+from tests.property.strategies import balancing_graphs
+
+
+COMMON_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(graph=balancing_graphs())
+@settings(**COMMON_SETTINGS)
+def test_reverse_port_is_involution(graph):
+    adjacency = graph.adjacency
+    reverse = graph.reverse_port
+    n, d = adjacency.shape
+    for u in range(min(n, 8)):
+        for p in range(d):
+            v = adjacency[u, p]
+            q = reverse[u, p]
+            assert adjacency[v, q] == u
+            assert reverse[v, q] == p
+
+
+@given(graph=balancing_graphs())
+@settings(**COMMON_SETTINGS)
+def test_transition_matrix_is_doubly_stochastic(graph):
+    matrix = graph.transition_matrix()
+    np.testing.assert_allclose(matrix.sum(axis=0), 1.0, atol=1e-12)
+    np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-12)
+
+
+@given(graph=balancing_graphs())
+@settings(**COMMON_SETTINGS)
+def test_spectrum_in_unit_interval_for_lazy_chains(graph):
+    # Strategy guarantees d° >= d, hence a positive chain.
+    values = eigenvalues(graph)
+    assert values[0] == np.max(values)
+    assert abs(values[0] - 1.0) < 1e-9
+    assert values[-1] >= -1e-9
+
+
+@given(graph=balancing_graphs())
+@settings(**COMMON_SETTINGS)
+def test_gap_positive_for_connected_graphs(graph):
+    assert eigenvalue_gap(graph) > 0
+
+
+@given(graph=balancing_graphs())
+@settings(**COMMON_SETTINGS)
+def test_bfs_distances_are_metric_along_edges(graph):
+    dist = graph.distances_from(0)
+    assert dist[0] == 0
+    for u in range(graph.num_nodes):
+        for v in graph.neighbors(u):
+            assert abs(int(dist[u]) - int(dist[v])) <= 1

@@ -1,0 +1,87 @@
+"""Property-based tests for the non-regular (padding) extension.
+
+Random connected irregular graphs × random loads: the engine
+invariants and the Observation 2.2 classifications must survive the
+padding reduction unchanged.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import RotorRouter, SendFloor
+from repro.core.engine import Simulator
+from repro.core.reference import ReferenceSimulator
+from repro.graphs.irregular import from_irregular_edges
+
+from tests.helpers import run_monitored
+from tests.property.strategies import load_vectors
+
+
+COMMON_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def irregular_graphs(draw):
+    """A random connected simple graph: a tree plus random chords."""
+    n = draw(st.integers(4, 14))
+    edges = set()
+    # Random spanning tree guarantees connectivity.
+    for node in range(1, n):
+        parent = draw(st.integers(0, node - 1))
+        edges.add((parent, node))
+    num_chords = draw(st.integers(0, n))
+    for _ in range(num_chords):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return from_irregular_edges(n, sorted(edges))
+
+
+@st.composite
+def irregular_case(draw):
+    graph = draw(irregular_graphs())
+    loads = draw(load_vectors(graph.num_nodes, max_load=120))
+    return graph, loads
+
+
+@given(case=irregular_case(), rounds=st.integers(1, 8))
+@settings(**COMMON_SETTINGS)
+def test_conservation_on_irregular(case, rounds):
+    graph, loads = case
+    simulator = Simulator(graph, RotorRouter(), loads)
+    result = simulator.run(rounds)
+    assert result.final_loads.sum() == loads.sum()
+    assert result.final_loads.min() >= 0
+
+
+@given(case=irregular_case())
+@settings(**COMMON_SETTINGS)
+def test_engine_matches_reference_on_irregular(case):
+    graph, loads = case
+    fast = Simulator(graph, RotorRouter(), loads.copy())
+    slow = ReferenceSimulator(graph, RotorRouter(), loads.copy())
+    for _ in range(4):
+        np.testing.assert_array_equal(
+            fast.step(), np.array(slow.step(), dtype=np.int64)
+        )
+
+
+@given(case=irregular_case(), rounds=st.integers(2, 8))
+@settings(**COMMON_SETTINGS)
+def test_fairness_survives_padding(case, rounds):
+    graph, loads = case
+    _, rotor_verdict, _, _ = run_monitored(
+        graph, RotorRouter(), loads, rounds
+    )
+    assert rotor_verdict.round_fair
+    assert rotor_verdict.observed_delta <= 1
+    _, floor_verdict, _, _ = run_monitored(
+        graph, SendFloor(), loads, rounds
+    )
+    assert floor_verdict.is_cumulatively_fair(0)

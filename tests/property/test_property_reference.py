@@ -1,0 +1,78 @@
+"""Differential testing: vectorized engine vs naive reference engine.
+
+The reference engine moves tokens one port at a time in plain Python;
+if the fast engine ever disagrees with it on any (graph, algorithm,
+loads, rounds) combination, one of them is wrong — and the reference
+is simple enough to trust.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    RotorRouter,
+    RotorRouterStar,
+    SendFloor,
+    SendRounded,
+)
+from repro.core.engine import Simulator
+from repro.core.reference import ReferenceSimulator
+
+from tests.property.strategies import balancing_graphs, load_vectors
+
+
+COMMON_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def scenario(draw):
+    graph = draw(balancing_graphs(max_self_loops=4))
+    loads = draw(load_vectors(graph.num_nodes, max_load=100))
+    rounds = draw(st.integers(1, 6))
+    return graph, loads, rounds
+
+
+def assert_engines_agree(graph, loads, rounds, make_balancer):
+    fast = Simulator(
+        graph, make_balancer(), loads.copy(), record_history=False
+    )
+    slow = ReferenceSimulator(graph, make_balancer(), loads.copy())
+    for _ in range(rounds):
+        fast_loads = fast.step()
+        slow_loads = slow.step()
+        np.testing.assert_array_equal(
+            fast_loads, np.array(slow_loads, dtype=np.int64)
+        )
+
+
+@given(case=scenario())
+@settings(**COMMON_SETTINGS)
+def test_send_floor_matches_reference(case):
+    graph, loads, rounds = case
+    assert_engines_agree(graph, loads, rounds, SendFloor)
+
+
+@given(case=scenario())
+@settings(**COMMON_SETTINGS)
+def test_send_rounded_matches_reference(case):
+    graph, loads, rounds = case
+    assert_engines_agree(graph, loads, rounds, SendRounded)
+
+
+@given(case=scenario())
+@settings(**COMMON_SETTINGS)
+def test_rotor_router_matches_reference(case):
+    graph, loads, rounds = case
+    assert_engines_agree(graph, loads, rounds, RotorRouter)
+
+
+@given(case=scenario())
+@settings(**COMMON_SETTINGS)
+def test_rotor_router_star_matches_reference(case):
+    graph, loads, rounds = case
+    assert_engines_agree(graph, loads, rounds, RotorRouterStar)
