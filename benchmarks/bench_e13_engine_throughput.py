@@ -2,19 +2,35 @@
 
 The harness's own scalability; this is pytest-benchmark's home turf, so
 every algorithm's 100-round simulation on a 1024-node expander is a
-separate benchmark case.
+separate benchmark case.  The batched cases compare the vectorized
+``(replicas, n)`` BatchRunner against the Python-loop-over-``Simulator``
+baseline on identical scenarios (32 replicas, n=256): the batched path
+must win by at least 2x while producing bit-identical load vectors.
 """
 
+import numpy as np
 import pytest
 
 from repro.algorithms.registry import all_names, make
 from repro.core.engine import Simulator
 from repro.core.loads import point_mass
 from repro.graphs import families
+from repro.scenarios import (
+    AlgorithmSpec,
+    GraphSpec,
+    LoadSpec,
+    Scenario,
+    StopRule,
+)
 
 
 N = 1024
 ROUNDS = 100
+
+BATCH_N = 256
+BATCH_DEGREE = 8
+BATCH_REPLICAS = 32
+BATCH_ROUNDS = 100
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +51,52 @@ def test_throughput(benchmark, graph, algorithm):
 
     result = benchmark(run_once)
     assert result.final_loads.sum() == 64 * N
+
+
+@pytest.fixture(scope="module")
+def batch_graph():
+    return families.random_regular(BATCH_N, BATCH_DEGREE, seed=3)
+
+
+def _batch_scenario(algorithm: str) -> Scenario:
+    return Scenario(
+        graph=GraphSpec(
+            "random_regular",
+            {"n": BATCH_N, "degree": BATCH_DEGREE, "seed": 3},
+        ),
+        algorithm=AlgorithmSpec(algorithm),
+        loads=LoadSpec(
+            "uniform_random", {"total_tokens": 64 * BATCH_N, "seed": 1}
+        ),
+        stop=StopRule.fixed(BATCH_ROUNDS),
+        replicas=BATCH_REPLICAS,
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["send_floor", "send_rounded"])
+@pytest.mark.parametrize("executor", ["loop", "batch"])
+def test_replica_throughput(benchmark, batch_graph, algorithm, executor):
+    """Batched (replicas, n) execution vs the looped Simulator baseline."""
+    scenario = _batch_scenario(algorithm)
+
+    def run_once():
+        return scenario.run(executor=executor, graph=batch_graph)
+
+    result = benchmark(run_once)
+    assert all(
+        r.final_loads.sum() == 64 * BATCH_N for r in result.results
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["send_floor", "send_rounded"])
+def test_batched_matches_looped(batch_graph, algorithm):
+    """Replica-for-replica parity of the two executors (same seeds)."""
+    scenario = _batch_scenario(algorithm)
+    looped = scenario.run(executor="loop", graph=batch_graph)
+    batched = scenario.run(executor="batch", graph=batch_graph)
+    for left, right in zip(looped.results, batched.results):
+        np.testing.assert_array_equal(left.final_loads, right.final_loads)
+        assert left.discrepancy_history == right.discrepancy_history
 
 
 def test_throughput_with_monitors(benchmark, graph):

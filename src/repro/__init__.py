@@ -5,32 +5,64 @@ PODC 2015).
 Public API overview
 -------------------
 
+* :mod:`repro.scenarios` — the declarative front door: ``Scenario``
+  (graph × workload × algorithm × stop rule × replicas),
+  ``ScenarioSuite`` cartesian sweeps, JSON round-tripping, and the
+  vectorized ``BatchRunner`` that executes all replicas as one stacked
+  ``(replicas, n)`` array.
 * :mod:`repro.graphs` — d-regular graph families, the balancing graph
   ``G+`` (self-loops, ports), spectral toolkit (``μ``, ``T``).
 * :mod:`repro.core` — synchronous simulation engine, balancer
-  interface, flow accounting, fairness checkers, potentials, metrics.
+  interface, named load workloads, flow accounting, fairness checkers,
+  potentials, metrics.
 * :mod:`repro.algorithms` — SEND(⌊x/d+⌋), SEND([x/d+]), ROTOR-ROUTER,
   ROTOR-ROUTER*, continuous diffusion, and all Table 1 baselines.
 * :mod:`repro.lower_bounds` — the Section 4 adversarial constructions.
 * :mod:`repro.analysis` — theory-bound formulas, convergence runs,
   scaling fits, table rendering.
 * :mod:`repro.experiments` — drivers regenerating Table 1 and every
-  theorem's measurement (see DESIGN.md for the index).
+  theorem's measurement, built on ``ScenarioSuite``.
+* :mod:`repro.registry` — the decorator-based plugin registry behind
+  ``@register_balancer`` / ``@register_family`` / ``@register_load_spec``.
 
 Quickstart
 ----------
+
+>>> from repro.scenarios import (
+...     AlgorithmSpec, GraphSpec, LoadSpec, Scenario, StopRule,
+... )
+>>> scenario = Scenario(
+...     graph=GraphSpec("random_regular", {"n": 64, "degree": 4, "seed": 1}),
+...     algorithm=AlgorithmSpec("rotor_router"),
+...     loads=LoadSpec("point_mass", {"tokens": 6400}),
+...     stop=StopRule.fixed(500),
+...     replicas=4,
+... )
+>>> result = scenario.run()  # replicas run as one vectorized batch
+>>> all(d <= 12 for d in result.final_discrepancies)
+True
+
+The classic imperative API remains available:
 
 >>> from repro.graphs import random_regular
 >>> from repro.algorithms import RotorRouter
 >>> from repro.core import Simulator, point_mass
 >>> graph = random_regular(64, 4, seed=1)
 >>> sim = Simulator(graph, RotorRouter(), point_mass(64, 6400))
->>> result = sim.run(500)
->>> result.final_discrepancy < result.initial_discrepancy
+>>> sim.run(500).final_discrepancy < 6400
 True
 """
 
-from repro import algorithms, analysis, core, experiments, graphs, lower_bounds
+from repro import (
+    algorithms,
+    analysis,
+    core,
+    experiments,
+    graphs,
+    lower_bounds,
+    scenarios,
+)
+from repro.registry import Registry
 
 __version__ = "1.0.0"
 
@@ -41,5 +73,7 @@ __all__ = [
     "lower_bounds",
     "analysis",
     "experiments",
+    "scenarios",
+    "Registry",
     "__version__",
 ]

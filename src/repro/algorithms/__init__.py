@@ -15,11 +15,13 @@ from repro.algorithms.mimicking import ContinuousMimicking
 from repro.algorithms.randomized_extra import RandomizedExtraTokens
 from repro.algorithms.randomized_rounding import RandomizedEdgeRounding
 from repro.algorithms.registry import (
+    BALANCERS,
     BASELINE_ALGORITHMS,
     PAPER_ALGORITHMS,
     REGISTRY,
     all_names,
     make,
+    register_balancer,
 )
 from repro.algorithms.rotor_router import RotorRouter, interleaved_port_order
 from repro.algorithms.rotor_router_star import RotorRouterStar
@@ -49,8 +51,10 @@ __all__ = [
     "RandomizedEdgeRounding",
     "ContinuousMimicking",
     "REGISTRY",
+    "BALANCERS",
     "PAPER_ALGORITHMS",
     "BASELINE_ALGORITHMS",
     "make",
     "all_names",
+    "register_balancer",
 ]

@@ -1,8 +1,19 @@
 """Name-based registry of all implemented balancers.
 
-The experiment drivers, CLI, and Table 1 regeneration refer to
-algorithms by these names.  Factories take a ``seed`` keyword so that
-randomized schemes are reproducible; deterministic schemes ignore it.
+The experiment drivers, CLI, scenario specs, and Table 1 regeneration
+refer to algorithms by these names.  Factories take a ``seed`` keyword
+so that randomized schemes are reproducible (deterministic schemes
+ignore it) plus arbitrary extra keyword parameters forwarded to the
+algorithm's constructor, so :class:`~repro.scenarios.AlgorithmSpec`
+params work uniformly.
+
+Third-party algorithms plug in without touching this module::
+
+    from repro.algorithms import register_balancer
+
+    @register_balancer("my_scheme")
+    def _build(seed: int = 0, **params):
+        return MyScheme(**params)
 """
 
 from __future__ import annotations
@@ -22,32 +33,58 @@ from repro.algorithms.rotor_router_star import RotorRouterStar
 from repro.algorithms.send_floor import SendFloor
 from repro.algorithms.send_rounded import SendRounded
 from repro.core.balancer import Balancer
+from repro.registry import Registry
 
 BalancerFactory = Callable[..., Balancer]
 
+#: The one true balancer registry (a Mapping: iterate / ``in`` / index).
+BALANCERS: Registry = Registry("balancer")
+
+#: Decorator registering a balancer factory: ``@register_balancer(name)``.
+register_balancer = BALANCERS.register
+
+#: Backwards-compatible alias — historically a plain dict.
+REGISTRY = BALANCERS
+
 
 def _ignore_seed(cls: type) -> BalancerFactory:
-    def factory(seed: int = 0) -> Balancer:
-        return cls()
+    """Factory for deterministic schemes: drops ``seed``, forwards params."""
+
+    def factory(seed: int = 0, **params) -> Balancer:
+        return cls(**params)
 
     return factory
 
 
-REGISTRY: dict[str, BalancerFactory] = {
-    "send_floor": _ignore_seed(SendFloor),
-    "send_rounded": _ignore_seed(SendRounded),
-    "rotor_router": _ignore_seed(RotorRouter),
-    "rotor_router_star": _ignore_seed(RotorRouterStar),
-    "arbitrary_rounding_fixed": lambda seed=0: ArbitraryRoundingDiffusion(
-        FixedPriorityPolicy()
-    ),
-    "arbitrary_rounding_random": lambda seed=0: ArbitraryRoundingDiffusion(
-        RandomPolicy(seed)
-    ),
-    "randomized_extra_tokens": lambda seed=0: RandomizedExtraTokens(seed),
-    "randomized_edge_rounding": lambda seed=0: RandomizedEdgeRounding(seed),
-    "continuous_mimicking": _ignore_seed(ContinuousMimicking),
-}
+for _name, _cls in {
+    "send_floor": SendFloor,
+    "send_rounded": SendRounded,
+    "rotor_router": RotorRouter,
+    "rotor_router_star": RotorRouterStar,
+    "continuous_mimicking": ContinuousMimicking,
+}.items():
+    BALANCERS.add(_name, _ignore_seed(_cls))
+
+
+@register_balancer("arbitrary_rounding_fixed")
+def _arbitrary_rounding_fixed(seed: int = 0, **params) -> Balancer:
+    return ArbitraryRoundingDiffusion(FixedPriorityPolicy(), **params)
+
+
+@register_balancer("arbitrary_rounding_random")
+def _arbitrary_rounding_random(seed: int = 0, **params) -> Balancer:
+    return ArbitraryRoundingDiffusion(RandomPolicy(seed), **params)
+
+
+@register_balancer("randomized_extra_tokens")
+def _randomized_extra_tokens(seed: int = 0, **params) -> Balancer:
+    return RandomizedExtraTokens(seed, **params)
+
+
+@register_balancer("randomized_edge_rounding")
+def _randomized_edge_rounding(seed: int = 0, **params) -> Balancer:
+    return RandomizedEdgeRounding(seed, **params)
+
 
 #: The paper's own algorithms (upper-bound side of Table 1).
 PAPER_ALGORITHMS = (
@@ -67,14 +104,19 @@ BASELINE_ALGORITHMS = (
 )
 
 
-def make(name: str, seed: int = 0) -> Balancer:
-    """Instantiate a registered balancer by name."""
-    if name not in REGISTRY:
-        known = ", ".join(sorted(REGISTRY))
+def make(name: str, seed: int = 0, **params) -> Balancer:
+    """Instantiate a registered balancer by name.
+
+    ``seed`` plus any extra keyword ``params`` are forwarded to the
+    registered factory (deterministic schemes ignore the seed).
+    """
+    if name not in BALANCERS:
+        known = ", ".join(sorted(BALANCERS))
         raise KeyError(f"unknown balancer {name!r}; known: {known}")
-    return REGISTRY[name](seed=seed)
+    return BALANCERS[name](seed=seed, **params)
 
 
 def all_names() -> list[str]:
     """All registered balancer names, paper algorithms first."""
-    return list(PAPER_ALGORITHMS) + list(BASELINE_ALGORITHMS)
+    ordered = list(PAPER_ALGORITHMS) + list(BASELINE_ALGORITHMS)
+    return ordered + sorted(set(BALANCERS) - set(ordered))

@@ -33,16 +33,42 @@ class SendFloor(Balancer):
         negative_load_safe=True,
         communication_free=True,
     )
+    supports_batched_sends = True
+    _batch_scratch: np.ndarray | None = None
+
+    def reset(self) -> None:
+        self._batch_scratch = None
+
+    def _fill_sends(self, loads: np.ndarray, out: np.ndarray) -> np.ndarray:
+        # Shape-polymorphic rule: works for one (n,) vector and for a
+        # (replicas, n) stack alike, filling out with (..., n, d+).
+        # Equivalent to a uniform quotient fill followed by
+        # split_extras_over_self_loops, with one less full-width pass.
+        graph = self.graph
+        degree = graph.degree
+        d_plus = graph.total_degree
+        num_loops = graph.num_self_loops
+        quotient = loads // d_plus
+        out[..., :degree] = quotient[..., None]
+        if num_loops > 0:
+            extras = loads - d_plus * quotient
+            per_loop, leftover = np.divmod(extras, num_loops)
+            out[..., degree:] = (quotient + per_loop)[..., None]
+            out[..., degree:] += np.arange(num_loops) < leftover[..., None]
+        return out
 
     def sends(self, loads: np.ndarray, t: int) -> np.ndarray:
-        graph = self.graph
-        d_plus = graph.total_degree
-        quotient = loads // d_plus
-        sends = np.repeat(quotient[:, None], d_plus, axis=1)
-        extras = loads - d_plus * quotient
-        if graph.num_self_loops > 0:
-            split_extras_over_self_loops(sends, extras, graph.degree)
-        return sends
+        shape = loads.shape + (self.graph.total_degree,)
+        return self._fill_sends(loads, np.empty(shape, dtype=np.int64))
+
+    def sends_batch(self, loads: np.ndarray, t: int) -> np.ndarray:
+        # The batch engine consumes the sends within the round and no
+        # monitors can hold a reference, so one scratch buffer is reused
+        # across rounds (fresh multi-MB allocations dominate otherwise).
+        shape = loads.shape + (self.graph.total_degree,)
+        if self._batch_scratch is None or self._batch_scratch.shape != shape:
+            self._batch_scratch = np.empty(shape, dtype=np.int64)
+        return self._fill_sends(loads, self._batch_scratch)
 
 
 def floor_self_loop_minimum(graph: BalancingGraph) -> bool:

@@ -62,23 +62,43 @@ class SendRounded(Balancer):
                 f"always be paid: d={graph.degree}, d+={graph.total_degree}"
             )
 
-    def sends(self, loads: np.ndarray, t: int) -> np.ndarray:
+    supports_batched_sends = True
+    _batch_scratch: np.ndarray | None = None
+
+    def reset(self) -> None:
+        self._batch_scratch = None
+
+    def _fill_sends(self, loads: np.ndarray, out: np.ndarray) -> np.ndarray:
+        # Shape-polymorphic rule: works for one (n,) vector and for a
+        # (replicas, n) stack alike, filling out with (..., n, d+).
         graph = self.graph
         degree = graph.degree
         d_plus = graph.total_degree
         share = nearest_share(loads, d_plus)
-        sends = np.empty((graph.num_nodes, d_plus), dtype=np.int64)
-        sends[:, :degree] = share[:, None]
+        out[..., :degree] = share[..., None]
         quotient = loads // d_plus
         # Self-loops each receive the floor share, plus one extra token on
         # the first `num_ceil` loops, consuming exactly the leftover.
         remaining = loads - degree * share
         num_loops = d_plus - degree
-        sends[:, degree:] = quotient[:, None]
+        out[..., degree:] = quotient[..., None]
         num_ceil = remaining - num_loops * quotient
-        loop_index = np.arange(num_loops)[None, :]
-        sends[:, degree:] += loop_index < num_ceil[:, None]
-        return sends
+        loop_index = np.arange(num_loops)
+        out[..., degree:] += loop_index < num_ceil[..., None]
+        return out
+
+    def sends(self, loads: np.ndarray, t: int) -> np.ndarray:
+        shape = loads.shape + (self.graph.total_degree,)
+        return self._fill_sends(loads, np.empty(shape, dtype=np.int64))
+
+    def sends_batch(self, loads: np.ndarray, t: int) -> np.ndarray:
+        # The batch engine consumes the sends within the round and no
+        # monitors can hold a reference, so one scratch buffer is reused
+        # across rounds (fresh multi-MB allocations dominate otherwise).
+        shape = loads.shape + (self.graph.total_degree,)
+        if self._batch_scratch is None or self._batch_scratch.shape != shape:
+            self._batch_scratch = np.empty(shape, dtype=np.int64)
+        return self._fill_sends(loads, self._batch_scratch)
 
     @property
     def self_preference(self) -> int:

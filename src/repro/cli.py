@@ -7,6 +7,12 @@ Examples::
     repro-lb run --full           # run everything at full size
     repro-lb run --json out.json  # machine-readable results
     repro-lb simulate rotor_router --family cycle --n 32 --rounds 500
+    repro-lb scenario sweep.json  # run a declarative scenario (suite)
+
+The ``simulate`` subcommand is a thin front end over the declarative
+Scenario API (:mod:`repro.scenarios`); ``scenario`` executes scenario /
+suite specifications straight from JSON files produced by
+``Scenario.to_dict`` / ``ScenarioSuite.to_dict``.
 """
 
 from __future__ import annotations
@@ -71,60 +77,147 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="dump the discrepancy trajectory as CSV",
     )
+    sim_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="independent repetitions (multi-replica runs are batched)",
+    )
+    scenario_parser = subparsers.add_parser(
+        "scenario",
+        help="run a declarative scenario or suite from a JSON file",
+    )
+    scenario_parser.add_argument(
+        "path", help="JSON file (Scenario.to_dict / ScenarioSuite.to_dict)"
+    )
+    scenario_parser.add_argument(
+        "--executor",
+        choices=("auto", "loop", "batch"),
+        default="auto",
+        help="force an execution strategy (default: auto)",
+    )
+    scenario_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write per-replica summaries as JSON to PATH",
+    )
     return parser
 
 
-def _build_graph(args):
-    from repro.graphs import families
+def graph_spec_from_cli(
+    family: str,
+    n: int,
+    degree: int,
+    seed: int,
+    self_loops: int | None = None,
+):
+    """Translate the CLI's uniform ``--n`` knob into per-family params."""
+    from repro.graphs.balancing import log2_ceil
+    from repro.scenarios import GraphSpec
 
-    kwargs = {}
-    if args.self_loops is not None:
-        kwargs["num_self_loops"] = args.self_loops
-    if args.family == "random_regular":
-        return families.random_regular(
-            args.n, args.degree, args.seed, **kwargs
-        )
-    if args.family == "cycle":
-        return families.cycle(args.n, **kwargs)
-    if args.family == "complete":
-        return families.complete(args.n, **kwargs)
-    if args.family == "hypercube":
-        from repro.graphs.balancing import log2_ceil
-
-        return families.hypercube(log2_ceil(args.n), **kwargs)
-    if args.family == "torus":
-        side = max(3, int(round(args.n ** 0.5)))
-        return families.torus(side, 2, **kwargs)
-    return families.build(args.family, n=args.n, **kwargs)
+    if family == "random_regular":
+        params = {"n": n, "degree": degree, "seed": seed}
+    elif family == "hypercube":
+        params = {"dimension": log2_ceil(n)}
+    elif family == "torus":
+        params = {"side": max(3, int(round(n ** 0.5))), "dimensions": 2}
+    else:
+        params = {"n": n}
+    if self_loops is not None:
+        params["num_self_loops"] = self_loops
+    return GraphSpec(family, params)
 
 
 def _run_simulate(args) -> int:
-    from repro.algorithms.registry import make
     from repro.analysis.convergence import horizon_for
-    from repro.core.engine import Simulator
-    from repro.core.loads import point_mass
     from repro.graphs.spectral import eigenvalue_gap
-
-    graph = _build_graph(args)
-    gap = eigenvalue_gap(graph)
-    initial = point_mass(
-        graph.num_nodes, args.tokens_per_node * graph.num_nodes
+    from repro.scenarios import (
+        AlgorithmSpec,
+        LoadSpec,
+        Scenario,
+        StopRule,
     )
+
+    graph_spec = graph_spec_from_cli(
+        args.family, args.n, args.degree, args.seed, args.self_loops
+    )
+    graph = graph_spec.build()
+    gap = eigenvalue_gap(graph)
+    tokens = args.tokens_per_node * graph.num_nodes
     rounds = args.rounds
     if rounds is None:
-        rounds = horizon_for(graph, initial, gap=gap)
-    simulator = Simulator(graph, make(args.algorithm, seed=args.seed), initial)
-    result = simulator.run(rounds)
+        from repro.core.loads import point_mass
+
+        rounds = horizon_for(
+            graph, point_mass(graph.num_nodes, tokens), gap=gap
+        )
+    scenario = Scenario(
+        graph=graph_spec,
+        algorithm=AlgorithmSpec(args.algorithm, seed=args.seed),
+        loads=LoadSpec("point_mass", {"tokens": tokens}),
+        stop=StopRule.fixed(rounds),
+        replicas=args.replicas,
+    )
+    outcome = scenario.run(graph=graph)
+    result = outcome.replica(0)
     print(f"graph:      {graph.name} (d+={graph.total_degree})")
     print(f"mu:         {gap:.5g}")
     print(f"rounds:     {result.rounds_executed}")
     print(f"discrepancy {result.initial_discrepancy} -> "
           f"{result.final_discrepancy}")
+    if args.replicas > 1:
+        finals = outcome.final_discrepancies
+        print(
+            f"replicas:   {args.replicas} ({outcome.executor} executor), "
+            f"final discrepancy {min(finals)}..{max(finals)}"
+        )
     if args.csv:
         from repro.analysis.export import write_trajectory_csv
 
         write_trajectory_csv(result.discrepancy_history, args.csv)
         print(f"wrote {args.csv}")
+    return 0
+
+
+def _run_scenario(args) -> int:
+    from repro.analysis.tables import render_table
+    from repro.scenarios import Scenario, ScenarioSuite
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if "scenarios" in data:
+        suite = ScenarioSuite.from_dict(data)
+    else:
+        suite = ScenarioSuite((Scenario.from_dict(data),))
+    rows = []
+    for outcome in suite.run(executor=args.executor):
+        label = outcome.scenario.name or outcome.scenario.label()
+        for replica in range(len(outcome)):
+            rows.append(
+                {
+                    "scenario": label,
+                    "replica": replica,
+                    "executor": outcome.executor,
+                    **outcome.replica_summary(replica),
+                }
+            )
+    # Union of keys across all rows: mixed stop rules produce
+    # heterogeneous summaries (e.g. time_to_target only on some rows)
+    # and render_table would otherwise take its columns from row 0.
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    print(
+        render_table(
+            rows, columns=columns, title=f"scenarios from {args.path}"
+        )
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2, default=str)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -159,6 +252,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "simulate":
         return _run_simulate(args)
+    if args.command == "scenario":
+        return _run_scenario(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

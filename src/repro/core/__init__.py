@@ -24,12 +24,16 @@ from repro.core.fairness import (
 )
 from repro.core.flows import FlowTracker
 from repro.core.loads import (
+    LOAD_SPECS,
+    adversarial_split,
     balanced,
     bimodal,
     initial_discrepancy,
     linear_gradient,
     point_mass,
     random_spikes,
+    register_load_spec,
+    skewed,
     uniform_random,
     validate_loads,
 )
@@ -100,5 +104,9 @@ __all__ = [
     "balanced",
     "linear_gradient",
     "random_spikes",
+    "adversarial_split",
+    "skewed",
     "initial_discrepancy",
+    "LOAD_SPECS",
+    "register_load_spec",
 ]

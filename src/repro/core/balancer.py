@@ -78,6 +78,10 @@ class Balancer(ABC):
     #: If True the engine permits a node's remainder to go negative.
     allows_negative: bool = False
 
+    #: True if :meth:`sends_batch` is implemented (stateless schemes
+    #: whose rule vectorizes over a stack of independent load vectors).
+    supports_batched_sends: bool = False
+
     def __init__(self) -> None:
         self._graph: BalancingGraph | None = None
 
@@ -125,6 +129,29 @@ class Balancer(ABC):
             node's remainder for this round.
         """
 
+    def sends_batch(self, loads: np.ndarray, t: int) -> np.ndarray:
+        """Per-port token counts for a stack of independent replicas.
+
+        Args:
+            loads: ``(replicas, n)`` stacked load vectors.
+            t: 1-based round index.
+
+        Returns:
+            ``(replicas, n, d+)`` nonnegative ``int64`` array; each
+            slice along axis 0 must equal :meth:`sends` of that row.
+            The array may be an internal scratch buffer reused by the
+            next ``sends``/``sends_batch`` call — it is only valid
+            until then; callers that retain per-round sends must copy.
+
+        Only meaningful for stateless schemes (per-replica state cannot
+        live in one shared instance); implementations set
+        :attr:`supports_batched_sends` and the batch runner falls back
+        to per-replica :meth:`sends` calls otherwise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement batched sends"
+        )
+
     def describe(self) -> dict:
         """Summary used in experiment reports."""
         return {"name": self.name, **self.properties.as_dict()}
@@ -140,13 +167,15 @@ def split_extras_over_self_loops(
 ) -> None:
     """Distribute per-node extra tokens over self-loop ports, in place.
 
-    ``base_sends`` is an ``(n, d+)`` matrix already holding the uniform
-    part; ``extras[u]`` additional tokens are layered onto node ``u``'s
-    self-loop ports ``d, d+1, ...`` as evenly as possible (first loops
-    receive the odd token).  This is the deterministic, stateless
-    "remaining tokens over self-loops" rule used by the SEND algorithms.
+    ``base_sends`` is an ``(..., n, d+)`` array already holding the
+    uniform part (any number of leading batch dimensions); ``extras``
+    has shape ``(..., n)`` and ``extras[..., u]`` additional tokens are
+    layered onto node ``u``'s self-loop ports ``d, d+1, ...`` as evenly
+    as possible (first loops receive the odd token).  This is the
+    deterministic, stateless "remaining tokens over self-loops" rule
+    used by the SEND algorithms.
     """
-    num_loops = base_sends.shape[1] - degree
+    num_loops = base_sends.shape[-1] - degree
     if num_loops == 0:
         if np.any(extras != 0):
             raise ValueError(
@@ -154,6 +183,6 @@ def split_extras_over_self_loops(
             )
         return
     per_loop, leftover = np.divmod(extras, num_loops)
-    base_sends[:, degree:] += per_loop[:, None]
-    loop_index = np.arange(num_loops)[None, :]
-    base_sends[:, degree:] += loop_index < leftover[:, None]
+    base_sends[..., degree:] += per_loop[..., None]
+    loop_index = np.arange(num_loops)
+    base_sends[..., degree:] += loop_index < leftover[..., None]

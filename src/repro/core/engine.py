@@ -159,7 +159,7 @@ class Simulator:
         """Execute ``rounds`` rounds."""
         for _ in range(rounds):
             self.step()
-        return self._result(rounds, stopped_early=False)
+        return self._result(stopped_early=False)
 
     def run_until(
         self,
@@ -170,13 +170,13 @@ class Simulator:
         """Run until ``predicate(loads)`` holds or ``max_rounds`` elapse."""
         executed = 0
         if predicate(self._loads):
-            return self._result(0, stopped_early=True)
+            return self._result(stopped_early=True)
         while executed < max_rounds:
             self.step()
             executed += 1
             if executed % check_every == 0 and predicate(self._loads):
-                return self._result(executed, stopped_early=True)
-        return self._result(executed, stopped_early=False)
+                return self._result(stopped_early=True)
+        return self._result(stopped_early=False)
 
     def run_to_discrepancy(
         self,
@@ -209,7 +209,14 @@ class Simulator:
                 "move forward along edges"
             )
 
-    def _result(self, rounds: int, stopped_early: bool) -> SimulationResult:
+    def _result(self, *, stopped_early: bool) -> SimulationResult:
+        """Snapshot the run so far.
+
+        ``rounds_executed`` is always the cumulative ``self.round - 1``
+        (total rounds since construction), regardless of how many calls
+        to :meth:`run`/:meth:`run_until` produced them — including the
+        early-return path of :meth:`run_until`.
+        """
         return SimulationResult(
             initial_loads=self.initial_loads,
             final_loads=self._loads.copy(),

@@ -3,6 +3,20 @@
 The paper's results are parameterized by the initial discrepancy
 ``K = max x₁ - min x₁``; these helpers build the standard workloads used
 throughout the experiments, all returning validated ``int64`` vectors.
+
+Every generator is registered in :data:`LOAD_SPECS` under its function
+name, so scenario specs (:class:`repro.scenarios.LoadSpec`) can refer to
+workloads declaratively.  Custom workloads plug in the same way::
+
+    from repro.core.loads import register_load_spec
+
+    @register_load_spec("my_workload")
+    def my_workload(n: int, *, seed: int = 0) -> np.ndarray:
+        ...
+
+Registered generators take ``n`` (number of nodes) first; seeded ones
+take a ``seed`` parameter, which batch replicas offset for independent
+samples.
 """
 
 from __future__ import annotations
@@ -10,6 +24,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import InvalidLoadVector
+from repro.registry import Registry
+
+#: Named initial-load distributions available to scenario specs.
+LOAD_SPECS: Registry = Registry("load spec")
+
+#: Decorator registering a load generator: ``@register_load_spec(name)``.
+register_load_spec = LOAD_SPECS.register
 
 
 def validate_loads(loads: np.ndarray, *, allow_negative: bool = False) -> np.ndarray:
@@ -32,6 +53,7 @@ def validate_loads(loads: np.ndarray, *, allow_negative: bool = False) -> np.nda
     return loads
 
 
+@register_load_spec("point_mass")
 def point_mass(n: int, tokens: int, node: int = 0) -> np.ndarray:
     """All ``tokens`` on a single node — initial discrepancy ``K = tokens``."""
     if not 0 <= node < n:
@@ -43,6 +65,7 @@ def point_mass(n: int, tokens: int, node: int = 0) -> np.ndarray:
     return loads
 
 
+@register_load_spec("bimodal")
 def bimodal(n: int, high: int, low: int = 0) -> np.ndarray:
     """First half of the nodes at ``high``, second half at ``low``."""
     if high < low:
@@ -52,6 +75,7 @@ def bimodal(n: int, high: int, low: int = 0) -> np.ndarray:
     return loads
 
 
+@register_load_spec("uniform_random")
 def uniform_random(
     n: int,
     total_tokens: int,
@@ -65,6 +89,7 @@ def uniform_random(
     return counts.astype(np.int64)
 
 
+@register_load_spec("balanced")
 def balanced(n: int, per_node: int) -> np.ndarray:
     """Perfectly balanced vector (useful as a fixed point in tests)."""
     if per_node < 0:
@@ -72,6 +97,7 @@ def balanced(n: int, per_node: int) -> np.ndarray:
     return np.full(n, per_node, dtype=np.int64)
 
 
+@register_load_spec("linear_gradient")
 def linear_gradient(n: int, step: int = 1, base: int = 0) -> np.ndarray:
     """Loads ``base, base+step, ..., base+(n-1)*step`` — discrepancy ``(n-1)*step``."""
     if step < 0 or base < 0:
@@ -79,6 +105,7 @@ def linear_gradient(n: int, step: int = 1, base: int = 0) -> np.ndarray:
     return (base + step * np.arange(n)).astype(np.int64)
 
 
+@register_load_spec("random_spikes")
 def random_spikes(
     n: int,
     num_spikes: int,
@@ -94,6 +121,52 @@ def random_spikes(
     spikes = rng.choice(n, size=num_spikes, replace=False)
     loads[spikes] += spike_height
     return loads
+
+
+@register_load_spec("adversarial_split")
+def adversarial_split(
+    n: int,
+    tokens: int,
+    fraction: float = 0.5,
+) -> np.ndarray:
+    """Two opposing point masses on nodes ``0`` and ``n // 2``.
+
+    ``ceil(fraction * tokens)`` tokens land on node 0 and the rest on
+    the antipodal index — the adversarial placement for ring-like
+    topologies, maximizing the distance mass must travel.
+    """
+    if tokens < 0:
+        raise InvalidLoadVector("tokens must be nonnegative")
+    if not 0.0 <= fraction <= 1.0:
+        raise InvalidLoadVector(f"fraction must be in [0, 1], got {fraction}")
+    loads = np.zeros(n, dtype=np.int64)
+    first = int(np.ceil(fraction * tokens))
+    loads[0] = first
+    loads[(n // 2) % n] += tokens - first
+    return loads
+
+
+@register_load_spec("skewed")
+def skewed(
+    n: int,
+    total_tokens: int,
+    alpha: float = 2.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Power-law (Zipf-like) workload: node ``i`` has weight ``(i+1)^-α``.
+
+    ``total_tokens`` are multinomially sampled with those weights, so a
+    few nodes carry most of the mass — the heavy-tailed traffic shape of
+    real schedulers, between ``point_mass`` and ``uniform_random``.
+    """
+    if total_tokens < 0:
+        raise InvalidLoadVector("total_tokens must be nonnegative")
+    if alpha < 0:
+        raise InvalidLoadVector(f"alpha must be nonnegative, got {alpha}")
+    weights = (1.0 + np.arange(n)) ** -alpha
+    weights /= weights.sum()
+    rng = np.random.default_rng(seed)
+    return rng.multinomial(total_tokens, weights).astype(np.int64)
 
 
 def initial_discrepancy(loads: np.ndarray) -> int:

@@ -11,6 +11,11 @@ For every implemented algorithm, on a chosen graph, we measure:
 * the paper's predicted bound for the same setting, and the
   measured/predicted ratio.
 
+The driver is built on the declarative Scenario API: one
+:class:`~repro.scenarios.ScenarioSuite` sweeps every algorithm for the
+after-``O(T)`` measurement and a second suite probes the time to
+``O(d)``, both attached to a shared prebuilt graph.
+
 The qualitative reproduction targets: cumulatively fair balancers beat
 the adversarial round-fair baseline; the mimicking baseline sits at
 ``Θ(d)``; randomized edge rounding goes negative while nothing else
@@ -22,16 +27,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.algorithms.registry import all_names, make
-from repro.analysis.convergence import (
-    measure_after_t,
-    measure_time_to_target,
-)
+from repro.analysis.convergence import horizon_for
 from repro.analysis.theory import predicted_after_t
 from repro.core.loads import point_mass
+from repro.core.monitors import LoadBoundsMonitor
 from repro.experiments.base import ExperimentResult, timed
-from repro.graphs import families
 from repro.graphs.balancing import BalancingGraph
 from repro.graphs.spectral import eigenvalue_gap
+from repro.scenarios import (
+    AlgorithmSpec,
+    GraphSpec,
+    LoadSpec,
+    ScenarioSuite,
+    StopRule,
+)
 
 
 @dataclass
@@ -50,48 +59,67 @@ class Table1Config:
         default_factory=lambda: tuple(all_names())
     )
 
-    def build_graph(self) -> BalancingGraph:
+    def graph_spec(self) -> GraphSpec:
         if self.graph_family == "random_regular":
-            return families.random_regular(self.n, self.degree, self.seed)
+            return GraphSpec(
+                "random_regular",
+                {"n": self.n, "degree": self.degree, "seed": self.seed},
+            )
         if self.graph_family == "hypercube":
             from repro.graphs.balancing import log2_ceil
 
-            return families.hypercube(log2_ceil(self.n))
+            return GraphSpec("hypercube", {"dimension": log2_ceil(self.n)})
         if self.graph_family == "torus":
             side = max(3, int(round(self.n ** 0.5)))
-            return families.torus(side, 2)
-        if self.graph_family == "cycle":
-            return families.cycle(self.n)
-        return families.build(self.graph_family, n=self.n)
+            return GraphSpec("torus", {"side": side, "dimensions": 2})
+        return GraphSpec(self.graph_family, {"n": self.n})
+
+    def build_graph(self) -> BalancingGraph:
+        return self.graph_spec().build()
 
 
 def run_table1(config: Table1Config | None = None) -> ExperimentResult:
     """Regenerate Table 1 on one graph (see module docstring)."""
     config = config or Table1Config()
-    graph = config.build_graph()
+    graph_spec = config.graph_spec()
+    graph = graph_spec.build()
     gap = eigenvalue_gap(graph)
     tokens = config.tokens_per_node * graph.num_nodes
+    initial = point_mass(graph.num_nodes, tokens)
+    loads = LoadSpec("point_mass", {"tokens": tokens})
+    algorithms = [
+        AlgorithmSpec(name, seed=config.seed) for name in config.algorithms
+    ]
+    horizon = horizon_for(graph, initial, config.horizon_multiplier, gap)
+    od_target = config.od_target_factor * graph.degree
+    od_budget = horizon_for(
+        graph, initial, config.od_budget_multiplier, gap
+    )
+    after_t_suite = ScenarioSuite.cartesian(
+        graphs=graph_spec,
+        algorithms=algorithms,
+        loads=loads,
+        stop=StopRule.fixed(horizon),
+        monitors=(LoadBoundsMonitor,),
+        name="table1/after_T",
+    )
+    od_suite = ScenarioSuite.cartesian(
+        graphs=graph_spec,
+        algorithms=algorithms,
+        loads=loads,
+        stop=StopRule.discrepancy(od_target, od_budget),
+        monitors=(LoadBoundsMonitor,),
+        name="table1/time_to_O(d)",
+    )
     rows: list[dict] = []
     with timed() as clock:
-        for name in config.algorithms:
-            balancer = make(name, seed=config.seed)
-            initial = point_mass(graph.num_nodes, tokens)
-            report = measure_after_t(
-                graph,
-                balancer,
-                initial,
-                horizon_multiplier=config.horizon_multiplier,
-                gap=gap,
-            )
-            od_target = config.od_target_factor * graph.degree
-            od_report = measure_time_to_target(
-                graph,
-                make(name, seed=config.seed),
-                point_mass(graph.num_nodes, tokens),
-                od_target,
-                max_multiplier=config.od_budget_multiplier,
-                gap=gap,
-            )
+        after_t = after_t_suite.run(graph=graph)
+        od_runs = od_suite.run(graph=graph)
+        for name, plateau_run, od_run in zip(
+            config.algorithms, after_t, od_runs
+        ):
+            report = plateau_run.replica_summary()
+            od_report = od_run.replica_summary()
             predicted = predicted_after_t(
                 name,
                 graph.num_nodes,
@@ -99,21 +127,21 @@ def run_table1(config: Table1Config | None = None) -> ExperimentResult:
                 gap,
                 d_plus=graph.total_degree,
             )
-            properties = balancer.properties
+            properties = make(name).properties
             rows.append(
                 {
                     "algorithm": name,
-                    "disc_after_T": report.plateau_discrepancy,
+                    "disc_after_T": report["plateau"],
                     "predicted": predicted,
-                    "ratio": report.plateau_discrepancy / predicted,
-                    "time_to_O(d)": od_report.time_to_target,
+                    "ratio": report["plateau"] / predicted,
+                    "time_to_O(d)": od_report["time_to_target"],
                     "D": properties.deterministic,
                     "SL": properties.stateless,
-                    "NL": report.min_load_ever >= 0
-                    and od_report.min_load_ever >= 0,
+                    "NL": report["min_load"] >= 0
+                    and od_report["min_load"] >= 0,
                     "NC": properties.communication_free,
                     "min_load": min(
-                        report.min_load_ever, od_report.min_load_ever
+                        report["min_load"], od_report["min_load"]
                     ),
                 }
             )

@@ -19,8 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.algorithms.registry import make
-from repro.analysis.convergence import measure_after_t
+from repro.analysis.convergence import ConvergenceReport, horizon_for
 from repro.analysis.sweeps import fit_power_law
 from repro.analysis.theory import (
     cumulative_fair_bound_i,
@@ -29,9 +28,16 @@ from repro.analysis.theory import (
     rabani_bound,
 )
 from repro.core.loads import point_mass
+from repro.core.monitors import LoadBoundsMonitor
 from repro.experiments.base import ExperimentResult, timed
 from repro.graphs import families
 from repro.graphs.spectral import eigenvalue_gap
+from repro.scenarios import (
+    AlgorithmSpec,
+    LoadSpec,
+    Scenario,
+    StopRule,
+)
 
 
 @dataclass
@@ -50,9 +56,33 @@ class Theorem23Config:
 
 
 def _measure(graph, name, tokens_per_node, seed, gap=None):
-    balancer = make(name, seed=seed)
-    initial = point_mass(graph.num_nodes, tokens_per_node * graph.num_nodes)
-    return measure_after_t(graph, balancer, initial, gap=gap)
+    """Standardized O(T)-horizon measurement, driven by a Scenario."""
+    if gap is None:
+        gap = eigenvalue_gap(graph)
+    tokens = tokens_per_node * graph.num_nodes
+    horizon = horizon_for(graph, point_mass(graph.num_nodes, tokens), gap=gap)
+    scenario = Scenario(
+        graph=graph,
+        algorithm=AlgorithmSpec(name, seed=seed),
+        loads=LoadSpec("point_mass", {"tokens": tokens}),
+        stop=StopRule.fixed(horizon),
+        monitors=(LoadBoundsMonitor,),
+    )
+    summary = scenario.run().replica_summary()
+    return ConvergenceReport(
+        algorithm=name,
+        graph=graph.name,
+        n=graph.num_nodes,
+        degree=graph.degree,
+        d_plus=graph.total_degree,
+        gap=gap,
+        horizon=horizon,
+        rounds_executed=summary["rounds"],
+        initial_discrepancy=summary["initial_discrepancy"],
+        final_discrepancy=summary["final_discrepancy"],
+        plateau_discrepancy=summary["plateau"],
+        min_load_ever=summary["min_load"],
+    )
 
 
 def run_expander_sweep(

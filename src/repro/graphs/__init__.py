@@ -9,6 +9,7 @@ from repro.graphs.errors import (
 from repro.graphs.families import (
     FAMILY_BUILDERS,
     build,
+    register_family,
     circulant,
     circulant_clique,
     complete,
@@ -44,6 +45,7 @@ __all__ = [
     "GraphConstructionError",
     "FAMILY_BUILDERS",
     "build",
+    "register_family",
     "cycle",
     "complete",
     "circulant",

@@ -28,12 +28,21 @@ import numpy as np
 
 from repro.graphs.balancing import BalancingGraph
 from repro.graphs.errors import GraphConstructionError
+from repro.registry import Registry
+
+#: Decorator-based family registry (a Mapping, so ``in`` / iteration /
+#: indexing work exactly as they did when this was a plain dict).
+FAMILY_BUILDERS: Registry = Registry("graph family")
+
+#: Decorator registering a graph-family builder: ``@register_family(name)``.
+register_family = FAMILY_BUILDERS.register
 
 
 def _default_loops(degree: int, num_self_loops: int | None) -> int:
     return degree if num_self_loops is None else num_self_loops
 
 
+@register_family("cycle")
 def cycle(n: int, num_self_loops: int | None = None) -> BalancingGraph:
     """Cycle ``C_n`` (2-regular). Requires ``n >= 3``."""
     if n < 3:
@@ -49,6 +58,7 @@ def cycle(n: int, num_self_loops: int | None = None) -> BalancingGraph:
     )
 
 
+@register_family("complete")
 def complete(n: int, num_self_loops: int | None = None) -> BalancingGraph:
     """Complete graph ``K_n`` ((n-1)-regular). Requires ``n >= 2``."""
     if n < 2:
@@ -63,6 +73,7 @@ def complete(n: int, num_self_loops: int | None = None) -> BalancingGraph:
     )
 
 
+@register_family("circulant")
 def circulant(
     n: int,
     offsets: list[int],
@@ -104,6 +115,7 @@ def circulant(
     )
 
 
+@register_family("circulant_clique")
 def circulant_clique(
     n: int,
     degree: int,
@@ -135,6 +147,7 @@ def circulant_clique(
     return graph
 
 
+@register_family("hypercube")
 def hypercube(
     dimension: int,
     num_self_loops: int | None = None,
@@ -157,6 +170,7 @@ def hypercube(
     )
 
 
+@register_family("torus")
 def torus(
     side: int,
     dimensions: int = 2,
@@ -195,6 +209,7 @@ def torus(
     )
 
 
+@register_family("random_regular")
 def random_regular(
     n: int,
     degree: int,
@@ -236,6 +251,7 @@ _PETERSEN_EDGES = [
 ]
 
 
+@register_family("petersen")
 def petersen(num_self_loops: int | None = None) -> BalancingGraph:
     """The Petersen graph: 3-regular, non-bipartite, odd girth 5."""
     graph = BalancingGraph.from_edge_list(
@@ -247,6 +263,7 @@ def petersen(num_self_loops: int | None = None) -> BalancingGraph:
     return graph
 
 
+@register_family("complete_bipartite")
 def complete_bipartite_regular(
     side: int,
     num_self_loops: int | None = None,
@@ -273,6 +290,7 @@ def complete_bipartite_regular(
     )
 
 
+@register_family("ring_of_cliques")
 def ring_of_cliques(
     num_cliques: int,
     clique_size: int,
@@ -310,22 +328,10 @@ def ring_of_cliques(
     return graph
 
 
-FAMILY_BUILDERS = {
-    "ring_of_cliques": ring_of_cliques,
-    "cycle": cycle,
-    "complete": complete,
-    "circulant": circulant,
-    "circulant_clique": circulant_clique,
-    "hypercube": hypercube,
-    "torus": torus,
-    "random_regular": random_regular,
-    "petersen": petersen,
-    "complete_bipartite": complete_bipartite_regular,
-}
 
 
 def build(family: str, /, **kwargs) -> BalancingGraph:
-    """Build a graph family by name (CLI/experiment entry point)."""
+    """Build a graph family by name (CLI/scenario/experiment entry point)."""
     if family not in FAMILY_BUILDERS:
         known = ", ".join(sorted(FAMILY_BUILDERS))
         raise GraphConstructionError(

@@ -1,0 +1,33 @@
+"""Declarative scenario API: specs, suites, and the batch runner.
+
+This is the system's front door: describe *what to run* — graph family,
+initial workload, algorithm, stop rule, replicas — and let the runtime
+decide *how to execute it* (looped simulators or one vectorized batch).
+See :mod:`repro.scenarios.spec` for the data model and
+:mod:`repro.scenarios.batch` for the stacked-array engine.
+"""
+
+from repro.scenarios.batch import BatchResult, BatchRunner
+from repro.scenarios.spec import (
+    STOP_KINDS,
+    AlgorithmSpec,
+    GraphSpec,
+    LoadSpec,
+    Scenario,
+    ScenarioResult,
+    ScenarioSuite,
+    StopRule,
+)
+
+__all__ = [
+    "GraphSpec",
+    "LoadSpec",
+    "AlgorithmSpec",
+    "StopRule",
+    "STOP_KINDS",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSuite",
+    "BatchRunner",
+    "BatchResult",
+]

@@ -1,0 +1,655 @@
+"""Declarative scenario specifications.
+
+The paper's statements are over *ensembles* — many graphs × algorithms
+× initial vectors — so the public API is built around a declarative
+:class:`Scenario`: what graph (:class:`GraphSpec`), what workload
+(:class:`LoadSpec`), what algorithm (:class:`AlgorithmSpec`), when to
+stop (:class:`StopRule`), and how many replicas.  Scenarios round-trip
+through plain dictionaries (JSON/CLI use) and compose into cartesian
+sweeps via :class:`ScenarioSuite`.
+
+Example::
+
+    scenario = Scenario(
+        graph=GraphSpec("random_regular", {"n": 64, "degree": 4, "seed": 1}),
+        algorithm=AlgorithmSpec("rotor_router"),
+        loads=LoadSpec("point_mass", {"tokens": 6400}),
+        stop=StopRule.fixed(200),
+        replicas=4,
+    )
+    result = scenario.run()
+
+Execution is delegated either to the looped
+:class:`~repro.core.engine.Simulator` (one per replica; required when
+monitors are attached) or to the vectorized
+:class:`~repro.scenarios.batch.BatchRunner`, which stacks all replicas
+into one ``(replicas, n)`` array.  Both produce identical trajectories
+replica-for-replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.algorithms.registry import make
+from repro.core.balancer import Balancer
+from repro.core.engine import SimulationResult, Simulator
+from repro.core.loads import LOAD_SPECS
+from repro.core.metrics import (
+    discrepancy,
+    final_plateau,
+    time_to_discrepancy,
+)
+from repro.core.monitors import LoadBoundsMonitor, Monitor
+from repro.graphs import families
+from repro.graphs.balancing import BalancingGraph
+from repro.scenarios.batch import BatchRunner
+
+STOP_KINDS = ("rounds", "target_discrepancy", "converged")
+
+
+def _freeze(value):
+    """Recursively convert ``value`` into something hashable."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return frozenset(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A graph family by name plus its construction parameters."""
+
+    family: str
+    params: dict = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        return hash((self.family, _freeze(self.params)))
+
+    def build(self) -> BalancingGraph:
+        return families.build(self.family, **self.params)
+
+    def to_dict(self) -> dict:
+        return {"family": self.family, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GraphSpec":
+        return cls(data["family"], dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """A named initial-load distribution plus its parameters.
+
+    Names resolve against :data:`repro.core.loads.LOAD_SPECS`
+    (``point_mass``, ``uniform_random``, ``adversarial_split``,
+    ``skewed``, ...).  If the params include a ``seed``, replica ``r``
+    uses ``seed + r`` so replicas are independent samples; seedless
+    (deterministic) workloads are identical across replicas.
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        return hash((self.name, _freeze(self.params)))
+
+    def build(self, n: int, replica: int = 0) -> np.ndarray:
+        params = dict(self.params)
+        if replica and "seed" in params:
+            params["seed"] += replica
+        return LOAD_SPECS.create(self.name, n=n, **params)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoadSpec":
+        return cls(data["name"], dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A registered balancer by name plus seed and extra parameters.
+
+    Replica ``r`` is built with ``seed + r`` so randomized schemes get
+    independent, reproducible streams; deterministic schemes ignore the
+    seed entirely.
+    """
+
+    name: str
+    seed: int = 0
+    params: dict = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.seed, _freeze(self.params)))
+
+    def build(self, replica: int = 0) -> Balancer:
+        return make(self.name, seed=self.seed + replica, **self.params)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AlgorithmSpec":
+        return cls(
+            data["name"],
+            int(data.get("seed", 0)),
+            dict(data.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class StopRule:
+    """When a replica's run ends.
+
+    Kinds:
+
+    * ``rounds`` — exactly ``rounds`` rounds (the paper's ``O(T)``
+      measurements);
+    * ``target_discrepancy`` — until discrepancy ``<= target``, up to
+      ``max_rounds`` (Theorem 3.3's time-to-``O(d)`` column);
+    * ``converged`` — until the discrepancy has not improved for
+      ``window`` consecutive checks, up to ``max_rounds``.
+    """
+
+    kind: str = "rounds"
+    rounds: int | None = None
+    target: int | None = None
+    max_rounds: int | None = None
+    check_every: int = 1
+    window: int = 16
+
+    def __post_init__(self) -> None:
+        if self.kind not in STOP_KINDS:
+            raise ValueError(
+                f"unknown stop kind {self.kind!r}; known: {STOP_KINDS}"
+            )
+        if self.kind == "rounds":
+            if self.rounds is None or self.rounds < 0:
+                raise ValueError("kind='rounds' needs rounds >= 0")
+        elif self.max_rounds is None or self.max_rounds < 0:
+            raise ValueError(f"kind={self.kind!r} needs max_rounds >= 0")
+        if self.kind == "target_discrepancy" and self.target is None:
+            raise ValueError("kind='target_discrepancy' needs a target")
+        if self.check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+    @classmethod
+    def fixed(cls, rounds: int) -> "StopRule":
+        return cls(kind="rounds", rounds=rounds)
+
+    @classmethod
+    def discrepancy(
+        cls, target: int, max_rounds: int, check_every: int = 1
+    ) -> "StopRule":
+        return cls(
+            kind="target_discrepancy",
+            target=target,
+            max_rounds=max_rounds,
+            check_every=check_every,
+        )
+
+    @classmethod
+    def converged(
+        cls, max_rounds: int, window: int = 16, check_every: int = 1
+    ) -> "StopRule":
+        return cls(
+            kind="converged",
+            max_rounds=max_rounds,
+            window=window,
+            check_every=check_every,
+        )
+
+    def predicate(self) -> Callable[[np.ndarray], bool] | None:
+        """A fresh per-replica stop predicate (None for fixed rounds)."""
+        if self.kind == "rounds":
+            return None
+        if self.kind == "target_discrepancy":
+            target = self.target
+
+            def reached(loads: np.ndarray) -> bool:
+                return discrepancy(loads) <= target
+
+            return reached
+        best: int | None = None
+        stale = 0
+        window = self.window
+
+        def converged(loads: np.ndarray) -> bool:
+            nonlocal best, stale
+            current = discrepancy(loads)
+            if best is None or current < best:
+                best, stale = current, 0
+            else:
+                stale += 1
+            return stale >= window
+
+        return converged
+
+    def to_dict(self) -> dict:
+        data = {"kind": self.kind}
+        for key in ("rounds", "target", "max_rounds"):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        if self.check_every != 1:
+            data["check_every"] = self.check_every
+        if self.kind == "converged":
+            data["window"] = self.window
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StopRule":
+        return cls(**data)
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario: per-replica results plus their monitors."""
+
+    scenario: "Scenario"
+    graph: BalancingGraph
+    executor: str
+    results: list[SimulationResult]
+    monitors: list[tuple[Monitor, ...]]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def replica(self, index: int = 0) -> SimulationResult:
+        return self.results[index]
+
+    @property
+    def final_discrepancies(self) -> list[int]:
+        return [result.final_discrepancy for result in self.results]
+
+    def monitor(self, monitor_type: type, replica: int = 0):
+        """The first attached monitor of ``monitor_type`` (or None)."""
+        for monitor in self.monitors[replica]:
+            if isinstance(monitor, monitor_type):
+                return monitor
+        return None
+
+    def replica_summary(
+        self, replica: int = 0, plateau_window: int = 16
+    ) -> dict:
+        """Measurement row for one replica (plateau, min load, target)."""
+        result = self.results[replica]
+        history = result.discrepancy_history
+        data = result.summary()
+        data["plateau"] = (
+            final_plateau(history, plateau_window)
+            if history
+            else result.final_discrepancy
+        )
+        bounds = self.monitor(LoadBoundsMonitor, replica)
+        if bounds is not None:
+            data["min_load"] = bounds.min_ever
+        stop = self.scenario.stop
+        if stop.kind == "target_discrepancy" and history:
+            data["target"] = stop.target
+            data["time_to_target"] = time_to_discrepancy(
+                history, stop.target
+            )
+        return data
+
+    def summary(self) -> dict:
+        """Aggregate summary over replicas."""
+        finals = self.final_discrepancies
+        return {
+            "scenario": self.scenario.name or self.scenario.label(),
+            "graph": self.graph.name,
+            "replicas": len(self.results),
+            "executor": self.executor,
+            "final_discrepancy_min": min(finals),
+            "final_discrepancy_max": max(finals),
+            "final_discrepancy_mean": sum(finals) / len(finals),
+            "rounds": [r.rounds_executed for r in self.results],
+        }
+
+
+@dataclass
+class Scenario:
+    """One declarative unit of work: graph × workload × algorithm × stop.
+
+    Attributes:
+        graph: a :class:`GraphSpec`, or a prebuilt
+            :class:`BalancingGraph` (programmatic use; such scenarios
+            cannot be serialized with :meth:`to_dict`).
+        algorithm: the balancer spec; replica ``r`` runs with
+            ``seed + r``.
+        loads: the initial-load spec; seeded workloads offset their seed
+            per replica.
+        stop: when each replica ends.
+        replicas: independent repetitions of the run.
+        monitors: per-replica monitor *factories* (e.g. the class
+            ``LoadBoundsMonitor`` itself); instantiated fresh for every
+            replica.  Monitors force the looped executor and are not
+            serialized.
+        record_history: keep per-round discrepancy trajectories.
+        validate_every_round: structural validation each round.
+        name: optional label used in reports.
+    """
+
+    graph: GraphSpec | BalancingGraph
+    algorithm: AlgorithmSpec
+    loads: LoadSpec
+    stop: StopRule
+    replicas: int = 1
+    monitors: tuple[Callable[[], Monitor], ...] = ()
+    record_history: bool = True
+    validate_every_round: bool = True
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+
+    # -- construction helpers ------------------------------------------
+
+    def label(self) -> str:
+        graph = (
+            self.graph.name
+            if isinstance(self.graph, BalancingGraph)
+            else self.graph.family
+        )
+        return f"{self.algorithm.name} @ {graph} / {self.loads.name}"
+
+    def build_graph(self) -> BalancingGraph:
+        if isinstance(self.graph, BalancingGraph):
+            return self.graph
+        return self.graph.build()
+
+    def build_loads(
+        self, graph: BalancingGraph, replica: int = 0
+    ) -> np.ndarray:
+        return self.loads.build(graph.num_nodes, replica)
+
+    def build_balancer(self, replica: int = 0) -> Balancer:
+        return self.algorithm.build(replica)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        if isinstance(self.graph, BalancingGraph):
+            raise ValueError(
+                "scenarios holding a prebuilt graph object cannot be "
+                "serialized; use a GraphSpec"
+            )
+        if self.monitors:
+            raise ValueError(
+                "monitor factories cannot be serialized; attach them "
+                "programmatically after from_dict"
+            )
+        return {
+            "graph": self.graph.to_dict(),
+            "algorithm": self.algorithm.to_dict(),
+            "loads": self.loads.to_dict(),
+            "stop": self.stop.to_dict(),
+            "replicas": self.replicas,
+            "record_history": self.record_history,
+            "validate_every_round": self.validate_every_round,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        return cls(
+            graph=GraphSpec.from_dict(data["graph"]),
+            algorithm=AlgorithmSpec.from_dict(data["algorithm"]),
+            loads=LoadSpec.from_dict(data["loads"]),
+            stop=StopRule.from_dict(data["stop"]),
+            replicas=int(data.get("replicas", 1)),
+            record_history=bool(data.get("record_history", True)),
+            validate_every_round=bool(
+                data.get("validate_every_round", True)
+            ),
+            name=data.get("name", ""),
+        )
+
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        executor: str = "auto",
+        graph: BalancingGraph | None = None,
+    ) -> ScenarioResult:
+        """Execute every replica and collect the results.
+
+        Args:
+            executor: ``"loop"`` (one :class:`Simulator` per replica),
+                ``"batch"`` (stacked :class:`BatchRunner`), or
+                ``"auto"`` — batch for multi-replica monitor-free
+                scenarios, loop otherwise.
+            graph: optional prebuilt graph (cache for sweeps that reuse
+                one graph across many scenarios).
+        """
+        if executor not in ("auto", "loop", "batch"):
+            raise ValueError(f"unknown executor {executor!r}")
+        if executor == "auto":
+            executor = (
+                "batch"
+                if self.replicas > 1 and not self.monitors
+                else "loop"
+            )
+        if executor == "batch" and self.monitors:
+            raise ValueError(
+                "monitors require the looped executor "
+                "(run(executor='loop'))"
+            )
+        graph = graph if graph is not None else self.build_graph()
+        if executor == "loop":
+            return self._run_looped(graph)
+        return self._run_batched(graph)
+
+    def _run_looped(self, graph: BalancingGraph) -> ScenarioResult:
+        results: list[SimulationResult] = []
+        monitor_sets: list[tuple[Monitor, ...]] = []
+        for replica in range(self.replicas):
+            monitors = tuple(factory() for factory in self.monitors)
+            simulator = Simulator(
+                graph,
+                self.build_balancer(replica),
+                self.build_loads(graph, replica),
+                monitors=monitors,
+                record_history=self.record_history,
+                validate_every_round=self.validate_every_round,
+            )
+            stop = self.stop
+            if stop.kind == "rounds":
+                result = simulator.run(stop.rounds)
+            else:
+                result = simulator.run_until(
+                    stop.predicate(),
+                    stop.max_rounds,
+                    check_every=stop.check_every,
+                )
+            results.append(result)
+            monitor_sets.append(monitors)
+        return ScenarioResult(
+            scenario=self,
+            graph=graph,
+            executor="loop",
+            results=results,
+            monitors=monitor_sets,
+        )
+
+    def _run_batched(self, graph: BalancingGraph) -> ScenarioResult:
+        first = self.build_balancer(0)
+        if (
+            first.supports_batched_sends
+            and first.properties.stateless
+            and first.properties.deterministic
+        ):
+            balancers: list[Balancer] = [first]
+        else:
+            balancers = [first] + [
+                self.build_balancer(replica)
+                for replica in range(1, self.replicas)
+            ]
+        initial = np.stack(
+            [
+                self.build_loads(graph, replica)
+                for replica in range(self.replicas)
+            ]
+        )
+        runner = BatchRunner(
+            graph,
+            balancers,
+            initial,
+            record_history=self.record_history,
+            validate_every_round=self.validate_every_round,
+        )
+        stop = self.stop
+        if stop.kind == "rounds":
+            batch = runner.run(stop.rounds)
+        else:
+            predicates = [
+                stop.predicate() for _ in range(self.replicas)
+            ]
+            batch = runner.run_until(
+                predicates,
+                stop.max_rounds,
+                check_every=stop.check_every,
+            )
+        return ScenarioResult(
+            scenario=self,
+            graph=graph,
+            executor="batch",
+            results=batch.as_simulation_results(),
+            monitors=[() for _ in range(self.replicas)],
+        )
+
+
+def _as_tuple(value, kinds: tuple[type, ...]) -> tuple:
+    if isinstance(value, kinds):
+        return (value,)
+    return tuple(value)
+
+
+@dataclass
+class ScenarioSuite:
+    """An ordered collection of scenarios (usually a cartesian sweep)."""
+
+    scenarios: tuple[Scenario, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.scenarios = tuple(self.scenarios)
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    @classmethod
+    def cartesian(
+        cls,
+        *,
+        graphs: GraphSpec | BalancingGraph | Sequence,
+        algorithms: AlgorithmSpec | Sequence[AlgorithmSpec],
+        loads: LoadSpec | Sequence[LoadSpec],
+        stop: StopRule | Sequence[StopRule],
+        replicas: int = 1,
+        monitors: tuple[Callable[[], Monitor], ...] = (),
+        record_history: bool = True,
+        validate_every_round: bool = True,
+        name: str = "",
+    ) -> "ScenarioSuite":
+        """The cartesian product graphs × algorithms × loads × stops.
+
+        Axis order is ``graphs`` (slowest) → ``algorithms`` → ``loads``
+        → ``stop`` (fastest), so sweeps group naturally by graph.
+        """
+        scenarios = tuple(
+            Scenario(
+                graph=graph,
+                algorithm=algorithm,
+                loads=load,
+                stop=stop_rule,
+                replicas=replicas,
+                monitors=monitors,
+                record_history=record_history,
+                validate_every_round=validate_every_round,
+            )
+            for graph, algorithm, load, stop_rule in product(
+                _as_tuple(graphs, (GraphSpec, BalancingGraph)),
+                _as_tuple(algorithms, (AlgorithmSpec,)),
+                _as_tuple(loads, (LoadSpec,)),
+                _as_tuple(stop, (StopRule,)),
+            )
+        )
+        return cls(scenarios, name=name)
+
+    def run(
+        self,
+        executor: str = "auto",
+        graph: BalancingGraph | None = None,
+    ) -> list[ScenarioResult]:
+        """Run every scenario in order; see :meth:`Scenario.run`.
+
+        ``graph`` is a prebuilt-graph cache and is therefore only legal
+        when every scenario in the suite shares one graph spec — a
+        multi-graph sweep would otherwise silently run each scenario on
+        the wrong topology.
+        """
+        if graph is not None and self.scenarios:
+            first = self.scenarios[0].graph
+            if any(s.graph != first for s in self.scenarios[1:]):
+                raise ValueError(
+                    "graph= override is only valid when every scenario "
+                    "in the suite shares one graph spec; this suite "
+                    "sweeps multiple graphs"
+                )
+        # Scenarios sharing a GraphSpec share one built graph instance
+        # (specs are deterministic, graphs immutable), so a sweep of k
+        # algorithms over one graph builds it once, not k times.
+        cache: dict[GraphSpec, BalancingGraph] = {}
+        results = []
+        for scenario in self.scenarios:
+            scenario_graph = graph
+            if scenario_graph is None and isinstance(
+                scenario.graph, GraphSpec
+            ):
+                try:
+                    scenario_graph = cache.get(scenario.graph)
+                    if scenario_graph is None:
+                        scenario_graph = scenario.graph.build()
+                        cache[scenario.graph] = scenario_graph
+                except TypeError:  # unhashable custom param value
+                    scenario_graph = None
+            results.append(
+                scenario.run(executor=executor, graph=scenario_graph)
+            )
+        return results
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSuite":
+        return cls(
+            tuple(
+                Scenario.from_dict(entry)
+                for entry in data.get("scenarios", [])
+            ),
+            name=data.get("name", ""),
+        )

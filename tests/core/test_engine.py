@@ -217,3 +217,33 @@ class TestRunUntil:
         summary = result.summary()
         assert summary["rounds"] == 3
         assert summary["final_discrepancy"] == 0
+
+
+class TestCumulativeRoundsReporting:
+    """`rounds_executed` is cumulative across run/run_until calls."""
+
+    def test_run_after_run_accumulates(self, expander24):
+        simulator = Simulator(
+            expander24, SendFloor(), np.full(24, 5, dtype=np.int64)
+        )
+        simulator.run(4)
+        result = simulator.run(3)
+        assert result.rounds_executed == 7
+
+    def test_run_until_early_return_is_cumulative(self, expander24):
+        simulator = Simulator(
+            expander24, SendFloor(), np.full(24, 5, dtype=np.int64)
+        )
+        simulator.run(4)
+        result = simulator.run_until(lambda loads: True, max_rounds=10)
+        assert result.stopped_early
+        assert result.rounds_executed == 4
+
+    def test_run_until_counts_all_rounds(self, expander24):
+        simulator = Simulator(
+            expander24, SendFloor(), np.full(24, 5, dtype=np.int64)
+        )
+        simulator.run(2)
+        result = simulator.run_until(lambda loads: False, max_rounds=3)
+        assert result.rounds_executed == 5
+        assert not result.stopped_early

@@ -84,3 +84,86 @@ class TestSimulate:
     def test_unknown_algorithm_raises(self):
         with pytest.raises(KeyError):
             main(["simulate", "quantum_annealer", "--n", "8"])
+
+
+class TestScenarioCommand:
+    def _write_suite(self, tmp_path):
+        import json
+
+        from repro.scenarios import (
+            AlgorithmSpec,
+            GraphSpec,
+            LoadSpec,
+            Scenario,
+            ScenarioSuite,
+            StopRule,
+        )
+
+        suite = ScenarioSuite.cartesian(
+            graphs=GraphSpec("cycle", {"n": 12}),
+            algorithms=[
+                AlgorithmSpec("send_floor"),
+                AlgorithmSpec("rotor_router"),
+            ],
+            loads=LoadSpec("point_mass", {"tokens": 120}),
+            stop=StopRule.fixed(30),
+            replicas=2,
+            name="cli-sweep",
+        )
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(suite.to_dict()))
+        return path
+
+    def test_suite_file_runs(self, tmp_path, capsys):
+        path = self._write_suite(tmp_path)
+        assert main(["scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "send_floor @ cycle" in out
+        assert "rotor_router @ cycle" in out
+
+    def test_single_scenario_file_and_json_output(self, tmp_path, capsys):
+        import json
+
+        from repro.scenarios import (
+            AlgorithmSpec,
+            GraphSpec,
+            LoadSpec,
+            Scenario,
+            StopRule,
+        )
+
+        scenario = Scenario(
+            graph=GraphSpec("complete", {"n": 8}),
+            algorithm=AlgorithmSpec("send_rounded"),
+            loads=LoadSpec("point_mass", {"tokens": 80}),
+            stop=StopRule.fixed(20),
+        )
+        spec_path = tmp_path / "one.json"
+        spec_path.write_text(json.dumps(scenario.to_dict()))
+        out_path = tmp_path / "rows.json"
+        code = main(
+            ["scenario", str(spec_path), "--json", str(out_path)]
+        )
+        assert code == 0
+        rows = json.loads(out_path.read_text())
+        assert len(rows) == 1
+        assert rows[0]["final_discrepancy"] <= 80
+
+    def test_replicas_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "send_floor",
+                "--family",
+                "cycle",
+                "--n",
+                "12",
+                "--rounds",
+                "40",
+                "--replicas",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replicas:   3 (batch executor)" in out

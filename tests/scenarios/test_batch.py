@@ -1,0 +1,168 @@
+"""Batch-vs-looped parity: the core guarantee of the vectorized runner.
+
+The property test drives both executors of the same scenario (same
+seeds, same graph) and requires identical trajectories replica for
+replica — across deterministic stateless schemes (fully vectorized
+path), stateful rotor-routers, and randomized baselines (per-replica
+fallback path).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidLoadVector
+from repro.scenarios import (
+    AlgorithmSpec,
+    BatchRunner,
+    GraphSpec,
+    LoadSpec,
+    Scenario,
+    StopRule,
+)
+
+PARITY_ALGORITHMS = (
+    "send_floor",
+    "send_rounded",
+    "rotor_router",
+    "rotor_router_star",
+    "arbitrary_rounding_fixed",
+    "arbitrary_rounding_random",
+    "randomized_extra_tokens",
+    "randomized_edge_rounding",
+)
+
+
+def assert_parity(scenario: Scenario, graph=None) -> None:
+    looped = scenario.run(executor="loop", graph=graph)
+    batched = scenario.run(executor="batch", graph=graph)
+    assert looped.executor == "loop" and batched.executor == "batch"
+    for left, right in zip(looped.results, batched.results):
+        np.testing.assert_array_equal(left.initial_loads, right.initial_loads)
+        np.testing.assert_array_equal(left.final_loads, right.final_loads)
+        assert left.discrepancy_history == right.discrepancy_history
+        assert left.rounds_executed == right.rounds_executed
+        assert left.stopped_early == right.stopped_early
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    algorithm=st.sampled_from(PARITY_ALGORITHMS),
+    n=st.integers(min_value=8, max_value=24),
+    degree=st.sampled_from([2, 4]),
+    tokens_per_node=st.integers(min_value=1, max_value=50),
+    replicas=st.integers(min_value=1, max_value=5),
+    rounds=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_batch_matches_loop(
+    algorithm, n, degree, tokens_per_node, replicas, rounds, seed
+):
+    if n * degree % 2:
+        n += 1
+    scenario = Scenario(
+        graph=GraphSpec(
+            "random_regular", {"n": n, "degree": degree, "seed": 1}
+        ),
+        algorithm=AlgorithmSpec(algorithm, seed=seed),
+        loads=LoadSpec(
+            "uniform_random",
+            {"total_tokens": tokens_per_node * n, "seed": seed + 1},
+        ),
+        stop=StopRule.fixed(rounds),
+        replicas=replicas,
+    )
+    assert_parity(scenario)
+
+
+@pytest.mark.parametrize("algorithm", ["rotor_router", "send_rounded"])
+def test_parity_under_target_stop_rule(algorithm):
+    scenario = Scenario(
+        graph=GraphSpec("cycle", {"n": 17}),
+        algorithm=AlgorithmSpec(algorithm),
+        loads=LoadSpec("point_mass", {"tokens": 850}),
+        stop=StopRule.discrepancy(target=10, max_rounds=600, check_every=2),
+        replicas=3,
+    )
+    assert_parity(scenario)
+
+
+def test_parity_under_converged_stop_rule():
+    scenario = Scenario(
+        graph=GraphSpec("complete", {"n": 10}),
+        algorithm=AlgorithmSpec("send_floor"),
+        loads=LoadSpec("linear_gradient", {"step": 3}),
+        stop=StopRule.converged(max_rounds=200, window=6),
+        replicas=2,
+    )
+    assert_parity(scenario)
+
+
+def test_parity_with_distinct_replica_workloads():
+    scenario = Scenario(
+        graph=GraphSpec("random_regular", {"n": 16, "degree": 4, "seed": 2}),
+        algorithm=AlgorithmSpec("randomized_edge_rounding", seed=9),
+        loads=LoadSpec("skewed", {"total_tokens": 800, "seed": 11}),
+        stop=StopRule.fixed(25),
+        replicas=4,
+    )
+    assert_parity(scenario)
+
+
+class TestBatchRunnerDirect:
+    def test_rejects_1d_loads(self, expander24):
+        from repro.algorithms import SendFloor
+
+        with pytest.raises(InvalidLoadVector, match="replicas"):
+            BatchRunner(
+                expander24, SendFloor(), np.ones(24, dtype=np.int64)
+            )
+
+    def test_rejects_balancer_count_mismatch(self, expander24):
+        from repro.algorithms import RotorRouter
+
+        with pytest.raises(ValueError, match="balancers"):
+            BatchRunner(
+                expander24,
+                [RotorRouter(), RotorRouter(), RotorRouter()],
+                np.ones((2, 24), dtype=np.int64),
+            )
+
+    def test_rejects_sharing_stateful_balancer(self, expander24):
+        from repro.algorithms import RotorRouter
+
+        with pytest.raises(ValueError, match="shared"):
+            BatchRunner(
+                expander24,
+                RotorRouter(),
+                np.ones((2, 24), dtype=np.int64),
+            )
+
+    def test_shared_stateless_balancer_runs_vectorized(self, expander24):
+        from repro.algorithms import SendFloor
+
+        initial = np.tile(
+            np.arange(24, dtype=np.int64) * 4, (3, 1)
+        )
+        runner = BatchRunner(expander24, SendFloor(), initial)
+        result = runner.run(10)
+        assert len(result) == 3
+        np.testing.assert_array_equal(
+            result.final_loads.sum(axis=1), initial.sum(axis=1)
+        )
+        # Identical replicas stay identical under a deterministic rule.
+        np.testing.assert_array_equal(
+            result.final_loads[0], result.final_loads[2]
+        )
+
+    def test_histories_include_initial_discrepancy(self, expander24):
+        from repro.algorithms import SendFloor
+
+        initial = np.zeros((2, 24), dtype=np.int64)
+        initial[:, 0] = 240
+        runner = BatchRunner(expander24, SendFloor(), initial)
+        result = runner.run(5)
+        for history in result.histories:
+            assert history[0] == 240
+            assert len(history) == 6

@@ -1,0 +1,186 @@
+"""Tests for the generic plugin registry and its three instantiations."""
+
+import numpy as np
+import pytest
+
+from repro.registry import (
+    DuplicateRegistrationError,
+    Registry,
+    UnknownEntryError,
+)
+
+
+class TestGenericRegistry:
+    def test_named_decorator_registration(self):
+        registry = Registry("widget")
+
+        @registry.register("square")
+        def square(x):
+            return x * x
+
+        assert registry["square"] is square
+        assert registry.create("square", x=3) == 9
+
+    def test_bare_decorator_uses_function_name(self):
+        registry = Registry("widget")
+
+        @registry.register
+        def cube(x):
+            return x**3
+
+        assert registry["cube"] is cube
+
+    def test_duplicate_name_raises(self):
+        registry = Registry("widget")
+        registry.add("w", lambda: 1)
+        with pytest.raises(DuplicateRegistrationError, match="widget 'w'"):
+            registry.add("w", lambda: 2)
+
+    def test_overwrite_allows_replacement(self):
+        registry = Registry("widget")
+        registry.add("w", lambda: 1)
+        registry.add("w", lambda: 2, overwrite=True)
+        assert registry.create("w") == 2
+
+    def test_unknown_name_lists_known(self):
+        registry = Registry("widget")
+        registry.add("alpha", lambda: 1)
+        with pytest.raises(UnknownEntryError, match="known: alpha"):
+            registry["beta"]
+        with pytest.raises(KeyError):  # also a KeyError for compat
+            registry["beta"]
+
+    def test_mapping_protocol(self):
+        registry = Registry("widget")
+        registry.add("b", lambda: 1)
+        registry.add("a", lambda: 2)
+        assert "a" in registry
+        assert set(registry) == {"a", "b"}
+        assert len(registry) == 2
+        assert registry.names() == ["a", "b"]
+
+    def test_get_keeps_plain_dict_semantics(self):
+        registry = Registry("widget")
+        factory = lambda: 1  # noqa: E731
+        registry.add("a", factory)
+        assert registry.get("a") is factory
+        assert registry.get("missing") is None
+        assert registry.get("missing", "fallback") == "fallback"
+
+    def test_remove(self):
+        registry = Registry("widget")
+        registry.add("w", lambda: 1)
+        registry.remove("w")
+        assert "w" not in registry
+        with pytest.raises(UnknownEntryError):
+            registry.remove("w")
+
+    def test_non_callable_rejected(self):
+        registry = Registry("widget")
+        with pytest.raises(TypeError):
+            registry.add("w", 42)
+
+
+class TestBalancerRegistryPlugin:
+    def test_register_and_make_forwards_params(self, expander24):
+        from repro.algorithms import SendFloor
+        from repro.algorithms.registry import (
+            BALANCERS,
+            make,
+            register_balancer,
+        )
+
+        @register_balancer("test_only_scheme")
+        def _build(seed=0, **params):
+            balancer = SendFloor()
+            balancer.test_params = dict(params, seed=seed)
+            return balancer
+
+        try:
+            balancer = make("test_only_scheme", seed=5, knob=7)
+            assert balancer.test_params == {"seed": 5, "knob": 7}
+        finally:
+            BALANCERS.remove("test_only_scheme")
+        assert "test_only_scheme" not in BALANCERS
+
+    def test_duplicate_balancer_name_raises(self):
+        from repro.algorithms.registry import register_balancer
+
+        with pytest.raises(DuplicateRegistrationError):
+
+            @register_balancer("send_floor")
+            def _clash(seed=0):  # pragma: no cover - never called
+                raise AssertionError
+
+    def test_deterministic_factories_ignore_extra_seed_kwarg(self):
+        from repro.algorithms.registry import make
+
+        balancer = make("send_floor", seed=123)
+        assert balancer.name == "send_floor"
+
+
+class TestFamilyRegistryPlugin:
+    def test_register_and_build(self):
+        from repro.graphs import families
+
+        @families.register_family("test_only_family")
+        def _build(n, num_self_loops=None):
+            return families.cycle(n, num_self_loops)
+
+        try:
+            graph = families.build("test_only_family", n=6)
+            assert graph.num_nodes == 6
+        finally:
+            families.FAMILY_BUILDERS.remove("test_only_family")
+
+    def test_duplicate_family_raises(self):
+        from repro.graphs import families
+
+        with pytest.raises(DuplicateRegistrationError):
+            families.FAMILY_BUILDERS.add("cycle", lambda n: None)
+
+
+class TestLoadSpecRegistryPlugin:
+    def test_builtin_specs_registered(self):
+        from repro.core.loads import LOAD_SPECS
+
+        for name in (
+            "point_mass",
+            "uniform_random",
+            "adversarial_split",
+            "skewed",
+            "bimodal",
+        ):
+            assert name in LOAD_SPECS
+
+    def test_register_and_use_via_load_spec(self):
+        from repro.core.loads import LOAD_SPECS, register_load_spec
+        from repro.scenarios import LoadSpec
+
+        @register_load_spec("test_only_load")
+        def _build(n, value=1):
+            return np.full(n, value, dtype=np.int64)
+
+        try:
+            loads = LoadSpec("test_only_load", {"value": 3}).build(5)
+            np.testing.assert_array_equal(loads, np.full(5, 3))
+        finally:
+            LOAD_SPECS.remove("test_only_load")
+
+    def test_adversarial_split_masses(self):
+        from repro.core.loads import adversarial_split
+
+        loads = adversarial_split(10, 101, fraction=0.5)
+        assert loads.sum() == 101
+        assert loads[0] == 51 and loads[5] == 50
+        assert np.count_nonzero(loads) == 2
+
+    def test_skewed_is_seeded_and_conserves(self):
+        from repro.core.loads import skewed
+
+        a = skewed(16, 1000, alpha=2.0, seed=3)
+        b = skewed(16, 1000, alpha=2.0, seed=3)
+        np.testing.assert_array_equal(a, b)
+        assert a.sum() == 1000
+        # Heavy head: the first node dominates the tail under alpha=2.
+        assert a[0] > a[8:].sum()

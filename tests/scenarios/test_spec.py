@@ -1,0 +1,245 @@
+"""Tests for the declarative scenario data model."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.monitors import LoadBoundsMonitor
+from repro.scenarios import (
+    AlgorithmSpec,
+    GraphSpec,
+    LoadSpec,
+    Scenario,
+    ScenarioSuite,
+    StopRule,
+)
+
+
+def make_scenario(**overrides) -> Scenario:
+    base = dict(
+        graph=GraphSpec("cycle", {"n": 12}),
+        algorithm=AlgorithmSpec("rotor_router", seed=3),
+        loads=LoadSpec("point_mass", {"tokens": 240}),
+        stop=StopRule.fixed(40),
+        replicas=2,
+        name="demo",
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestRoundTrip:
+    def test_scenario_json_round_trip(self):
+        scenario = make_scenario()
+        data = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(data) == scenario
+
+    def test_suite_round_trip(self):
+        suite = ScenarioSuite(
+            (make_scenario(), make_scenario(name="other")), name="sweep"
+        )
+        data = json.loads(json.dumps(suite.to_dict()))
+        restored = ScenarioSuite.from_dict(data)
+        assert restored.name == "sweep"
+        assert tuple(restored) == tuple(suite)
+
+    @pytest.mark.parametrize(
+        "stop",
+        [
+            StopRule.fixed(7),
+            StopRule.discrepancy(4, 100, check_every=3),
+            StopRule.converged(50, window=5),
+        ],
+    )
+    def test_stop_rule_round_trip(self, stop):
+        assert StopRule.from_dict(stop.to_dict()) == stop
+
+    def test_prebuilt_graph_not_serializable(self):
+        scenario = make_scenario(
+            graph=GraphSpec("cycle", {"n": 12}).build()
+        )
+        with pytest.raises(ValueError, match="prebuilt graph"):
+            scenario.to_dict()
+
+    def test_monitors_not_serializable(self):
+        scenario = make_scenario(monitors=(LoadBoundsMonitor,))
+        with pytest.raises(ValueError, match="monitor"):
+            scenario.to_dict()
+
+
+class TestValidation:
+    def test_unknown_stop_kind(self):
+        with pytest.raises(ValueError, match="unknown stop kind"):
+            StopRule(kind="never")
+
+    def test_rounds_kind_needs_rounds(self):
+        with pytest.raises(ValueError, match="rounds"):
+            StopRule(kind="rounds")
+
+    def test_target_kind_needs_budget(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            StopRule(kind="target_discrepancy", target=4)
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError, match="replicas"):
+            make_scenario(replicas=0)
+
+    def test_unknown_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            make_scenario().run(executor="gpu")
+
+    def test_monitors_reject_batch_executor(self):
+        scenario = make_scenario(monitors=(LoadBoundsMonitor,))
+        with pytest.raises(ValueError, match="looped"):
+            scenario.run(executor="batch")
+
+    def test_unknown_algorithm_surfaces_keyerror(self):
+        scenario = make_scenario(
+            algorithm=AlgorithmSpec("quantum_annealer")
+        )
+        with pytest.raises(KeyError, match="unknown balancer"):
+            scenario.run()
+
+
+class TestSpecs:
+    def test_seeded_load_spec_offsets_per_replica(self):
+        spec = LoadSpec("uniform_random", {"total_tokens": 500, "seed": 4})
+        a0, a1 = spec.build(16, replica=0), spec.build(16, replica=1)
+        assert not np.array_equal(a0, a1)
+        np.testing.assert_array_equal(
+            a1,
+            LoadSpec("uniform_random", {"total_tokens": 500, "seed": 5}).build(16),
+        )
+
+    def test_deterministic_load_spec_identical_across_replicas(self):
+        spec = LoadSpec("point_mass", {"tokens": 64})
+        np.testing.assert_array_equal(
+            spec.build(8, replica=0), spec.build(8, replica=3)
+        )
+
+    def test_algorithm_spec_offsets_seed(self, expander24):
+        spec = AlgorithmSpec("randomized_edge_rounding", seed=10)
+        a = spec.build(0).bind(expander24)
+        b = spec.build(2).bind(expander24)
+        loads = np.full(24, 43, dtype=np.int64)
+        assert not np.array_equal(a.sends(loads, 1), b.sends(loads, 1))
+
+    def test_specs_are_hashable_by_value(self):
+        a = GraphSpec("circulant", {"n": 8, "offsets": [1, 2]})
+        b = GraphSpec("circulant", {"offsets": [1, 2], "n": 8})
+        assert hash(a) == hash(b) and a == b
+        assert len({a, b}) == 1
+        assert len({AlgorithmSpec("send_floor"), AlgorithmSpec("send_floor", seed=1)}) == 2
+        assert len({LoadSpec("point_mass", {"tokens": 5})}) == 1
+
+    def test_graph_spec_builds_named_family(self):
+        graph = GraphSpec("torus", {"side": 3, "dimensions": 2}).build()
+        assert graph.num_nodes == 9
+        assert graph.degree == 4
+
+
+class TestRunAndSuite:
+    def test_run_with_monitors_collects_instances(self):
+        scenario = make_scenario(monitors=(LoadBoundsMonitor,))
+        outcome = scenario.run()
+        assert outcome.executor == "loop"
+        for replica in range(scenario.replicas):
+            monitor = outcome.monitor(LoadBoundsMonitor, replica)
+            assert monitor is not None
+            assert monitor.min_ever >= 0
+
+    def test_auto_executor_batches_multireplica(self):
+        outcome = make_scenario().run()
+        assert outcome.executor == "batch"
+        assert len(outcome) == 2
+
+    def test_auto_executor_loops_single_replica(self):
+        outcome = make_scenario(replicas=1).run()
+        assert outcome.executor == "loop"
+
+    def test_replica_summary_reports_target(self):
+        scenario = make_scenario(
+            stop=StopRule.discrepancy(8, 400), replicas=1
+        )
+        summary = scenario.run().replica_summary()
+        assert summary["target"] == 8
+        assert summary["time_to_target"] is not None
+
+    def test_cartesian_order_and_size(self):
+        suite = ScenarioSuite.cartesian(
+            graphs=[GraphSpec("cycle", {"n": 8}), GraphSpec("cycle", {"n": 12})],
+            algorithms=[
+                AlgorithmSpec("send_floor"),
+                AlgorithmSpec("rotor_router"),
+            ],
+            loads=LoadSpec("point_mass", {"tokens": 100}),
+            stop=StopRule.fixed(10),
+        )
+        assert len(suite) == 4
+        combos = [
+            (s.graph.params["n"], s.algorithm.name) for s in suite
+        ]
+        assert combos == [
+            (8, "send_floor"),
+            (8, "rotor_router"),
+            (12, "send_floor"),
+            (12, "rotor_router"),
+        ]
+
+    def test_suite_graph_override_rejected_for_multigraph_sweep(self):
+        suite = ScenarioSuite.cartesian(
+            graphs=[
+                GraphSpec("cycle", {"n": 8}),
+                GraphSpec("complete", {"n": 8}),
+            ],
+            algorithms=AlgorithmSpec("send_floor"),
+            loads=LoadSpec("point_mass", {"tokens": 80}),
+            stop=StopRule.fixed(5),
+        )
+        with pytest.raises(ValueError, match="multiple graphs"):
+            suite.run(graph=GraphSpec("cycle", {"n": 8}).build())
+
+    def test_suite_graph_override_allowed_for_shared_graph(self):
+        spec = GraphSpec("cycle", {"n": 8})
+        suite = ScenarioSuite.cartesian(
+            graphs=spec,
+            algorithms=[
+                AlgorithmSpec("send_floor"),
+                AlgorithmSpec("rotor_router"),
+            ],
+            loads=LoadSpec("point_mass", {"tokens": 80}),
+            stop=StopRule.fixed(5),
+        )
+        outcomes = suite.run(graph=spec.build())
+        assert len(outcomes) == 2
+
+    def test_suite_builds_each_distinct_graph_once(self):
+        suite = ScenarioSuite.cartesian(
+            graphs=GraphSpec("cycle", {"n": 10}),
+            algorithms=[
+                AlgorithmSpec("send_floor"),
+                AlgorithmSpec("rotor_router"),
+                AlgorithmSpec("send_rounded"),
+            ],
+            loads=LoadSpec("point_mass", {"tokens": 100}),
+            stop=StopRule.fixed(5),
+        )
+        outcomes = suite.run()
+        first = outcomes[0].graph
+        assert all(outcome.graph is first for outcome in outcomes)
+
+    def test_suite_run_executes_everything(self):
+        suite = ScenarioSuite.cartesian(
+            graphs=GraphSpec("complete", {"n": 8}),
+            algorithms=[
+                AlgorithmSpec("send_floor"),
+                AlgorithmSpec("send_rounded"),
+            ],
+            loads=LoadSpec("point_mass", {"tokens": 160}),
+            stop=StopRule.fixed(30),
+        )
+        outcomes = suite.run()
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert outcome.replica(0).final_discrepancy <= 160
