@@ -6,7 +6,25 @@ separate benchmark case.  The batched cases compare the vectorized
 ``(replicas, n)`` BatchRunner against the Python-loop-over-``Simulator``
 baseline on identical scenarios (32 replicas, n=256): the batched path
 must win by at least 2x while producing bit-identical load vectors.
+
+The module is also a script: the **structured-vs-dense ladder** times
+both engines on cycles (``d+ = 2d``) from small ``n`` up to a million
+nodes, verifies bit-identical final loads wherever both engines ran,
+and emits ``BENCH_e13.json`` so the perf trajectory is recorded.
+
+    python benchmarks/bench_e13_engine_throughput.py \
+        --sizes 1024 4096 16384 --rounds 50 --output BENCH_e13.json --check
+
+``--check`` exits nonzero if the structured engine is slower than the
+dense engine at any ``n >= 4096`` (the CI smoke gate); ``--million``
+additionally runs the headline scenario — construct a 10^6-node cycle
+and run 50 structured rounds per algorithm — and records its wall time.
 """
+
+import argparse
+import json
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -99,6 +117,25 @@ def test_batched_matches_looped(batch_graph, algorithm):
         assert left.discrepancy_history == right.discrepancy_history
 
 
+@pytest.mark.parametrize("algorithm", ["send_floor", "rotor_router"])
+@pytest.mark.parametrize("engine", ["dense", "structured"])
+def test_engine_throughput(benchmark, graph, algorithm, engine):
+    """Dense (n, d+) sends vs matrix-free structured rounds."""
+
+    def run_once():
+        simulator = Simulator(
+            graph,
+            make(algorithm, seed=3),
+            point_mass(N, 64 * N),
+            record_history=False,
+            engine=engine,
+        )
+        return simulator.run(ROUNDS)
+
+    result = benchmark(run_once)
+    assert result.final_loads.sum() == 64 * N
+
+
 def test_throughput_with_monitors(benchmark, graph):
     """Full monitor suite attached: the fairness-verification overhead."""
     from repro.core.fairness import (
@@ -123,3 +160,205 @@ def test_throughput_with_monitors(benchmark, graph):
 
     result = benchmark(run_once)
     assert result.final_loads.sum() == 64 * N
+
+
+# ----------------------------------------------------------------------
+# Structured-vs-dense ladder (script mode)
+# ----------------------------------------------------------------------
+
+LADDER_ALGORITHMS = ("send_floor", "send_rounded", "rotor_router")
+
+
+def _time_run(graph, algorithm, loads, rounds, engine, repeats):
+    """Best-of-``repeats`` wall time; returns (seconds, final_loads)."""
+    from repro.core.engine import Simulator as _Simulator
+
+    best = float("inf")
+    finals = None
+    for _ in range(repeats):
+        simulator = _Simulator(
+            graph,
+            make(algorithm),
+            loads,
+            record_history=False,
+            engine=engine,
+        )
+        start = time.perf_counter()
+        result = simulator.run(rounds)
+        best = min(best, time.perf_counter() - start)
+        finals = result.final_loads
+    return best, finals
+
+
+def run_ladder(
+    sizes,
+    rounds=50,
+    algorithms=LADDER_ALGORITHMS,
+    dense_cap=262_144,
+    tokens_per_node=32,
+    repeats=3,
+):
+    """Time both engines on cycles (d+ = 2d) across the size ladder.
+
+    The dense engine is skipped above ``dense_cap`` (its (n, d+) matrix
+    is the very allocation the structured path removes); wherever both
+    engines ran, final load vectors are asserted bit-identical.
+    """
+    from repro.core.loads import adversarial_split
+    from repro.graphs.families import cycle
+
+    entries = []
+    for n in sizes:
+        built_at = time.perf_counter()
+        graph = cycle(n)
+        construct_seconds = time.perf_counter() - built_at
+        loads = adversarial_split(n, tokens_per_node * n)
+        for algorithm in algorithms:
+            structured_seconds, structured_finals = _time_run(
+                graph, algorithm, loads, rounds, "structured", repeats
+            )
+            entry = {
+                "n": n,
+                "d_plus": graph.total_degree,
+                "algorithm": algorithm,
+                "rounds": rounds,
+                "graph_construct_seconds": round(construct_seconds, 4),
+                "structured_seconds": round(structured_seconds, 4),
+                "structured_rounds_per_second": round(
+                    rounds / structured_seconds, 1
+                ),
+            }
+            if n <= dense_cap:
+                dense_seconds, dense_finals = _time_run(
+                    graph, algorithm, loads, rounds, "dense", repeats
+                )
+                if not np.array_equal(dense_finals, structured_finals):
+                    raise AssertionError(
+                        f"engine mismatch at n={n}, {algorithm}: dense "
+                        "and structured final loads differ"
+                    )
+                entry["dense_seconds"] = round(dense_seconds, 4)
+                entry["speedup"] = round(
+                    dense_seconds / structured_seconds, 2
+                )
+                entry["bit_identical"] = True
+            entries.append(entry)
+            print(
+                f"n={n:>8d} {algorithm:<13s} "
+                f"structured {structured_seconds:8.3f}s"
+                + (
+                    f"  dense {entry['dense_seconds']:8.3f}s"
+                    f"  speedup {entry['speedup']:5.2f}x"
+                    if "speedup" in entry
+                    else "  dense (skipped)"
+                )
+            )
+    return entries
+
+
+def run_million_headline(rounds=50, algorithms=LADDER_ALGORITHMS):
+    """The acceptance scenario: 10^6-node cycle, construct + 50 rounds."""
+    from repro.core.engine import Simulator as _Simulator
+    from repro.core.loads import adversarial_split
+    from repro.graphs.families import cycle
+
+    n = 1_000_000
+    start = time.perf_counter()
+    graph = cycle(n)
+    construct_seconds = time.perf_counter() - start
+    loads = adversarial_split(n, 32 * n)
+    per_algorithm = {}
+    for algorithm in algorithms:
+        algo_start = time.perf_counter()
+        _Simulator(
+            graph,
+            make(algorithm),
+            loads,
+            record_history=False,
+            engine="structured",
+        ).run(rounds)
+        per_algorithm[algorithm] = round(
+            time.perf_counter() - algo_start, 2
+        )
+    total = round(time.perf_counter() - start, 2)
+    print(
+        f"headline: cycle(10^6) construct {construct_seconds:.2f}s, "
+        f"{rounds} structured rounds {per_algorithm}, total {total:.2f}s"
+    )
+    return {
+        "n": n,
+        "rounds": rounds,
+        "construct_seconds": round(construct_seconds, 2),
+        "structured_seconds": per_algorithm,
+        "total_seconds": total,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="E13 structured-vs-dense engine ladder"
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[1024, 4096, 16384, 65536],
+    )
+    parser.add_argument("--rounds", type=int, default=50)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--dense-cap", type=int, default=262_144)
+    parser.add_argument("--output", default="BENCH_e13.json")
+    parser.add_argument(
+        "--million",
+        action="store_true",
+        help="also run the 10^6-node cycle headline scenario",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero if structured is slower than dense "
+        "at any n >= 4096",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "experiment": "E13",
+        "graph_family": "cycle (d+ = 2d)",
+        "load": "adversarial_split, 32 tokens/node",
+        "ladder": run_ladder(
+            args.sizes,
+            rounds=args.rounds,
+            dense_cap=args.dense_cap,
+            repeats=args.repeats,
+        ),
+    }
+    if args.million:
+        report["headline_million_nodes"] = run_million_headline(
+            rounds=args.rounds
+        )
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        slow = [
+            entry
+            for entry in report["ladder"]
+            if entry["n"] >= 4096 and entry.get("speedup", 99.0) < 1.0
+        ]
+        if slow:
+            for entry in slow:
+                print(
+                    f"FAIL: structured slower than dense at "
+                    f"n={entry['n']} ({entry['algorithm']}): "
+                    f"{entry['speedup']}x",
+                    file=sys.stderr,
+                )
+            return 1
+        print("check passed: structured >= dense at every n >= 4096")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,23 +40,55 @@ class ContinuousResult:
         return continuous_discrepancy(self.final_loads)
 
 
+_STRUCTURED_THRESHOLD = 4096
+
+
 class ContinuousDiffusion:
     """Reference continuous process ``x_{t+1} = P x_t``.
 
     Not a :class:`~repro.core.balancer.Balancer` — loads are real-valued
     and there is no sends matrix; the class mirrors the simulator's
     ``step``/``run`` API instead.
+
+    Args:
+        graph: the balancing graph ``G+``.
+        mode: ``"dense"`` multiplies by the cached ``(n, n)`` transition
+            matrix; ``"structured"`` executes the round matrix-free as
+            ``x - (d/d+)·x + Σ_neighbors x_v/d+`` via an adjacency
+            gather (O(n·d) time and memory — the million-node path).
+            ``"auto"`` (default) picks dense up to ``n = 4096`` and
+            structured beyond.  The two modes agree up to float
+            round-off.
     """
 
     name = "continuous_diffusion"
 
-    def __init__(self, graph: BalancingGraph) -> None:
+    def __init__(self, graph: BalancingGraph, mode: str = "auto") -> None:
+        if mode not in ("auto", "dense", "structured"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == "auto":
+            mode = (
+                "dense"
+                if graph.num_nodes <= _STRUCTURED_THRESHOLD
+                else "structured"
+            )
         self.graph = graph
-        self._matrix = graph.transition_matrix()
+        self.mode = mode
+        self._matrix = (
+            graph.transition_matrix() if mode == "dense" else None
+        )
 
     def step(self, loads: np.ndarray) -> np.ndarray:
-        """One round: returns ``P @ loads`` (P is symmetric)."""
-        return self._matrix @ loads
+        """One round: ``P @ loads`` (dense) or its gather form."""
+        if self.mode == "dense":
+            return self._matrix @ loads
+        graph = self.graph
+        share = np.asarray(loads, dtype=np.float64) / graph.total_degree
+        return (
+            loads
+            - graph.degree * share
+            + share[graph.adjacency].sum(axis=1)
+        )
 
     def port_flows(self, loads: np.ndarray) -> np.ndarray:
         """Per-port continuous flow this round: ``x(u)/d+`` everywhere."""

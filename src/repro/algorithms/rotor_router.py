@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.balancer import AlgorithmProperties, Balancer
 from repro.core.errors import BindingError
+from repro.core.structured import RotorWindow, StructuredRound
 from repro.graphs.balancing import BalancingGraph
 
 
@@ -62,6 +63,7 @@ class RotorRouter(Balancer):
         negative_load_safe=True,
         communication_free=True,
     )
+    supports_structured_sends = True
 
     def __init__(
         self,
@@ -109,6 +111,15 @@ class RotorRouter(Balancer):
             )
             self._orders = np.tile(row, (graph.num_nodes, 1))
         self._position_window = np.arange(d_plus)[None, :]
+        # Structured-execution precomputes: positions is the inverse
+        # permutation of the port order (cyclic position of each port);
+        # reverse_flat gathers the sender-side (n, d) edge-hit matrix
+        # to the receiver side (see RotorWindow).  Both are static per
+        # bind and shared by every round's RotorWindow.
+        self._positions = np.argsort(self._orders, axis=1)
+        self._reverse_flat = (
+            graph.adjacency * graph.degree + graph.reverse_port
+        ).ravel()
 
     def reset(self) -> None:
         graph = self.graph
@@ -136,3 +147,29 @@ class RotorRouter(Balancer):
         np.put_along_axis(sends, self._orders, values, axis=1)
         self._rotors = (self._rotors + extra) % d_plus
         return sends
+
+    def sends_structured(self, loads: np.ndarray, t: int) -> StructuredRound:
+        # The compact form of the rule above: the uniform quotient on
+        # every port plus a +1 window of length x mod d+ starting at the
+        # rotor.  Advances the rotors exactly as sends() does; the
+        # handed-out window keeps the pre-advance positions.
+        graph = self.graph
+        d_plus = graph.total_degree
+        if loads.ndim != 1:
+            raise ValueError(
+                "rotor-router is stateful; structured sends take one "
+                "(n,) load vector per instance"
+            )
+        quotient, extra = np.divmod(loads, d_plus)
+        window = RotorWindow(
+            rotors=self._rotors,
+            extra=extra,
+            positions=self._positions,
+            reverse_flat=self._reverse_flat,
+        )
+        self._rotors = (self._rotors + extra) % d_plus
+        return StructuredRound(
+            edge_share=quotient,
+            loop_base=quotient if graph.num_self_loops else None,
+            window=window,
+        )

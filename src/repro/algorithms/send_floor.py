@@ -16,6 +16,7 @@ from repro.core.balancer import (
     Balancer,
     split_extras_over_self_loops,
 )
+from repro.core.structured import StructuredRound
 from repro.graphs.balancing import BalancingGraph
 
 
@@ -34,6 +35,7 @@ class SendFloor(Balancer):
         communication_free=True,
     )
     supports_batched_sends = True
+    supports_structured_sends = True
     _batch_scratch: np.ndarray | None = None
 
     def reset(self) -> None:
@@ -69,6 +71,24 @@ class SendFloor(Balancer):
         if self._batch_scratch is None or self._batch_scratch.shape != shape:
             self._batch_scratch = np.empty(shape, dtype=np.int64)
         return self._fill_sends(loads, self._batch_scratch)
+
+    def sends_structured(self, loads: np.ndarray, t: int) -> StructuredRound:
+        # Compact form of _fill_sends: the uniform quotient on every
+        # port, the excess x mod d+ split over the self-loops.  Accepts
+        # (n,) vectors and (replicas, n) stacks alike.
+        graph = self.graph
+        d_plus = graph.total_degree
+        num_loops = graph.num_self_loops
+        quotient = loads // d_plus
+        if num_loops == 0:
+            return StructuredRound(edge_share=quotient)
+        extras = loads - d_plus * quotient
+        per_loop, leftover = np.divmod(extras, num_loops)
+        return StructuredRound(
+            edge_share=quotient,
+            loop_base=quotient + per_loop,
+            loop_ceil=leftover,
+        )
 
 
 def floor_self_loop_minimum(graph: BalancingGraph) -> bool:

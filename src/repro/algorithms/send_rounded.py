@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.balancer import AlgorithmProperties, Balancer
 from repro.core.errors import BindingError
+from repro.core.structured import StructuredRound
 from repro.graphs.balancing import BalancingGraph
 
 
@@ -63,6 +64,7 @@ class SendRounded(Balancer):
             )
 
     supports_batched_sends = True
+    supports_structured_sends = True
     _batch_scratch: np.ndarray | None = None
 
     def reset(self) -> None:
@@ -99,6 +101,24 @@ class SendRounded(Balancer):
         if self._batch_scratch is None or self._batch_scratch.shape != shape:
             self._batch_scratch = np.empty(shape, dtype=np.int64)
         return self._fill_sends(loads, self._batch_scratch)
+
+    def sends_structured(self, loads: np.ndarray, t: int) -> StructuredRound:
+        # Compact form of _fill_sends: the rounded share on every
+        # original edge, floor share on the loops with the leftover as
+        # ceiling tokens on the first loops.  d+ >= 2d (validated at
+        # bind) guarantees 0 <= loop_ceil <= d°.  Accepts (n,) vectors
+        # and (replicas, n) stacks alike.
+        graph = self.graph
+        d_plus = graph.total_degree
+        share = nearest_share(loads, d_plus)
+        quotient = loads // d_plus
+        num_loops = d_plus - graph.degree
+        num_ceil = (loads - graph.degree * share) - num_loops * quotient
+        return StructuredRound(
+            edge_share=share,
+            loop_base=quotient,
+            loop_ceil=num_ceil,
+        )
 
     @property
     def self_preference(self) -> int:

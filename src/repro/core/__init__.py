@@ -35,6 +35,7 @@ from repro.core.loads import (
     register_load_spec,
     skewed,
     uniform_random,
+    validate_load_matrix,
     validate_loads,
 )
 from repro.core.metrics import (
@@ -59,6 +60,7 @@ from repro.core.potentials import (
     phi,
     phi_prime,
 )
+from repro.core.structured import RotorWindow, StructuredRound
 
 __all__ = [
     "Balancer",
@@ -97,7 +99,10 @@ __all__ = [
     "time_to_discrepancy",
     "final_plateau",
     "LoadSummary",
+    "StructuredRound",
+    "RotorWindow",
     "validate_loads",
+    "validate_load_matrix",
     "point_mass",
     "bimodal",
     "uniform_random",

@@ -82,6 +82,11 @@ class Balancer(ABC):
     #: whose rule vectorizes over a stack of independent load vectors).
     supports_batched_sends: bool = False
 
+    #: True if :meth:`sends_structured` is implemented (schemes whose
+    #: round compresses to a uniform edge share plus a loop/rotor
+    #: assignment; the engines then execute matrix-free).
+    supports_structured_sends: bool = False
+
     def __init__(self) -> None:
         self._graph: BalancingGraph | None = None
 
@@ -150,6 +155,27 @@ class Balancer(ABC):
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not implement batched sends"
+        )
+
+    def sends_structured(self, loads: np.ndarray, t: int):
+        """Compact round description for matrix-free execution.
+
+        Args:
+            loads: current load vector ``x_t`` (``int64``, length
+                ``n``); stateless schemes that also set
+                :attr:`supports_batched_sends` must accept a
+                ``(replicas, n)`` stack as well.
+            t: 1-based round index.
+
+        Returns:
+            A :class:`~repro.core.structured.StructuredRound` whose
+            :meth:`~repro.core.structured.StructuredRound.to_dense`
+            expansion is bit-identical to :meth:`sends` on the same
+            loads (and, for stateful schemes, advances internal state
+            exactly as :meth:`sends` would).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement structured sends"
         )
 
     def describe(self) -> dict:

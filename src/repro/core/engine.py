@@ -12,6 +12,17 @@ The engine executes this with vectorized gathers (using the graph's
 reverse-port map), enforces structural invariants every round (shape,
 nonnegative sends, no overdraw unless the balancer opted in, token
 conservation), and feeds attached monitors.
+
+Two execution engines are available.  The **dense** engine asks the
+balancer for the full ``(n, d+)`` sends matrix every round.  The
+**structured** engine asks for a compact
+:class:`~repro.core.structured.StructuredRound` (uniform edge share +
+loop/rotor-window assignment) and executes the round matrix-free in
+O(n·d) — at large ``n`` the dense matrix is the entire memory and time
+budget, so this is the fast path for SEND/rotor-style schemes.  The
+default ``engine="auto"`` picks structured whenever the balancer
+supports it and no monitors are attached (monitors consume dense sends
+matrices); both engines produce bit-identical trajectories.
 """
 
 from __future__ import annotations
@@ -79,8 +90,12 @@ class Simulator:
         monitors: observers receiving every round.
         record_history: keep the per-round discrepancy trajectory.
         validate_every_round: full structural validation of each sends
-            matrix.  Cheap (vectorized) and on by default; can be turned
-            off for the innermost benchmark loops.
+            matrix (or compact round description).  Cheap (vectorized)
+            and on by default; can be turned off for the innermost
+            benchmark loops.
+        engine: ``"dense"``, ``"structured"``, or ``"auto"`` (default)
+            — structured when the balancer supports it and no monitors
+            are attached, dense otherwise.
     """
 
     def __init__(
@@ -92,6 +107,7 @@ class Simulator:
         monitors: Iterable[Monitor] = (),
         record_history: bool = True,
         validate_every_round: bool = True,
+        engine: str = "auto",
     ) -> None:
         initial_loads = validate_loads(initial_loads)
         if initial_loads.shape[0] != graph.num_nodes:
@@ -106,6 +122,27 @@ class Simulator:
         self.monitors = list(monitors)
         self.record_history = record_history
         self.validate_every_round = validate_every_round
+        if engine not in ("auto", "dense", "structured"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if engine == "auto":
+            engine = (
+                "structured"
+                if self.balancer.supports_structured_sends
+                and not self.monitors
+                else "dense"
+            )
+        elif engine == "structured":
+            if not self.balancer.supports_structured_sends:
+                raise ValueError(
+                    f"balancer {self.balancer.name!r} does not implement "
+                    "structured sends; use the dense engine"
+                )
+            if self.monitors:
+                raise ValueError(
+                    "monitors consume dense sends matrices; use the "
+                    "dense engine"
+                )
+        self.engine = engine
         self.total_tokens = int(initial_loads.sum())
         self.round = 1  # the paper's convention: x_1 is the initial vector
         self.discrepancy_history: list[int] = (
@@ -122,7 +159,16 @@ class Simulator:
         return self._loads
 
     def step(self) -> np.ndarray:
-        """Execute one synchronous round; returns the new load vector."""
+        """Execute one synchronous round; returns the new load vector.
+
+        Monitors appended to :attr:`monitors` after construction force
+        the round back onto the dense path so their ``observe`` hooks
+        receive real sends matrices — but the engine only calls
+        ``start`` on monitors passed to the constructor, so a late
+        addition must be ``start``-ed by the caller first.
+        """
+        if self.engine == "structured" and not self.monitors:
+            return self._step_structured()
         graph = self.graph
         loads = self._loads
         sends = self.balancer.sends(loads, self.round)
@@ -149,6 +195,36 @@ class Simulator:
             )
         for monitor in self.monitors:
             monitor.observe(self.round, loads, sends, new_loads)
+        if self.record_history:
+            self.discrepancy_history.append(discrepancy(new_loads))
+        self._loads = new_loads
+        self.round += 1
+        return new_loads
+
+    def _step_structured(self) -> np.ndarray:
+        """One round executed matrix-free from a compact description."""
+        graph = self.graph
+        loads = self._loads
+        compact = self.balancer.sends_structured(loads, self.round)
+        if self.validate_every_round:
+            compact.validate(graph, loads)
+        if not self.balancer.allows_negative:
+            remainder = compact.remainder(graph, loads)
+            if remainder.min() < 0:
+                node = int(np.argmin(remainder))
+                raise NegativeLoadError(
+                    f"round {self.round}: node {node} sent "
+                    f"{int(loads[node] - remainder[node])} tokens but "
+                    f"holds {int(loads[node])} "
+                    f"(balancer {self.balancer.name!r} does not allow "
+                    "negative load)"
+                )
+        new_loads = compact.apply(graph, loads)
+        if new_loads.sum() != self.total_tokens:
+            raise ConservationError(
+                f"round {self.round}: token count changed from "
+                f"{self.total_tokens} to {int(new_loads.sum())}"
+            )
         if self.record_history:
             self.discrepancy_history.append(discrepancy(new_loads))
         self._loads = new_loads

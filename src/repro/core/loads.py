@@ -53,6 +53,42 @@ def validate_loads(loads: np.ndarray, *, allow_negative: bool = False) -> np.nda
     return loads
 
 
+def validate_load_matrix(
+    loads: np.ndarray, *, allow_negative: bool = False
+) -> np.ndarray:
+    """Validate a stacked ``(replicas, n)`` load array in one pass.
+
+    The batch counterpart of :func:`validate_loads`: every check is a
+    single vectorized operation over the whole stack (no per-row Python
+    loop), and failures name the offending replica.
+    """
+    loads = np.ascontiguousarray(loads)
+    if loads.ndim != 2:
+        raise InvalidLoadVector(
+            "batch initial loads must be a (replicas, n) array, got "
+            f"shape {loads.shape}"
+        )
+    if loads.shape[0] == 0 or loads.shape[1] == 0:
+        raise InvalidLoadVector(
+            f"batch loads must be non-empty, got shape {loads.shape}"
+        )
+    if not np.issubdtype(loads.dtype, np.integer):
+        fractional = loads != np.floor(loads)
+        if np.any(fractional):
+            replica = int(np.nonzero(fractional.any(axis=1))[0][0])
+            raise InvalidLoadVector(
+                f"replica {replica}: loads must be integers "
+                "(tokens are indivisible)"
+            )
+    loads = loads.astype(np.int64)
+    if not allow_negative and loads.min() < 0:
+        replica = int(np.nonzero((loads < 0).any(axis=1))[0][0])
+        raise InvalidLoadVector(
+            f"replica {replica}: loads must be nonnegative"
+        )
+    return loads
+
+
 @register_load_spec("point_mass")
 def point_mass(n: int, tokens: int, node: int = 0) -> np.ndarray:
     """All ``tokens`` on a single node — initial discrepancy ``K = tokens``."""

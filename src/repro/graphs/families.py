@@ -22,8 +22,6 @@ Families provided:
 
 from __future__ import annotations
 
-import itertools
-
 import numpy as np
 
 from repro.graphs.balancing import BalancingGraph
@@ -63,9 +61,11 @@ def complete(n: int, num_self_loops: int | None = None) -> BalancingGraph:
     """Complete graph ``K_n`` ((n-1)-regular). Requires ``n >= 2``."""
     if n < 2:
         raise GraphConstructionError(f"complete requires n >= 2, got {n}")
-    adjacency = np.empty((n, n - 1), dtype=np.int64)
-    for u in range(n):
-        adjacency[u] = [v for v in range(n) if v != u]
+    # Row u is 0..n-1 with u removed: drop the diagonal of the full
+    # (n, n) index grid in one masked reshape.
+    grid = np.broadcast_to(np.arange(n), (n, n))
+    off_diagonal = ~np.eye(n, dtype=bool)
+    adjacency = grid[off_diagonal].reshape(n, n - 1)
     return BalancingGraph(
         adjacency,
         _default_loops(n - 1, num_self_loops),
@@ -94,19 +94,17 @@ def circulant(
         raise GraphConstructionError(
             f"offsets must lie in [1, {n // 2}], got {offsets}"
         )
-    rows = []
-    for u in range(n):
-        neighbors = set()
-        for off in offsets:
-            neighbors.add((u + off) % n)
-            neighbors.add((u - off) % n)
-        rows.append(sorted(neighbors))
-    lengths = {len(row) for row in rows}
-    if len(lengths) != 1:
-        raise GraphConstructionError(
-            f"offsets {offsets} do not produce a regular graph on {n} nodes"
-        )
-    adjacency = np.array(rows, dtype=np.int64)
+    # A circulant is vertex-transitive: node u's neighborhood is
+    # u + deltas (mod n) for the node-independent delta set {±offsets},
+    # so one broadcast add builds the whole adjacency.
+    deltas_set = set()
+    for off in offsets:
+        deltas_set.add(off)
+        deltas_set.add(n - off)
+    deltas = np.array(sorted(deltas_set), dtype=np.int64)
+    adjacency = np.sort(
+        (np.arange(n)[:, None] + deltas[None, :]) % n, axis=1
+    )
     degree = adjacency.shape[1]
     return BalancingGraph(
         adjacency,
@@ -187,21 +185,16 @@ def torus(
         raise GraphConstructionError("torus requires dimensions >= 1")
     shape = (side,) * dimensions
     n = side**dimensions
-    strides = [side**k for k in reversed(range(dimensions))]
-
-    def node_id(coords: tuple[int, ...]) -> int:
-        return sum(c * s for c, s in zip(coords, strides))
-
-    adjacency = np.empty((n, 2 * dimensions), dtype=np.int64)
-    for coords in itertools.product(range(side), repeat=dimensions):
-        u = node_id(coords)
-        neighbors = []
-        for axis in range(dimensions):
-            for delta in (-1, 1):
-                moved = list(coords)
-                moved[axis] = (moved[axis] + delta) % side
-                neighbors.append(node_id(tuple(moved)))
-        adjacency[u] = sorted(neighbors)
+    # Rolling the id grid along an axis maps every node to its ±1
+    # neighbor on that axis, wrap-around included — one roll per
+    # (axis, direction) builds the whole adjacency.
+    ids = np.arange(n, dtype=np.int64).reshape(shape)
+    columns = [
+        np.roll(ids, -delta, axis=axis).reshape(-1)
+        for axis in range(dimensions)
+        for delta in (-1, 1)
+    ]
+    adjacency = np.sort(np.stack(columns, axis=1), axis=1)
     return BalancingGraph(
         adjacency,
         _default_loops(2 * dimensions, num_self_loops),

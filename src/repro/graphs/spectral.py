@@ -36,10 +36,12 @@ def second_eigenvalue(graph: BalancingGraph) -> float:
         return 0.0
     if n <= _DENSE_LIMIT:
         return float(eigenvalues(graph)[1])
-    from scipy.sparse import csr_matrix
     from scipy.sparse.linalg import eigsh
 
-    sparse = csr_matrix(graph.transition_matrix())
+    # CSR built directly from adjacency — the previous "sparse" path
+    # densified the full (n, n) transition matrix first, which is
+    # exactly the allocation this branch exists to avoid.
+    sparse = graph.transition_matrix_sparse()
     top = eigsh(sparse, k=2, which="LA", return_eigenvectors=False)
     return float(np.sort(top)[0])
 

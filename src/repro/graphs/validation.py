@@ -57,17 +57,49 @@ def validate_adjacency(adjacency: np.ndarray) -> np.ndarray:
     return adjacency
 
 
-def _check_symmetry(adjacency: np.ndarray) -> None:
-    """Verify that the neighbor relation is symmetric."""
+def _directed_edge_orders(
+    adjacency: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Sort the directed edges of ``adjacency`` both ways.
+
+    Directed edge ``i = u * d + p`` runs from ``src[i] = u`` over port
+    ``p = i % d`` to ``dst[i] = adjacency[u, p]``.  ``forward`` sorts
+    the edges by ``(src, dst)``, ``backward`` by ``(dst, src)``.  On a
+    symmetric graph the two sorted pair sequences coincide, which makes
+    both the symmetry check and the reverse-port map one aligned
+    comparison — no per-node dictionaries, no Python loop.
+    """
     n, d = adjacency.shape
-    neighbor_sets = [set(map(int, adjacency[u])) for u in range(n)]
-    for u in range(n):
-        for v in adjacency[u]:
-            if u not in neighbor_sets[int(v)]:
-                raise GraphValidationError(
-                    f"edge ({u}, {int(v)}) is not symmetric: "
-                    f"{int(v)} does not list {u} as a neighbor"
-                )
+    src = np.repeat(np.arange(n), d)
+    dst = adjacency.reshape(-1)
+    forward = np.lexsort((dst, src))
+    backward = np.lexsort((src, dst))
+    return src, dst, forward, backward
+
+
+def _check_symmetry(adjacency: np.ndarray) -> None:
+    """Verify that the neighbor relation is symmetric (vectorized)."""
+    src, dst, forward, backward = _directed_edge_orders(adjacency)
+    mismatch = (src[forward] != dst[backward]) | (
+        dst[forward] != src[backward]
+    )
+    if not mismatch.any():
+        return
+    # First mismatch of the two sorted pair multisets: the smaller pair
+    # exists in one direction only.
+    k = int(np.argmax(mismatch))
+    pair_forward = (int(src[forward[k]]), int(dst[forward[k]]))
+    pair_backward = (int(dst[backward[k]]), int(src[backward[k]]))
+    if pair_forward <= pair_backward:
+        u, v = pair_forward
+    else:
+        # pair_backward = (dst, src) of a real directed edge src -> dst:
+        # src lists dst, but dst does not list src back.
+        u, v = pair_backward[1], pair_backward[0]
+    raise GraphValidationError(
+        f"edge ({u}, {v}) is not symmetric: "
+        f"{v} does not list {u} as a neighbor"
+    )
 
 
 def reverse_port_map(adjacency: np.ndarray) -> np.ndarray:
@@ -77,21 +109,43 @@ def reverse_port_map(adjacency: np.ndarray) -> np.ndarray:
     In words: if node ``u`` reaches ``v`` through its port ``p``, then ``v``
     reaches ``u`` back through its port ``q``.  The simulation engine uses
     this to gather incoming flow with a single fancy-indexing expression.
+
+    Computed via the aligned double edge sort of
+    :func:`_directed_edge_orders`: position ``k`` of the forward order
+    holds edge ``(u, v)`` exactly where position ``k`` of the backward
+    order holds ``(v, u)``, whose port is its flat index mod ``d``.
     """
     n, d = adjacency.shape
-    port_of = [
-        {int(v): p for p, v in enumerate(adjacency[u])} for u in range(n)
-    ]
-    reverse = np.empty((n, d), dtype=np.int64)
-    for u in range(n):
-        for p in range(d):
-            v = int(adjacency[u, p])
-            reverse[u, p] = port_of[v][u]
-    return reverse
+    _, _, forward, backward = _directed_edge_orders(adjacency)
+    reverse = np.empty(n * d, dtype=np.int64)
+    reverse[forward] = backward % d
+    return reverse.reshape(n, d)
 
 
 def is_connected(adjacency: np.ndarray) -> bool:
     """Return True if the graph described by ``adjacency`` is connected."""
+    try:
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import connected_components
+    except ImportError:  # pragma: no cover - scipy ships with the env
+        return _is_connected_python(adjacency)
+    n, d = adjacency.shape
+    structure = csr_matrix(
+        (
+            np.ones(n * d, dtype=np.int8),
+            adjacency.reshape(-1),
+            np.arange(0, n * d + 1, d),
+        ),
+        shape=(n, n),
+    )
+    components, _ = connected_components(
+        structure, directed=False, return_labels=True
+    )
+    return int(components) == 1
+
+
+def _is_connected_python(adjacency: np.ndarray) -> bool:
+    """Pure-python DFS fallback when scipy is unavailable."""
     n = adjacency.shape[0]
     seen = np.zeros(n, dtype=bool)
     stack = [0]

@@ -10,6 +10,13 @@ the conservation check, and (for stateless schemes implementing
 ``sends_batch``) the send rule itself all broadcast over the replica
 axis.
 
+Like the looped engine, the runner executes each round either from the
+balancer's dense ``(replicas, n, d+)`` sends or — when every balancer
+implements ``sends_structured`` — matrix-free from compact
+:class:`~repro.core.structured.StructuredRound` descriptions, which at
+large ``n`` removes the dominant allocation entirely (``engine="auto"``
+picks the structured path whenever it is available).
+
 Semantics are bit-identical to the looped baseline: replica ``r`` of a
 batch run produces the same load trajectory as a fresh ``Simulator``
 driven with the same balancer and initial vector (the parity tests
@@ -27,11 +34,10 @@ from repro.core.balancer import Balancer
 from repro.core.engine import SimulationResult
 from repro.core.errors import (
     ConservationError,
-    InvalidLoadVector,
     InvalidSendMatrix,
     NegativeLoadError,
 )
-from repro.core.loads import validate_loads
+from repro.core.loads import validate_load_matrix
 from repro.graphs.balancing import BalancingGraph
 
 
@@ -90,7 +96,9 @@ class BatchRunner:
         initial_loads: ``(replicas, n)`` nonnegative integer array.
         record_history: keep per-replica discrepancy trajectories.
         validate_every_round: structural validation of each batch of
-            sends matrices (vectorized; cheap).
+            sends matrices or compact rounds (vectorized; cheap).
+        engine: ``"dense"``, ``"structured"``, or ``"auto"`` (default)
+            — structured when every balancer supports it.
     """
 
     def __init__(
@@ -101,16 +109,9 @@ class BatchRunner:
         *,
         record_history: bool = True,
         validate_every_round: bool = True,
+        engine: str = "auto",
     ) -> None:
-        initial_loads = np.ascontiguousarray(initial_loads)
-        if initial_loads.ndim != 2:
-            raise InvalidLoadVector(
-                "batch initial loads must be a (replicas, n) array, got "
-                f"shape {initial_loads.shape}"
-            )
-        initial_loads = np.stack(
-            [validate_loads(row) for row in initial_loads]
-        )
+        initial_loads = validate_load_matrix(initial_loads)
         if initial_loads.shape[1] != graph.num_nodes:
             raise InvalidSendMatrix(
                 f"load rows have {initial_loads.shape[1]} entries for a "
@@ -140,13 +141,25 @@ class BatchRunner:
         self._vectorized = (
             len(balancers) == 1 and balancers[0].supports_batched_sends
         )
-        # Flat incoming-gather index: token arriving at u over port j was
-        # sent by adjacency[u, j] on port reverse_port[u, j]; a single
-        # flat fancy index over the (n * d+)-reshaped sends beats the
-        # equivalent two-array advanced indexing round after round.
-        self._incoming_flat = (
-            graph.adjacency * graph.total_degree + graph.reverse_port
-        ).ravel()
+        if engine not in ("auto", "dense", "structured"):
+            raise ValueError(f"unknown engine {engine!r}")
+        structured_ok = all(
+            b.supports_structured_sends for b in balancers
+        )
+        if engine == "auto":
+            engine = "structured" if structured_ok else "dense"
+        elif engine == "structured" and not structured_ok:
+            missing = next(
+                b.name
+                for b in balancers
+                if not b.supports_structured_sends
+            )
+            raise ValueError(
+                f"balancer {missing!r} does not implement structured "
+                "sends; use the dense engine"
+            )
+        self.engine = engine
+        self._incoming_flat_cache: np.ndarray | None = None
         self.initial_loads = initial_loads.copy()
         self._loads = initial_loads.copy()
         self.record_history = record_history
@@ -176,9 +189,23 @@ class BatchRunner:
     def _balancer_for(self, replica: int) -> Balancer:
         return self.balancers[0 if len(self.balancers) == 1 else replica]
 
+    @property
+    def _incoming_flat(self) -> np.ndarray:
+        # Flat incoming-gather index for the dense engine: token
+        # arriving at u over port j was sent by adjacency[u, j] on port
+        # reverse_port[u, j]; a single flat fancy index over the
+        # (n * d+)-reshaped sends beats the equivalent two-array
+        # advanced indexing round after round.  Built lazily because
+        # the structured engine never touches it.
+        if self._incoming_flat_cache is None:
+            graph = self.graph
+            self._incoming_flat_cache = (
+                graph.adjacency * graph.total_degree + graph.reverse_port
+            ).ravel()
+        return self._incoming_flat_cache
+
     def step(self) -> np.ndarray:
         """Execute one synchronous round for every active replica."""
-        graph = self.graph
         all_active = bool(self._active.all())
         if all_active:
             # Fast path: no index gathers/scatters on the load stack.
@@ -189,6 +216,38 @@ class BatchRunner:
             if active.size == 0:
                 return self._loads
             loads = self._loads[active]
+        if self.engine == "structured":
+            new_loads = self._round_structured(loads, active)
+        else:
+            new_loads = self._round_dense(loads, active)
+        new_totals = new_loads.sum(axis=1)
+        totals = self.totals if all_active else self.totals[active]
+        if np.any(new_totals != totals):
+            bad = int(active[np.flatnonzero(new_totals != totals)[0]])
+            raise ConservationError(
+                f"round {self.round}: replica {bad} token count changed "
+                f"from {int(self.totals[bad])}"
+            )
+        if all_active:
+            self._loads = new_loads
+            self._rounds_executed += 1
+        else:
+            self._loads[active] = new_loads
+            self._rounds_executed[active] += 1
+        if self.record_history:
+            discrepancies = (
+                new_loads.max(axis=1) - new_loads.min(axis=1)
+            ).tolist()
+            for replica, value in zip(active.tolist(), discrepancies):
+                self.histories[replica].append(value)
+        self.round += 1
+        return self._loads
+
+    def _round_dense(
+        self, loads: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        """One round's new loads from full ``(batch, n, d+)`` sends."""
+        graph = self.graph
         if self._vectorized:
             sends = self.balancers[0].sends_batch(loads, self.round)
         else:
@@ -215,28 +274,61 @@ class BatchRunner:
         )
         new_loads = loads - edge_out
         new_loads += incoming
-        new_totals = new_loads.sum(axis=1)
-        totals = self.totals if all_active else self.totals[active]
-        if np.any(new_totals != totals):
-            bad = int(active[np.flatnonzero(new_totals != totals)[0]])
-            raise ConservationError(
-                f"round {self.round}: replica {bad} token count changed "
-                f"from {int(self.totals[bad])}"
-            )
-        if all_active:
-            self._loads = new_loads
-            self._rounds_executed += 1
-        else:
-            self._loads[active] = new_loads
-            self._rounds_executed[active] += 1
-        if self.record_history:
-            discrepancies = (
-                new_loads.max(axis=1) - new_loads.min(axis=1)
-            ).tolist()
-            for replica, value in zip(active.tolist(), discrepancies):
-                self.histories[replica].append(value)
-        self.round += 1
-        return self._loads
+        return new_loads
+
+    def _round_structured(
+        self, loads: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        """One round's new loads executed matrix-free.
+
+        The shared stateless balancer evaluates the whole stack in one
+        compact description; per-replica balancers (e.g. stateful
+        rotors) produce one compact round each — still O(n·d) per
+        replica instead of a dense matrix.
+        """
+        graph = self.graph
+        if self._vectorized:
+            balancer = self.balancers[0]
+            compact = balancer.sends_structured(loads, self.round)
+            if self.validate_every_round:
+                compact.validate(graph, loads)
+            if not balancer.allows_negative:
+                remainder = compact.remainder(graph, loads)
+                if remainder.min() < 0:
+                    self._raise_structured_overdraw(
+                        remainder, active, balancer
+                    )
+            return compact.apply(graph, loads)
+        new_loads = np.empty_like(loads)
+        for row, replica in enumerate(active):
+            balancer = self._balancer_for(int(replica))
+            replica_loads = self._loads[int(replica)]
+            compact = balancer.sends_structured(replica_loads, self.round)
+            if self.validate_every_round:
+                compact.validate(graph, replica_loads)
+            if not balancer.allows_negative:
+                remainder = compact.remainder(graph, replica_loads)
+                if remainder.min() < 0:
+                    self._raise_structured_overdraw(
+                        remainder[None, :], active[row:], balancer
+                    )
+            new_loads[row] = compact.apply(graph, replica_loads)
+        return new_loads
+
+    def _raise_structured_overdraw(
+        self,
+        remainder: np.ndarray,
+        active: np.ndarray,
+        balancer: Balancer,
+    ) -> None:
+        row, node = np.unravel_index(
+            int(np.argmin(remainder)), remainder.shape
+        )
+        raise NegativeLoadError(
+            f"round {self.round}: replica {int(active[row])} node "
+            f"{int(node)} overdrew its load (balancer "
+            f"{balancer.name!r} does not allow negative load)"
+        )
 
     def run(self, rounds: int) -> BatchResult:
         """Execute ``rounds`` rounds for every replica."""
@@ -257,7 +349,8 @@ class BatchRunner:
         """
         graph = self.graph
         balancer = self.balancers[0]
-        flat = self._incoming_flat
+        structured = self.engine == "structured"
+        flat = None if structured else self._incoming_flat
         degree = graph.degree
         n = graph.num_nodes
         replicas = self.num_replicas
@@ -267,22 +360,36 @@ class BatchRunner:
         discrepancy_rows: list[np.ndarray] = []
         loads = self._loads
         for _ in range(rounds):
-            sends = balancer.sends_batch(loads, self.round)
-            if validate:
-                self._validate_sends(sends, replicas)
-            edge_out = sends[:, :, :degree].sum(axis=2)
-            if check_overdraw:
-                remainder = loads - edge_out
-                remainder -= sends[:, :, degree:].sum(axis=2)
-                if remainder.min() < 0:
-                    self._check_overdraw(remainder, np.arange(replicas))
-            incoming = (
-                sends.reshape(replicas, -1)[:, flat]
-                .reshape(replicas, n, degree)
-                .sum(axis=2)
-            )
-            new_loads = loads - edge_out
-            new_loads += incoming
+            if structured:
+                compact = balancer.sends_structured(loads, self.round)
+                if validate:
+                    compact.validate(graph, loads)
+                if check_overdraw:
+                    remainder = compact.remainder(graph, loads)
+                    if remainder.min() < 0:
+                        self._raise_structured_overdraw(
+                            remainder, np.arange(replicas), balancer
+                        )
+                new_loads = compact.apply(graph, loads)
+            else:
+                sends = balancer.sends_batch(loads, self.round)
+                if validate:
+                    self._validate_sends(sends, replicas)
+                edge_out = sends[:, :, :degree].sum(axis=2)
+                if check_overdraw:
+                    remainder = loads - edge_out
+                    remainder -= sends[:, :, degree:].sum(axis=2)
+                    if remainder.min() < 0:
+                        self._check_overdraw(
+                            remainder, np.arange(replicas)
+                        )
+                incoming = (
+                    sends.reshape(replicas, -1)[:, flat]
+                    .reshape(replicas, n, degree)
+                    .sum(axis=2)
+                )
+                new_loads = loads - edge_out
+                new_loads += incoming
             new_totals = new_loads.sum(axis=1)
             if not np.array_equal(new_totals, self.totals):
                 bad = int(np.flatnonzero(new_totals != self.totals)[0])

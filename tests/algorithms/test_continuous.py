@@ -81,3 +81,34 @@ class TestConvergence:
 
 def test_continuous_discrepancy_helper():
     assert continuous_discrepancy(np.array([1.5, 4.0])) == pytest.approx(2.5)
+
+
+class TestStructuredMode:
+    def test_structured_matches_dense(self):
+        graph = families.random_regular(32, 4, seed=1)
+        dense = ContinuousDiffusion(graph, mode="dense")
+        structured = ContinuousDiffusion(graph, mode="structured")
+        x = np.zeros(32)
+        x[0] = 320.0
+        y = x.copy()
+        for _ in range(25):
+            x = dense.step(x)
+            y = structured.step(y)
+        np.testing.assert_allclose(y, x, atol=1e-9)
+
+    def test_structured_never_builds_matrix(self):
+        graph = families.cycle(64)
+        process = ContinuousDiffusion(graph, mode="structured")
+        process.run(np.arange(64, dtype=float), rounds=10)
+        assert process._matrix is None
+        assert graph._transition_matrix is None
+
+    def test_auto_mode_thresholds(self):
+        small = ContinuousDiffusion(families.cycle(16))
+        assert small.mode == "dense"
+        big = ContinuousDiffusion(families.cycle(5000))
+        assert big.mode == "structured"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            ContinuousDiffusion(families.cycle(8), mode="warp")

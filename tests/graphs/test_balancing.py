@@ -161,3 +161,23 @@ class TestInterop:
         info = triangle(2).describe()
         assert info["n"] == 3
         assert info["d_plus"] == 4
+
+
+class TestMemoryEstimate:
+    def test_structured_smaller_than_dense(self):
+        from repro.graphs.balancing import estimate_memory_bytes
+
+        for d_plus in (8, 16, 64):
+            assert estimate_memory_bytes(
+                1000, d_plus, engine="dense"
+            ) > estimate_memory_bytes(1000, d_plus, engine="structured")
+        # Gather temporary scales with the original degree, not d+.
+        assert estimate_memory_bytes(
+            1000, 64, engine="structured", degree=2
+        ) < estimate_memory_bytes(1000, 64, engine="structured")
+
+    def test_unknown_engine_rejected(self):
+        from repro.graphs.balancing import estimate_memory_bytes
+
+        with pytest.raises(ValueError, match="unknown engine"):
+            estimate_memory_bytes(1000, 4, engine="warp")

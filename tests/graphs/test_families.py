@@ -1,5 +1,6 @@
 """Unit tests for every graph family generator."""
 
+import numpy as np
 import pytest
 
 from repro.graphs import families
@@ -203,3 +204,65 @@ class TestBuildByName:
     def test_unknown_family(self):
         with pytest.raises(GraphConstructionError, match="unknown"):
             families.build("moebius")
+
+
+class TestLargeScaleConstruction:
+    """Vectorized generators: big graphs build in one numpy pass.
+
+    Sizes are chosen to be instant when construction is vectorized and
+    painfully slow if a per-node Python loop sneaks back in.
+    """
+
+    def test_large_cycle(self):
+        n = 200_000
+        graph = families.cycle(n)
+        assert graph.num_nodes == n
+        assert graph.degree == 2
+        np.testing.assert_array_equal(
+            graph.adjacency[12345], [12344, 12346]
+        )
+
+    def test_large_torus(self):
+        side = 300  # 90k nodes
+        graph = families.torus(side, 2)
+        assert graph.num_nodes == side * side
+        assert graph.degree == 4
+        # Interior node: neighbors are +-1 on each axis.
+        u = 5 * side + 7
+        np.testing.assert_array_equal(
+            np.sort(graph.adjacency[u]),
+            np.sort([u - 1, u + 1, u - side, u + side]),
+        )
+        # Wrap-around on both axes at the origin.
+        assert set(map(int, graph.adjacency[0])) == {
+            1,
+            side - 1,
+            side,
+            side * (side - 1),
+        }
+
+    def test_large_circulant(self):
+        n = 100_000
+        graph = families.circulant(n, [1, 3, 7])
+        assert graph.degree == 6
+        assert set(map(int, graph.adjacency[0])) == {
+            1, 3, 7, n - 1, n - 3, n - 7,
+        }
+
+    def test_large_complete(self):
+        graph = families.complete(400)
+        assert graph.degree == 399
+        assert 400 not in set(map(int, graph.adjacency[17]))
+        assert 17 not in set(map(int, graph.adjacency[17]))
+
+    def test_distances_on_large_torus(self):
+        side = 120
+        graph = families.torus(side, 2)
+        dist = graph.distances_from(0)
+        # Torus BFS distance from the origin is the wrapped L1 norm.
+        coords = np.arange(side * side)
+        row, col = coords // side, coords % side
+        expected = np.minimum(row, side - row) + np.minimum(
+            col, side - col
+        )
+        np.testing.assert_array_equal(dist, expected)

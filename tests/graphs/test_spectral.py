@@ -108,3 +108,34 @@ class TestProfile:
             spectral.eigenvalue_gap(graph)
         )
         assert profile.balancing_time(100) >= 1
+
+
+class TestSparsePath:
+    def test_sparse_matrix_matches_dense(self):
+        for graph in (
+            families.cycle(10),
+            families.petersen(),
+            families.cycle(7, num_self_loops=0),
+        ):
+            sparse = graph.transition_matrix_sparse()
+            np.testing.assert_allclose(
+                sparse.toarray(), graph.transition_matrix(), atol=1e-15
+            )
+
+    def test_sparse_matrix_is_canonical_and_cached(self):
+        graph = families.hypercube(4)
+        sparse = graph.transition_matrix_sparse()
+        assert sparse.has_sorted_indices
+        assert graph.transition_matrix_sparse() is sparse
+
+    def test_large_n_second_eigenvalue_smoke(self):
+        # n = 8192 > _DENSE_LIMIT forces the eigsh path, which must
+        # never densify the (n, n) matrix; checked against the closed
+        # form for the hypercube.
+        dim = 13
+        graph = families.hypercube(dim)
+        assert graph.num_nodes > spectral._DENSE_LIMIT
+        assert spectral.eigenvalue_gap(graph) == pytest.approx(
+            spectral.hypercube_gap_formula(dim, dim), rel=1e-6
+        )
+        assert graph._transition_matrix is None  # never densified

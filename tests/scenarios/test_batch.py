@@ -166,3 +166,71 @@ class TestBatchRunnerDirect:
         for history in result.histories:
             assert history[0] == 240
             assert len(history) == 6
+
+
+class TestVectorizedLoadValidation:
+    """BatchRunner validates the whole (replicas, n) stack in one pass."""
+
+    def test_rejects_fractional_loads_naming_replica(self, expander24):
+        from repro.algorithms import SendFloor
+
+        initial = np.ones((3, 24))
+        initial[1, 5] = 0.5
+        with pytest.raises(InvalidLoadVector, match="replica 1"):
+            BatchRunner(expander24, SendFloor(), initial)
+
+    def test_rejects_negative_loads_naming_replica(self, expander24):
+        from repro.algorithms import SendFloor
+
+        initial = np.ones((3, 24), dtype=np.int64)
+        initial[2, 0] = -1
+        with pytest.raises(InvalidLoadVector, match="replica 2"):
+            BatchRunner(expander24, SendFloor(), initial)
+
+    def test_accepts_integral_floats(self, expander24):
+        from repro.algorithms import SendFloor
+
+        initial = np.full((2, 24), 3.0)
+        runner = BatchRunner(expander24, SendFloor(), initial)
+        assert runner.initial_loads.dtype == np.int64
+
+    def test_rejects_empty_batch(self, expander24):
+        from repro.algorithms import SendFloor
+
+        with pytest.raises(InvalidLoadVector, match="non-empty"):
+            BatchRunner(
+                expander24,
+                SendFloor(),
+                np.empty((0, 24), dtype=np.int64),
+            )
+
+
+class TestBatchEngineSelection:
+    def test_auto_prefers_structured(self, expander24):
+        from repro.algorithms import SendFloor
+
+        runner = BatchRunner(
+            expander24, SendFloor(), np.ones((2, 24), dtype=np.int64)
+        )
+        assert runner.engine == "structured"
+
+    def test_auto_falls_back_to_dense(self, expander24):
+        from repro.algorithms.mimicking import ContinuousMimicking
+
+        runner = BatchRunner(
+            expander24,
+            [ContinuousMimicking(), ContinuousMimicking()],
+            np.ones((2, 24), dtype=np.int64),
+        )
+        assert runner.engine == "dense"
+
+    def test_structured_requires_support(self, expander24):
+        from repro.algorithms.mimicking import ContinuousMimicking
+
+        with pytest.raises(ValueError, match="structured"):
+            BatchRunner(
+                expander24,
+                [ContinuousMimicking(), ContinuousMimicking()],
+                np.ones((2, 24), dtype=np.int64),
+                engine="structured",
+            )
