@@ -136,6 +136,25 @@ def test_engine_throughput(benchmark, graph, algorithm, engine):
     assert result.final_loads.sum() == 64 * N
 
 
+def test_throughput_with_loads_probe(benchmark, graph):
+    """Loads-only probes must ride the structured engine (auto)."""
+    from repro.core.monitors import LoadBoundsMonitor
+
+    def run_once():
+        simulator = Simulator(
+            graph,
+            make("send_floor"),
+            point_mass(N, 64 * N),
+            probes=(LoadBoundsMonitor(),),
+            record_history=False,
+        )
+        assert simulator.engine == "structured"
+        return simulator.run(ROUNDS)
+
+    result = benchmark(run_once)
+    assert result.final_loads.sum() == 64 * N
+
+
 def test_throughput_with_monitors(benchmark, graph):
     """Full monitor suite attached: the fairness-verification overhead."""
     from repro.core.fairness import (
@@ -169,12 +188,21 @@ def test_throughput_with_monitors(benchmark, graph):
 LADDER_ALGORITHMS = ("send_floor", "send_rounded", "rotor_router")
 
 
-def _time_run(graph, algorithm, loads, rounds, engine, repeats):
-    """Best-of-``repeats`` wall time; returns (seconds, final_loads)."""
+def _time_run(
+    graph, algorithm, loads, rounds, engine, repeats, probes=None
+):
+    """Best-of-``repeats`` wall time.
+
+    Returns ``(seconds, final_loads, engine_used)`` — the engine the
+    simulator actually selected, so probe rows can verify that a
+    loads-only probe did not knock ``engine="auto"`` off the
+    structured path.
+    """
     from repro.core.engine import Simulator as _Simulator
 
     best = float("inf")
     finals = None
+    engine_used = None
     for _ in range(repeats):
         simulator = _Simulator(
             graph,
@@ -182,12 +210,14 @@ def _time_run(graph, algorithm, loads, rounds, engine, repeats):
             loads,
             record_history=False,
             engine=engine,
+            probes=probes() if probes is not None else (),
         )
+        engine_used = simulator.engine
         start = time.perf_counter()
         result = simulator.run(rounds)
         best = min(best, time.perf_counter() - start)
         finals = result.final_loads
-    return best, finals
+    return best, finals, engine_used
 
 
 def run_ladder(
@@ -203,8 +233,15 @@ def run_ladder(
     The dense engine is skipped above ``dense_cap`` (its (n, d+) matrix
     is the very allocation the structured path removes); wherever both
     engines ran, final load vectors are asserted bit-identical.
+
+    Every row also times the structured engine with a loads-only probe
+    attached under ``engine="auto"`` — the probe-overhead column of the
+    ladder.  ``probe_engine`` records which engine auto selected (it
+    must stay ``"structured"``) and ``probe_overhead`` the slowdown
+    relative to the bare structured run.
     """
     from repro.core.loads import adversarial_split
+    from repro.core.monitors import LoadBoundsMonitor
     from repro.graphs.families import cycle
 
     entries = []
@@ -214,9 +251,22 @@ def run_ladder(
         construct_seconds = time.perf_counter() - built_at
         loads = adversarial_split(n, tokens_per_node * n)
         for algorithm in algorithms:
-            structured_seconds, structured_finals = _time_run(
+            structured_seconds, structured_finals, _ = _time_run(
                 graph, algorithm, loads, rounds, "structured", repeats
             )
+            probe_seconds, probe_finals, probe_engine = _time_run(
+                graph,
+                algorithm,
+                loads,
+                rounds,
+                "auto",
+                repeats,
+                probes=lambda: (LoadBoundsMonitor(),),
+            )
+            if not np.array_equal(probe_finals, structured_finals):
+                raise AssertionError(
+                    f"probe run diverged at n={n}, {algorithm}"
+                )
             entry = {
                 "n": n,
                 "d_plus": graph.total_degree,
@@ -227,9 +277,14 @@ def run_ladder(
                 "structured_rounds_per_second": round(
                     rounds / structured_seconds, 1
                 ),
+                "structured_probe_seconds": round(probe_seconds, 4),
+                "probe_engine": probe_engine,
+                "probe_overhead": round(
+                    probe_seconds / structured_seconds, 3
+                ),
             }
             if n <= dense_cap:
-                dense_seconds, dense_finals = _time_run(
+                dense_seconds, dense_finals, _ = _time_run(
                     graph, algorithm, loads, rounds, "dense", repeats
                 )
                 if not np.array_equal(dense_finals, structured_finals):
@@ -246,6 +301,8 @@ def run_ladder(
             print(
                 f"n={n:>8d} {algorithm:<13s} "
                 f"structured {structured_seconds:8.3f}s"
+                f"  +probe {entry['probe_overhead']:5.2f}x"
+                f" ({probe_engine})"
                 + (
                     f"  dense {entry['dense_seconds']:8.3f}s"
                     f"  speedup {entry['speedup']:5.2f}x"
@@ -316,8 +373,16 @@ def main(argv=None):
     parser.add_argument(
         "--check",
         action="store_true",
-        help="exit nonzero if structured is slower than dense "
-        "at any n >= 4096",
+        help="exit nonzero if structured is slower than dense, a "
+        "loads-only probe forces the dense path, or probe overhead "
+        "exceeds the limit at any n >= 4096",
+    )
+    parser.add_argument(
+        "--probe-overhead-limit",
+        type=float,
+        default=1.2,
+        help="max allowed structured+probe / structured-bare ratio "
+        "at n >= 4096 (default 1.2)",
     )
     args = parser.parse_args(argv)
 
@@ -342,21 +407,46 @@ def main(argv=None):
     print(f"wrote {args.output}")
 
     if args.check:
+        failed = False
         slow = [
             entry
             for entry in report["ladder"]
             if entry["n"] >= 4096 and entry.get("speedup", 99.0) < 1.0
         ]
-        if slow:
-            for entry in slow:
+        for entry in slow:
+            failed = True
+            print(
+                f"FAIL: structured slower than dense at "
+                f"n={entry['n']} ({entry['algorithm']}): "
+                f"{entry['speedup']}x",
+                file=sys.stderr,
+            )
+        for entry in report["ladder"]:
+            if entry["n"] < 4096:
+                continue
+            if entry["probe_engine"] != "structured":
+                failed = True
                 print(
-                    f"FAIL: structured slower than dense at "
-                    f"n={entry['n']} ({entry['algorithm']}): "
-                    f"{entry['speedup']}x",
+                    f"FAIL: loads-only probe forced the "
+                    f"{entry['probe_engine']} engine at n={entry['n']} "
+                    f"({entry['algorithm']})",
                     file=sys.stderr,
                 )
+            elif entry["probe_overhead"] > args.probe_overhead_limit:
+                failed = True
+                print(
+                    f"FAIL: probe overhead {entry['probe_overhead']}x "
+                    f"exceeds {args.probe_overhead_limit}x at "
+                    f"n={entry['n']} ({entry['algorithm']})",
+                    file=sys.stderr,
+                )
+        if failed:
             return 1
-        print("check passed: structured >= dense at every n >= 4096")
+        print(
+            "check passed: structured >= dense and probe overhead "
+            f"<= {args.probe_overhead_limit}x (structured engine kept) "
+            "at every n >= 4096"
+        )
     return 0
 
 

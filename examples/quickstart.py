@@ -33,10 +33,13 @@ def imperative_api() -> None:
     initial = point_mass(graph.num_nodes, 6400)
 
     # 3. Run the deterministic rotor-router for 200 synchronous rounds.
+    #    DiscrepancyRecorder is a loads-only probe, so the simulator
+    #    stays on the matrix-free structured engine while observing.
     recorder = DiscrepancyRecorder()
     simulator = Simulator(
-        graph, RotorRouter(), initial, monitors=(recorder,)
+        graph, RotorRouter(), initial, probes=(recorder,)
     )
+    assert simulator.engine == "structured"
     result = simulator.run(200)
 
     # 4. Inspect the trajectory.

@@ -20,8 +20,11 @@ from repro.graphs import eigenvalue_gap, torus
 def run_one(graph, balancer, workload, rounds, s):
     average = workload.sum() / graph.num_nodes
     c_center = int(average // graph.total_degree)
+    # Potentials are pure functions of the load vector, so the monitor
+    # rides as a loads-only probe — the SEND schemes keep their
+    # structured (matrix-free) engine while phi is tracked.
     monitor = PotentialMonitor([c_center + 1], s=s)
-    simulator = Simulator(graph, balancer, workload, monitors=(monitor,))
+    simulator = Simulator(graph, balancer, workload, probes=(monitor,))
     result = simulator.run(rounds)
     return result, monitor, c_center + 1
 

@@ -13,7 +13,9 @@ Public API overview
 * :mod:`repro.graphs` — d-regular graph families, the balancing graph
   ``G+`` (self-loops, ports), spectral toolkit (``μ``, ``T``).
 * :mod:`repro.core` — synchronous simulation engine, balancer
-  interface, named load workloads, flow accounting, fairness checkers,
+  interface, named load workloads, capability-typed probes
+  (``Probe`` / ``ProbeSpec`` / ``@register_probe``), the columnar
+  ``Trace`` / ``RunRecord`` model, flow accounting, fairness checkers,
   potentials, metrics.
 * :mod:`repro.algorithms` — SEND(⌊x/d+⌋), SEND([x/d+]), ROTOR-ROUTER,
   ROTOR-ROUTER*, continuous diffusion, and all Table 1 baselines.

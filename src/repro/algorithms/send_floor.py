@@ -11,11 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.balancer import (
-    AlgorithmProperties,
-    Balancer,
-    split_extras_over_self_loops,
-)
+from repro.core.balancer import AlgorithmProperties, Balancer
 from repro.core.structured import StructuredRound
 from repro.graphs.balancing import BalancingGraph
 

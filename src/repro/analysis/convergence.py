@@ -93,7 +93,12 @@ def measure_after_t(
     monitors: tuple[Monitor, ...] = (),
     plateau_window: int = 16,
 ) -> ConvergenceReport:
-    """Run for ``O(T)`` rounds and report the final discrepancy plateau."""
+    """Run for ``O(T)`` rounds and report the final discrepancy plateau.
+
+    The built-in load-bounds observer rides as a loads-only probe, so
+    supported balancers stay on the structured engine; extra legacy
+    ``monitors`` (if any) pin the dense engine as they always did.
+    """
     if gap is None:
         gap = eigenvalue_gap(graph)
     horizon = horizon_for(graph, initial_loads, horizon_multiplier, gap)
@@ -104,7 +109,8 @@ def measure_after_t(
         graph,
         balancer,
         initial_loads,
-        monitors=(bounds, *monitors),
+        monitors=monitors,
+        probes=(bounds,),
     )
     result = simulator.run(horizon)
     return ConvergenceReport(
@@ -150,7 +156,7 @@ def measure_time_to_target(
         graph,
         balancer,
         initial_loads,
-        monitors=(bounds,),
+        probes=(bounds,),
     )
     result = simulator.run_to_discrepancy(target, budget)
     reached = time_to_discrepancy(result.discrepancy_history, target)

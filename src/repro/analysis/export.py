@@ -84,3 +84,41 @@ def write_trajectory_csv(
         path,
         columns=["round", value_name],
     )
+
+
+# ----------------------------------------------------------------------
+# Columnar Trace / RunRecord export
+# ----------------------------------------------------------------------
+
+
+def write_trace_csv(trace, path: str | Path) -> Path:
+    """Dump a :class:`~repro.core.trace.Trace` as a round-indexed CSV.
+
+    Columns sampled on different schedules are outer-joined on the
+    round index; holes appear as empty cells.
+    """
+    rows = trace.to_rows()
+    if not rows:
+        raise ValueError("trace has no columns to write")
+    return write_csv(rows, path, columns=["round", *trace.names()])
+
+
+def write_trace_json(trace, path: str | Path) -> Path:
+    """Dump a :class:`~repro.core.trace.Trace` as one JSON document."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(trace.to_dict(), handle, indent=2, default=str)
+        handle.write("\n")
+    return path
+
+
+def record_rows(records) -> list[dict]:
+    """Flatten :class:`~repro.core.trace.RunRecord`\\ s into summary rows."""
+    return [record.row() for record in records]
+
+
+def write_records_jsonl(records, path: str | Path) -> Path:
+    """Dump full records (summary + trace columns) as JSON lines."""
+    return write_jsonl(
+        (record.to_dict() for record in records), path
+    )

@@ -59,7 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="run one algorithm on one graph"
     )
     sim_parser.add_argument(
-        "algorithm", help="registered balancer name (see repro.algorithms)"
+        "algorithm",
+        nargs="?",
+        help="registered balancer name (see repro.algorithms)",
     )
     sim_parser.add_argument(
         "--family",
@@ -76,6 +78,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv",
         metavar="PATH",
         help="dump the discrepancy trajectory as CSV",
+    )
+    sim_parser.add_argument(
+        "--probe",
+        action="append",
+        default=[],
+        metavar="NAME[:JSON]",
+        help=(
+            "attach a registered probe by name, e.g. --probe "
+            "load_bounds or --probe 'potentials:{\"c_values\": [4], "
+            "\"s\": 1}' (repeatable; loads-only probes keep the "
+            "structured/batched fast paths)"
+        ),
+    )
+    sim_parser.add_argument(
+        "--list-probes",
+        action="store_true",
+        help="list registered probe names and exit",
+    )
+    sim_parser.add_argument(
+        "--trace-csv",
+        metavar="PATH",
+        help="dump replica 0's columnar trace (probe columns) as CSV",
     )
     sim_parser.add_argument(
         "--replicas",
@@ -130,6 +154,7 @@ def graph_spec_from_cli(
 
 def _run_simulate(args) -> int:
     from repro.analysis.convergence import horizon_for
+    from repro.core.probes import PROBES, ProbeSpec
     from repro.graphs.spectral import eigenvalue_gap
     from repro.scenarios import (
         AlgorithmSpec,
@@ -138,6 +163,14 @@ def _run_simulate(args) -> int:
         StopRule,
     )
 
+    if args.list_probes:
+        print("registered probes:")
+        for name in PROBES.names():
+            print(f"  {name}")
+        return 0
+    if args.algorithm is None:
+        raise SystemExit("simulate: an algorithm name is required")
+    probes = tuple(ProbeSpec.parse(text) for text in args.probe)
     graph_spec = graph_spec_from_cli(
         args.family, args.n, args.degree, args.seed, args.self_loops
     )
@@ -157,6 +190,7 @@ def _run_simulate(args) -> int:
         loads=LoadSpec("point_mass", {"tokens": tokens}),
         stop=StopRule.fixed(rounds),
         replicas=args.replicas,
+        probes=probes,
     )
     outcome = scenario.run(graph=graph)
     result = outcome.replica(0)
@@ -171,11 +205,24 @@ def _run_simulate(args) -> int:
             f"replicas:   {args.replicas} ({outcome.executor} executor), "
             f"final discrepancy {min(finals)}..{max(finals)}"
         )
+    record = outcome.record(0)
+    if probes and record is not None:
+        for key, value in record.summary.items():
+            if key in ("initial_discrepancy", "final_discrepancy"):
+                continue
+            print(f"{key}: {value}")
     if args.csv:
         from repro.analysis.export import write_trajectory_csv
 
         write_trajectory_csv(result.discrepancy_history, args.csv)
         print(f"wrote {args.csv}")
+    if args.trace_csv:
+        from repro.analysis.export import write_trace_csv
+
+        if record is None:
+            raise SystemExit("no trace recorded for this run")
+        write_trace_csv(record.trace, args.trace_csv)
+        print(f"wrote {args.trace_csv}")
     return 0
 
 

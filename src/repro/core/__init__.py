@@ -60,7 +60,16 @@ from repro.core.potentials import (
     phi,
     phi_prime,
 )
+from repro.core.probes import (
+    PROBES,
+    MonitorProbe,
+    Probe,
+    ProbeSpec,
+    as_probe,
+    register_probe,
+)
 from repro.core.structured import RotorWindow, StructuredRound
+from repro.core.trace import RunRecord, SamplingSchedule, Trace
 
 __all__ = [
     "Balancer",
@@ -78,6 +87,15 @@ __all__ = [
     "ConservationError",
     "BindingError",
     "Monitor",
+    "Probe",
+    "MonitorProbe",
+    "ProbeSpec",
+    "PROBES",
+    "register_probe",
+    "as_probe",
+    "Trace",
+    "RunRecord",
+    "SamplingSchedule",
     "DiscrepancyRecorder",
     "LoadBoundsMonitor",
     "TrajectoryRecorder",

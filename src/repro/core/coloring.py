@@ -11,7 +11,7 @@ make the potential drop visible:
    one unit of potential drop.
 
 :class:`TokenColoringLedger` maintains exactly this accounting as a
-monitor.  It verifies, on real runs, the two facts the proof rests on:
+loads-only probe.  It verifies, on real runs, the two facts the proof rests on:
 the red count always equals ``φ_t(c)``, and red tokens are never
 created (recolorings are one-way).  This is a *proof-level* verifier —
 stronger than just checking that the potential is monotone.
@@ -21,18 +21,28 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.monitors import Monitor
 from repro.core.potentials import phi
+from repro.core.probes import LOADS, Probe, register_probe
 
 
-class TokenColoringLedger(Monitor):
+@register_probe("token_coloring")
+class TokenColoringLedger(Probe):
     """Black/red token accounting for one threshold ``c``.
+
+    The ledger only ever counts tokens above the ``c·d+`` cap, a pure
+    function of the load vector — so despite verifying a sends-level
+    proof invariant it is a loads-only probe (registered as
+    ``token_coloring``) and rides the structured engine.  The sends-
+    level rule 1 check lives in the standalone
+    :func:`black_send_capacity_respected`.
 
     Attributes:
         red_history: red-token count after each round (``[0]`` initial).
         recolored_total: total red→black recolorings so far.
         consistent: red count always equaled ``φ_t(c)``.
     """
+
+    needs = LOADS
 
     def __init__(self, c: int) -> None:
         self.c = c
@@ -51,16 +61,16 @@ class TokenColoringLedger(Monitor):
         cap = self.c * self._d_plus
         return int(np.maximum(loads - cap, 0).sum())
 
-    def observe(self, t, loads_before, sends, loads_after) -> None:
+    def observe_loads(self, t, loads) -> None:
         red_before = self.red_history[-1]
-        red_after = self._red_count(loads_after)
+        red_after = self._red_count(loads)
         # Rule 2: recoloring only ever turns red tokens black.
         dropped = red_before - red_after
         if dropped < 0:
             self.consistent = False
         else:
             self.recolored_total += dropped
-        if red_after != phi(loads_after, self.c, self._d_plus):
+        if red_after != phi(loads, self.c, self._d_plus):
             self.consistent = False
         self.red_history.append(red_after)
 
@@ -75,6 +85,16 @@ class TokenColoringLedger(Monitor):
     def conservation_holds(self) -> bool:
         """Initial red = final red + total recolored (no red created)."""
         return self.initial_red == self.final_red + self.recolored_total
+
+    def columns(self):
+        history = self.red_history
+        return {"red_tokens": (list(range(len(history))), list(history))}
+
+    def summary(self) -> dict:
+        return {
+            "recolored_total": self.recolored_total,
+            "coloring_consistent": self.consistent,
+        }
 
 
 def black_send_capacity_respected(

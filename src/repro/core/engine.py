@@ -11,7 +11,7 @@ A round of the discrete diffusion process (Section 1.3 of the paper):
 The engine executes this with vectorized gathers (using the graph's
 reverse-port map), enforces structural invariants every round (shape,
 nonnegative sends, no overdraw unless the balancer opted in, token
-conservation), and feeds attached monitors.
+conservation), and feeds attached probes.
 
 Two execution engines are available.  The **dense** engine asks the
 balancer for the full ``(n, d+)`` sends matrix every round.  The
@@ -19,10 +19,16 @@ balancer for the full ``(n, d+)`` sends matrix every round.  The
 :class:`~repro.core.structured.StructuredRound` (uniform edge share +
 loop/rotor-window assignment) and executes the round matrix-free in
 O(n·d) — at large ``n`` the dense matrix is the entire memory and time
-budget, so this is the fast path for SEND/rotor-style schemes.  The
-default ``engine="auto"`` picks structured whenever the balancer
-supports it and no monitors are attached (monitors consume dense sends
-matrices); both engines produce bit-identical trajectories.
+budget, so this is the fast path for SEND/rotor-style schemes.
+
+Observers are capability-typed :class:`~repro.core.probes.Probe`\\ s:
+the engine feeds each probe the cheapest representation it accepts, so
+``engine="auto"`` stays on the structured path with loads-only probes
+attached (and with sends probes that accept compact rounds) and only
+falls back to dense for probes that demand real sends matrices.  The
+legacy ``monitors=`` parameter remains and conservatively pins the
+dense engine, exactly as monitors always did — prefer ``probes=``.
+Both engines produce bit-identical trajectories.
 """
 
 from __future__ import annotations
@@ -40,8 +46,28 @@ from repro.core.errors import (
 )
 from repro.core.loads import validate_loads
 from repro.core.metrics import discrepancy
-from repro.core.monitors import Monitor
-from repro.graphs.balancing import BalancingGraph
+from repro.core.probes import LOADS, Probe, build_probes, dense_required
+from repro.core.trace import RunRecord, build_record
+
+
+class _AttachGuard(tuple):
+    """Read-only view of a simulator's probes.
+
+    Mutating the old ``Simulator.monitors`` list after construction
+    silently skipped ``start()`` and changed engine selection; the
+    supported path is :meth:`Simulator.attach`, and every mutation
+    attempt says so loudly instead of half-working.
+    """
+
+    def _refuse(self, *args, **kwargs):
+        raise TypeError(
+            "Simulator.monitors is read-only; attach observers with "
+            "Simulator.attach(probe), which starts the probe and "
+            "re-selects the engine"
+        )
+
+    append = extend = insert = remove = clear = _refuse
+    __iadd__ = _refuse
 
 
 @dataclass
@@ -54,21 +80,27 @@ class SimulationResult:
         rounds_executed: number of rounds actually executed.
         discrepancy_history: discrepancy at each round boundary
             (``[0]`` is the initial discrepancy) if recording was on.
+            Entries are ``int`` for the discrete token model; real-
+            valued dynamics (e.g. continuous diffusion results
+            repackaged through this type) carry ``float`` entries.
         stopped_early: True if a ``run_until`` predicate fired.
+        record: the columnar :class:`~repro.core.trace.RunRecord` —
+            engine summary plus every probe's columns and scalars.
     """
 
     initial_loads: np.ndarray
     final_loads: np.ndarray
     rounds_executed: int
-    discrepancy_history: list[int] = field(default_factory=list)
+    discrepancy_history: list[int | float] = field(default_factory=list)
     stopped_early: bool = False
+    record: RunRecord | None = None
 
     @property
-    def initial_discrepancy(self) -> int:
+    def initial_discrepancy(self) -> int | float:
         return discrepancy(self.initial_loads)
 
     @property
-    def final_discrepancy(self) -> int:
+    def final_discrepancy(self) -> int | float:
         return discrepancy(self.final_loads)
 
     def summary(self) -> dict:
@@ -87,24 +119,30 @@ class Simulator:
         graph: the balancing graph ``G+``.
         balancer: the algorithm; it is (re)bound to ``graph``.
         initial_loads: length-``n`` nonnegative integer vector.
-        monitors: observers receiving every round.
+        monitors: legacy observers; they pin the dense engine
+            (deprecated — pass ``probes=`` instead).
+        probes: capability-typed observers (:class:`Probe` instances,
+            :class:`~repro.core.probes.ProbeSpec`\\ s, or zero-argument
+            factories).  Loads-only probes keep ``engine="auto"`` on
+            the structured fast path.
         record_history: keep the per-round discrepancy trajectory.
         validate_every_round: full structural validation of each sends
             matrix (or compact round description).  Cheap (vectorized)
             and on by default; can be turned off for the innermost
             benchmark loops.
         engine: ``"dense"``, ``"structured"``, or ``"auto"`` (default)
-            — structured when the balancer supports it and no monitors
-            are attached, dense otherwise.
+            — structured when the balancer supports it and no attached
+            observer demands dense sends matrices, dense otherwise.
     """
 
     def __init__(
         self,
-        graph: BalancingGraph,
+        graph,
         balancer: Balancer,
         initial_loads: np.ndarray,
         *,
-        monitors: Iterable[Monitor] = (),
+        monitors: Iterable = (),
+        probes: Iterable = (),
         record_history: bool = True,
         validate_every_round: bool = True,
         engine: str = "auto",
@@ -119,16 +157,22 @@ class Simulator:
         self.balancer = balancer.bind(graph)
         self.initial_loads = initial_loads.copy()
         self._loads = initial_loads.copy()
-        self.monitors = list(monitors)
+        legacy = build_probes(monitors)
+        self._legacy_dense = bool(legacy)
+        self._probes: list[Probe] = list(legacy) + list(
+            build_probes(probes)
+        )
         self.record_history = record_history
         self.validate_every_round = validate_every_round
         if engine not in ("auto", "dense", "structured"):
             raise ValueError(f"unknown engine {engine!r}")
+        self._requested_engine = engine
         if engine == "auto":
             engine = (
                 "structured"
                 if self.balancer.supports_structured_sends
-                and not self.monitors
+                and not self._legacy_dense
+                and not dense_required(self._probes)
                 else "dense"
             )
         elif engine == "structured":
@@ -137,19 +181,29 @@ class Simulator:
                     f"balancer {self.balancer.name!r} does not implement "
                     "structured sends; use the dense engine"
                 )
-            if self.monitors:
+            if self._legacy_dense:
                 raise ValueError(
                     "monitors consume dense sends matrices; use the "
-                    "dense engine"
+                    "dense engine (or pass them as probes=)"
+                )
+            if dense_required(self._probes):
+                bad = next(
+                    p
+                    for p in self._probes
+                    if p.needs != LOADS and not p.accepts_structured
+                )
+                raise ValueError(
+                    f"probe {type(bad).__name__} requires dense sends "
+                    "matrices; use the dense engine"
                 )
         self.engine = engine
         self.total_tokens = int(initial_loads.sum())
         self.round = 1  # the paper's convention: x_1 is the initial vector
-        self.discrepancy_history: list[int] = (
+        self.discrepancy_history: list[int | float] = (
             [discrepancy(initial_loads)] if record_history else []
         )
-        for monitor in self.monitors:
-            monitor.start(graph, self.balancer, self._loads)
+        for probe in self._probes:
+            probe.start(graph, self.balancer, self._loads)
 
     # ------------------------------------------------------------------
 
@@ -158,16 +212,46 @@ class Simulator:
         """Current load vector (owned by the engine; copy to mutate)."""
         return self._loads
 
-    def step(self) -> np.ndarray:
-        """Execute one synchronous round; returns the new load vector.
+    @property
+    def monitors(self) -> tuple:
+        """Attached observers (read-only; use :meth:`attach` to add)."""
+        return _AttachGuard(self._probes)
 
-        Monitors appended to :attr:`monitors` after construction force
-        the round back onto the dense path so their ``observe`` hooks
-        receive real sends matrices — but the engine only calls
-        ``start`` on monitors passed to the constructor, so a late
-        addition must be ``start``-ed by the caller first.
+    @property
+    def probes(self) -> tuple:
+        """Attached observers (read-only; use :meth:`attach` to add)."""
+        return _AttachGuard(self._probes)
+
+    def attach(self, probe) -> Probe:
+        """Attach an observer mid-run (the supported late-attach path).
+
+        The probe is ``start``-ed with the *current* load vector, so it
+        observes from this round onward.  If the run is on the auto-
+        selected structured engine and the probe demands dense sends,
+        the engine transparently switches to dense (bit-identical
+        trajectories); an explicitly requested structured engine raises
+        instead of silently changing execution.
         """
-        if self.engine == "structured" and not self.monitors:
+        (probe,) = build_probes((probe,))
+        if (
+            self.engine == "structured"
+            and probe.needs != LOADS
+            and not probe.accepts_structured
+        ):
+            if self._requested_engine == "structured":
+                raise ValueError(
+                    f"probe {type(probe).__name__} requires dense sends "
+                    "matrices but the structured engine was explicitly "
+                    "requested"
+                )
+            self.engine = "dense"
+        probe.start(self.graph, self.balancer, self._loads)
+        self._probes.append(probe)
+        return probe
+
+    def step(self) -> np.ndarray:
+        """Execute one synchronous round; returns the new load vector."""
+        if self.engine == "structured":
             return self._step_structured()
         graph = self.graph
         loads = self._loads
@@ -193,8 +277,8 @@ class Simulator:
                 f"round {self.round}: token count changed from "
                 f"{self.total_tokens} to {int(new_loads.sum())}"
             )
-        for monitor in self.monitors:
-            monitor.observe(self.round, loads, sends, new_loads)
+        for probe in self._probes:
+            probe.observe(self.round, loads, sends, new_loads)
         if self.record_history:
             self.discrepancy_history.append(discrepancy(new_loads))
         self._loads = new_loads
@@ -202,7 +286,12 @@ class Simulator:
         return new_loads
 
     def _step_structured(self) -> np.ndarray:
-        """One round executed matrix-free from a compact description."""
+        """One round executed matrix-free from a compact description.
+
+        Probes ride along at their declared capability: loads-only
+        probes receive the post-round vector, structured-capable sends
+        probes receive the compact round itself.
+        """
         graph = self.graph
         loads = self._loads
         compact = self.balancer.sends_structured(loads, self.round)
@@ -225,6 +314,13 @@ class Simulator:
                 f"round {self.round}: token count changed from "
                 f"{self.total_tokens} to {int(new_loads.sum())}"
             )
+        for probe in self._probes:
+            if probe.needs == LOADS:
+                probe.observe_loads(self.round, new_loads)
+            else:
+                probe.observe_structured(
+                    self.round, loads, compact, new_loads
+                )
         if self.record_history:
             self.discrepancy_history.append(discrepancy(new_loads))
         self._loads = new_loads
@@ -285,6 +381,22 @@ class Simulator:
                 "move forward along edges"
             )
 
+    def record(self, replica: int = 0) -> RunRecord:
+        """Columnar record of the run so far (engine facts + probes)."""
+        return build_record(
+            replica=replica,
+            rounds_executed=self.round - 1,
+            stopped_early=False,
+            engine_summary={
+                "initial_discrepancy": discrepancy(self.initial_loads),
+                "final_discrepancy": discrepancy(self._loads),
+            },
+            discrepancy_history=(
+                self.discrepancy_history if self.record_history else None
+            ),
+            probes=self._probes,
+        )
+
     def _result(self, *, stopped_early: bool) -> SimulationResult:
         """Snapshot the run so far.
 
@@ -293,22 +405,26 @@ class Simulator:
         to :meth:`run`/:meth:`run_until` produced them — including the
         early-return path of :meth:`run_until`.
         """
+        record = self.record()
+        record.stopped_early = stopped_early
         return SimulationResult(
             initial_loads=self.initial_loads,
             final_loads=self._loads.copy(),
             rounds_executed=self.round - 1,
             discrepancy_history=list(self.discrepancy_history),
             stopped_early=stopped_early,
+            record=record,
         )
 
 
 def simulate(
-    graph: BalancingGraph,
+    graph,
     balancer: Balancer,
     initial_loads: np.ndarray,
     rounds: int,
     *,
-    monitors: Iterable[Monitor] = (),
+    monitors: Iterable = (),
+    probes: Iterable = (),
     record_history: bool = True,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
@@ -317,6 +433,7 @@ def simulate(
         balancer,
         initial_loads,
         monitors=monitors,
+        probes=probes,
         record_history=record_history,
     )
     return simulator.run(rounds)

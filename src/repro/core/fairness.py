@@ -12,9 +12,9 @@ conditions on the sends matrix:
   share, where ``e(u) = x(u) mod d+``.
 
 Each condition is available both as a pure function on one round's data
-and as a :class:`~repro.core.monitors.Monitor` accumulating a verdict
-over a whole run.  These monitors power the Observation 2.2 / 3.2 tests
-and the property columns regenerated for Table 1.
+and as a sends-consuming :class:`~repro.core.probes.Probe` accumulating
+a verdict over a whole run.  These probes power the Observation
+2.2 / 3.2 tests and the property columns regenerated for Table 1.
 """
 
 from __future__ import annotations
@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.monitors import Monitor
+from repro.core.probes import SENDS, Probe, register_probe
 
 
 def floor_share(loads: np.ndarray, d_plus: int) -> np.ndarray:
@@ -94,13 +94,23 @@ class RoundVerdict:
     self_preference_deficit: int
 
 
-class FairnessMonitor(Monitor):
+@register_probe("fairness")
+class FairnessMonitor(Probe):
     """Accumulates every per-round fairness condition over a run.
+
+    A sends-consuming probe (registered as ``fairness``): the fairness
+    definitions are statements about per-port token counts.  On the
+    structured engine it reconstructs the exact sends matrix from the
+    compact round (``accepts_structured``), so the balancer and engine
+    stay matrix-free even while fairness is being audited.
 
     Args:
         s: self-preference parameter to check (Def. 3.1); 0 disables.
         keep_rounds: record a :class:`RoundVerdict` per round (tests).
     """
+
+    needs = SENDS
+    accepts_structured = True
 
     def __init__(self, s: int = 0, keep_rounds: bool = False) -> None:
         self.s = s
@@ -111,14 +121,21 @@ class FairnessMonitor(Monitor):
         self.total_self_preference_deficit = 0
         self._degree = 0
         self._d_plus = 0
+        self._graph = None
 
     def start(self, graph, balancer, loads) -> None:
+        self._graph = graph
         self._degree = graph.degree
         self._d_plus = graph.total_degree
         self.rounds = []
         self.total_floor_violations = 0
         self.total_ceil_violations = 0
         self.total_self_preference_deficit = 0
+
+    def observe_structured(self, t, loads_before, compact, loads_after):
+        self.observe(
+            t, loads_before, compact.to_dense(self._graph), loads_after
+        )
 
     def observe(self, t, loads_before, sends, loads_after) -> None:
         floor_bad = int(
@@ -160,30 +177,50 @@ class FairnessMonitor(Monitor):
         """Def. 3.1's condition 2 held in every observed round."""
         return self.total_self_preference_deficit == 0
 
+    def summary(self) -> dict:
+        return {
+            "floor_violations": self.total_floor_violations,
+            "ceil_violations": self.total_ceil_violations,
+            "self_preference_deficit": (
+                self.total_self_preference_deficit
+            ),
+        }
 
-class CumulativeFairnessMonitor(Monitor):
+
+@register_probe("cumulative_fairness")
+class CumulativeFairnessMonitor(Probe):
     """Tracks Def. 2.1's cumulative spread over original edges.
 
     ``observed_delta`` is the largest value, over all rounds and nodes,
     of ``max_{e1,e2 in E_u} |F_t(e1) - F_t(e2)|``.  An algorithm is
     *cumulatively δ-fair on the run* iff ``observed_delta <= δ`` and the
     floor condition held (checked by :class:`FairnessMonitor`).
+
+    A sends consumer (registered as ``cumulative_fairness``) with a
+    genuine structured fast path: a compact round updates the
+    cumulative original-edge flows directly from the uniform edge share
+    plus the rotor window's per-edge hits — no ``(n, d+)`` matrix is
+    materialized.
     """
+
+    needs = SENDS
+    accepts_structured = True
 
     def __init__(self) -> None:
         self.observed_delta = 0
         self._cumulative: np.ndarray | None = None
         self._degree = 0
+        self._graph = None
 
     def start(self, graph, balancer, loads) -> None:
+        self._graph = graph
         self._degree = graph.degree
         self._cumulative = np.zeros(
             (graph.num_nodes, graph.degree), dtype=np.int64
         )
         self.observed_delta = 0
 
-    def observe(self, t, loads_before, sends, loads_after) -> None:
-        self._cumulative += sends[:, : self._degree]
+    def _update_spread(self) -> None:
         spread = int(
             (
                 self._cumulative.max(axis=1) - self._cumulative.min(axis=1)
@@ -191,8 +228,23 @@ class CumulativeFairnessMonitor(Monitor):
         )
         self.observed_delta = max(self.observed_delta, spread)
 
+    def observe(self, t, loads_before, sends, loads_after) -> None:
+        self._cumulative += sends[:, : self._degree]
+        self._update_spread()
+
+    def observe_structured(self, t, loads_before, compact, loads_after):
+        self._cumulative += compact.edge_share[:, None]
+        if compact.window is not None:
+            self._cumulative += compact.window.edge_hit_matrix(
+                self._graph
+            )
+        self._update_spread()
+
     def is_cumulatively_fair(self, delta: int) -> bool:
         return self.observed_delta <= delta
+
+    def summary(self) -> dict:
+        return {"observed_delta": self.observed_delta}
 
 
 @dataclass(frozen=True)

@@ -2,7 +2,7 @@
 
 For a directed edge ``e = (u, v)`` the paper writes ``f_t(e)`` for the
 tokens sent over ``e`` in round ``t`` and ``F_t(e) = Σ_{τ<=t} f_τ(e)``
-for the cumulative flow.  :class:`FlowTracker` is a monitor maintaining
+for the cumulative flow.  :class:`FlowTracker` is a probe maintaining
 these quantities per *port* (so per directed original edge, plus the
 aggregated self-loop flow ``F_t(u, u)``), along with the remainder
 vector ``r_t`` of Proposition A.2.
@@ -12,19 +12,31 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.monitors import Monitor
+from repro.core.probes import SENDS, Probe, register_probe
 
 
-class FlowTracker(Monitor):
+@register_probe("flows")
+class FlowTracker(Probe):
     """Accumulates per-port flows over an entire run.
+
+    A sends-consuming probe (registered as ``flows``) with a structured
+    fast path: a compact round updates the cumulative matrix directly
+    from the uniform edge share, the self-loop floor/ceil assignment,
+    and the rotor window — the balancer and engine stay matrix-free.
+    On the structured path ``last_sends`` is only materialized when
+    ``record_rounds`` asks for per-round matrices.
 
     Attributes:
         cumulative: ``(n, d+)`` int64; ``cumulative[u, p]`` is
             ``F_t(u, port p target)`` after the last observed round.
-        last_sends: the most recent round's ``(n, d+)`` sends.
+        last_sends: the most recent round's ``(n, d+)`` sends (``None``
+            on the structured path unless ``record_rounds``).
         last_remainder: the most recent remainder vector ``r_t``.
         max_abs_remainder: ``max_t max_u |r_t(u)|`` (the paper's ``r``).
     """
+
+    needs = SENDS
+    accepts_structured = True
 
     def __init__(self, record_rounds: bool = False) -> None:
         self.record_rounds = record_rounds
@@ -55,6 +67,35 @@ class FlowTracker(Monitor):
         )
         if self.record_rounds:
             self.round_history.append(sends.copy())
+
+    def observe_structured(self, t, loads_before, compact, loads_after):
+        graph = self._graph
+        degree = graph.degree
+        num_loops = graph.num_self_loops
+        self.cumulative[:, :degree] += compact.edge_share[:, None]
+        if compact.loop_base is not None:
+            self.cumulative[:, degree:] += compact.loop_base[:, None]
+        if compact.loop_ceil is not None and num_loops > 0:
+            self.cumulative[:, degree:] += (
+                np.arange(num_loops) < compact.loop_ceil[:, None]
+            )
+        if compact.window is not None:
+            window = compact.window
+            offsets = (
+                window.positions - window.rotors[:, None]
+            ) % graph.total_degree
+            self.cumulative += offsets < window.extra[:, None]
+        remainder = compact.remainder(graph, loads_before)
+        self.last_remainder = remainder
+        self.max_abs_remainder = max(
+            self.max_abs_remainder, int(np.abs(remainder).max())
+        )
+        if self.record_rounds:
+            sends = compact.to_dense(graph)
+            self.last_sends = sends
+            self.round_history.append(sends)
+        else:
+            self.last_sends = None
 
     # ------------------------------------------------------------------
     # Paper quantities
@@ -103,6 +144,9 @@ class FlowTracker(Monitor):
             initial_loads + self.cumulative_in() - self.cumulative_out()
         )
         return reconstructed
+
+    def summary(self) -> dict:
+        return {"max_abs_remainder": self.max_abs_remainder}
 
     def flow_per_round(self) -> np.ndarray:
         """Stacked ``(rounds, n, d+)`` history (requires record_rounds)."""

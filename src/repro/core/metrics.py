@@ -13,9 +13,15 @@ from dataclasses import dataclass
 import numpy as np
 
 
-def discrepancy(loads: np.ndarray) -> int:
-    """``max_u x(u) - min_u x(u)``."""
-    return int(loads.max() - loads.min())
+def discrepancy(loads: np.ndarray) -> int | float:
+    """``max_u x(u) - min_u x(u)``.
+
+    Type-preserving: integer load vectors (the discrete token model)
+    yield a Python ``int``; real-valued vectors (continuous diffusion)
+    yield an exact ``float`` rather than a silently truncated integer.
+    """
+    span = loads.max() - loads.min()
+    return span.item() if isinstance(span, np.generic) else span
 
 
 def balancedness(loads: np.ndarray) -> float:
@@ -79,8 +85,8 @@ class LoadSummary:
 
 
 def time_to_discrepancy(
-    history: list[int] | np.ndarray,
-    target: int,
+    history: list[int | float] | np.ndarray,
+    target: int | float,
 ) -> int | None:
     """First index (round) at which the recorded discrepancy is <= target.
 
@@ -94,13 +100,18 @@ def time_to_discrepancy(
     return None
 
 
-def final_plateau(history: list[int] | np.ndarray, window: int = 16) -> int:
+def final_plateau(
+    history: list[int | float] | np.ndarray, window: int = 16
+) -> int | float:
     """Maximum discrepancy over the last ``window`` recorded rounds.
 
     Deterministic schemes often settle into short cycles rather than a
     fixed point; the plateau maximum is the honest "final discrepancy".
+    Type-preserving like :func:`discrepancy`: float histories (the
+    continuous model) are not truncated to integers.
     """
     if len(history) == 0:
         raise ValueError("history is empty")
     tail = history[-window:]
-    return int(max(tail))
+    value = max(tail)
+    return value.item() if isinstance(value, np.generic) else value

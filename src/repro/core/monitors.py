@@ -1,9 +1,20 @@
-"""Monitor framework: per-round observers attached to the engine.
+"""Observers: the legacy ``Monitor`` base and the loads-only recorders.
 
-Monitors receive every round's ``(t, loads_before, sends, loads_after)``
-and are the mechanism behind flow accounting, fairness verification,
-potential tracking, and trajectory recording.  They deliberately have no
-ability to influence the simulation.
+Historically every observer was a :class:`Monitor` receiving each
+round's dense ``(t, loads_before, sends, loads_after)`` — which forced
+the engines off the matrix-free structured path.  The observation layer
+is now capability-typed (:mod:`repro.core.probes`): observers are
+:class:`~repro.core.probes.Probe`\\ s declaring what they consume, and
+the recorders in this module — discrepancy, load bounds, trajectory
+snapshots, period detection — consume only load vectors, so they ride
+the structured engine and the vectorized batch runner at full speed.
+
+:class:`Monitor` remains as the *legacy* base class: it is simply a
+dense-requiring probe (``needs = "sends"``), so third-party subclasses
+keep working unchanged — at the cost of pinning the run to the dense
+engine.  **Deprecated:** new observers should subclass
+:class:`~repro.core.probes.Probe` directly and declare the cheapest
+capability they can live with.
 """
 
 from __future__ import annotations
@@ -12,11 +23,22 @@ import numpy as np
 
 from repro.core.balancer import Balancer
 from repro.core.metrics import discrepancy
+from repro.core.probes import LOADS, SENDS, Probe, register_probe
+from repro.core.trace import SamplingSchedule
 from repro.graphs.balancing import BalancingGraph
 
 
-class Monitor:
-    """Base class for simulation observers (no-op by default)."""
+class Monitor(Probe):
+    """Legacy base class for dense observers (no-op by default).
+
+    .. deprecated::
+        Subclass :class:`~repro.core.probes.Probe` instead and declare
+        a capability; a ``Monitor`` is a probe that demands dense
+        ``(n, d+)`` sends matrices and therefore forces the engines off
+        their structured fast path.
+    """
+
+    needs = SENDS
 
     def start(
         self,
@@ -36,37 +58,97 @@ class Monitor:
         """Called after every completed round ``t``."""
 
 
-class DiscrepancyRecorder(Monitor):
-    """Records the discrepancy trajectory (one entry per round boundary).
+class SampledRecorder(Probe):
+    """Shared machinery for loads recorders on a sampling schedule.
 
-    ``history[0]`` is the initial discrepancy; ``history[t]`` the
-    discrepancy at the beginning of round ``t + 1``.
+    Subclasses implement :meth:`_capture` (what to record from a load
+    vector).  The recorder keeps the initial boundary, every boundary
+    the schedule wants, and — so sparse schedules still end at the
+    run's last state — holds the most recent unsampled boundary as a
+    pending sample that :meth:`_flushed` appends.
     """
 
-    def __init__(self) -> None:
-        self.history: list[int] = []
+    needs = LOADS
+
+    def __init__(self, schedule: SamplingSchedule | None = None) -> None:
+        self.schedule = schedule or SamplingSchedule.every(1)
+        self.rounds: list[int] = []
+        self._samples: list = []
+        self._pending: tuple | None = None
+
+    def _capture(self, loads):
+        """The value recorded at a sampled boundary (override)."""
+        raise NotImplementedError
 
     def start(self, graph, balancer, loads) -> None:
-        self.history = [discrepancy(loads)]
+        self.rounds = [0]
+        self._samples = [self._capture(loads)]
+        self._pending = None
 
-    def observe(self, t, loads_before, sends, loads_after) -> None:
-        self.history.append(discrepancy(loads_after))
+    def observe_loads(self, t, loads) -> None:
+        value = self._capture(loads)
+        if self.schedule.wants(t):
+            self.rounds.append(t)
+            self._samples.append(value)
+            self._pending = None
+        else:
+            self._pending = (t, value)
+
+    def _flushed(self) -> tuple[list[int], list]:
+        """Sampled series plus the retained final boundary (if any)."""
+        if self._pending is None:
+            return self.rounds, self._samples
+        t, value = self._pending
+        return self.rounds + [t], self._samples + [value]
+
+
+class DiscrepancyRecorder(SampledRecorder):
+    """Records the discrepancy trajectory (one entry per round boundary).
+
+    ``history[i]`` pairs with ``rounds[i]``; on the default every-round
+    schedule ``history[0]`` is the initial discrepancy and
+    ``history[t]`` the discrepancy at the beginning of round ``t + 1``.
+    A sparser :class:`~repro.core.trace.SamplingSchedule` keeps the
+    initial and final boundaries and samples between them.
+    """
+
+    def _capture(self, loads) -> int | float:
+        return discrepancy(loads)
 
     @property
-    def final(self) -> int:
-        return self.history[-1]
+    def history(self) -> list[int | float]:
+        """Sampled discrepancies (pairs with :attr:`rounds`)."""
+        return self._samples
 
     @property
-    def minimum(self) -> int:
-        return min(self.history)
+    def final(self) -> int | float:
+        return self._flushed()[1][-1]
+
+    @property
+    def minimum(self) -> int | float:
+        return min(self._flushed()[1])
+
+    def columns(self):
+        rounds, history = self._flushed()
+        return {"discrepancy": (list(rounds), list(history))}
+
+    def summary(self) -> dict:
+        _, history = self._flushed()
+        return {
+            "final_discrepancy": history[-1],
+            "min_discrepancy": min(history),
+        }
 
 
-class LoadBoundsMonitor(Monitor):
+@register_probe("load_bounds")
+class LoadBoundsMonitor(Probe):
     """Tracks the global min/max load ever observed.
 
     Used to verify the NL (no negative load) column of Table 1: an
     algorithm is negative-load safe on a run iff ``min_ever >= 0``.
     """
+
+    needs = LOADS
 
     def __init__(self) -> None:
         self.min_ever: int | None = None
@@ -76,45 +158,72 @@ class LoadBoundsMonitor(Monitor):
         self.min_ever = int(loads.min())
         self.max_ever = int(loads.max())
 
-    def observe(self, t, loads_before, sends, loads_after) -> None:
-        self.min_ever = min(self.min_ever, int(loads_after.min()))
-        self.max_ever = max(self.max_ever, int(loads_after.max()))
+    def observe_loads(self, t, loads) -> None:
+        self.min_ever = min(self.min_ever, int(loads.min()))
+        self.max_ever = max(self.max_ever, int(loads.max()))
 
     @property
     def went_negative(self) -> bool:
         return self.min_ever is not None and self.min_ever < 0
 
+    def summary(self) -> dict:
+        return {"min_load": self.min_ever, "max_load": self.max_ever}
 
-class TrajectoryRecorder(Monitor):
-    """Records full load vectors every ``stride`` rounds (memory heavy)."""
 
-    def __init__(self, stride: int = 1) -> None:
-        if stride < 1:
-            raise ValueError("stride must be >= 1")
+class TrajectoryRecorder(SampledRecorder):
+    """Records full load vectors on a sampling schedule (memory heavy).
+
+    ``stride=k`` is shorthand for ``SamplingSchedule.every(k)``; pass
+    ``schedule=`` for geometric or boundary-only sampling.  The final
+    observed vector is always retained, so sparse schedules still end
+    at the run's last state.
+    """
+
+    def __init__(
+        self,
+        stride: int = 1,
+        schedule: SamplingSchedule | None = None,
+    ) -> None:
+        if schedule is None:
+            if stride < 1:
+                raise ValueError("stride must be >= 1")
+            schedule = SamplingSchedule.every(stride)
+        elif stride != 1:
+            raise ValueError("pass either stride or schedule, not both")
+        super().__init__(schedule)
         self.stride = stride
-        self.snapshots: list[np.ndarray] = []
-        self.rounds: list[int] = []
 
-    def start(self, graph, balancer, loads) -> None:
-        self.snapshots = [loads.copy()]
-        self.rounds = [0]
+    def _capture(self, loads) -> np.ndarray:
+        return loads.copy()
 
-    def observe(self, t, loads_before, sends, loads_after) -> None:
-        if t % self.stride == 0:
-            self.snapshots.append(loads_after.copy())
-            self.rounds.append(t)
+    @property
+    def snapshots(self) -> list[np.ndarray]:
+        """Sampled load vectors (pairs with :attr:`rounds`)."""
+        return self._samples
 
     def as_array(self) -> np.ndarray:
-        return np.stack(self.snapshots, axis=0)
+        return np.stack(self._flushed()[1], axis=0)
+
+    def columns(self):
+        rounds, snapshots = self._flushed()
+        return {
+            "load_vector": (
+                list(rounds),
+                [snapshot.tolist() for snapshot in snapshots],
+            )
+        }
 
 
-class PeriodDetector(Monitor):
+@register_probe("period")
+class PeriodDetector(Probe):
     """Detects when the load vector revisits a previous state.
 
     Deterministic stateless dynamics on a finite state space must enter
     a cycle; Theorem 4.3's construction alternates with period 2.  The
     detector hashes each vector and reports the first recurrence.
     """
+
+    needs = LOADS
 
     def __init__(self) -> None:
         self._seen: dict[bytes, int] = {}
@@ -126,12 +235,38 @@ class PeriodDetector(Monitor):
         self.period = None
         self.first_repeat_round = None
 
-    def observe(self, t, loads_before, sends, loads_after) -> None:
+    def observe_loads(self, t, loads) -> None:
         if self.period is not None:
             return
-        key = loads_after.tobytes()
+        key = loads.tobytes()
         if key in self._seen:
             self.period = t - self._seen[key]
             self.first_repeat_round = t
         else:
             self._seen[key] = t
+
+    def summary(self) -> dict:
+        return {
+            "period": self.period,
+            "first_repeat_round": self.first_repeat_round,
+        }
+
+
+def _coerce_schedule(
+    schedule: SamplingSchedule | dict | None,
+) -> SamplingSchedule | None:
+    if isinstance(schedule, dict):  # JSON-borne ProbeSpec params
+        return SamplingSchedule.from_dict(schedule)
+    return schedule
+
+
+@register_probe("discrepancy")
+def _discrepancy_probe(schedule=None) -> DiscrepancyRecorder:
+    return DiscrepancyRecorder(schedule=_coerce_schedule(schedule))
+
+
+@register_probe("trajectory")
+def _trajectory_probe(stride: int = 1, schedule=None) -> TrajectoryRecorder:
+    return TrajectoryRecorder(
+        stride=stride, schedule=_coerce_schedule(schedule)
+    )

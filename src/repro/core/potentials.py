@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.monitors import Monitor
+from repro.core.probes import LOADS, Probe, register_probe
 
 
 def phi(loads: np.ndarray, c: int, d_plus: int) -> int:
@@ -79,13 +79,20 @@ def potential_drop_prime(
     return int(np.maximum(drops, 0).sum())
 
 
-class PotentialMonitor(Monitor):
+@register_probe("potentials")
+class PotentialMonitor(Probe):
     """Records ``φ_t(c)`` and ``φ'_t(c)`` trajectories for several ``c``.
+
+    Both potentials are pure functions of the load vector, so this is a
+    loads-only probe: it rides the structured engine and the vectorized
+    batch runner (registered as probe ``potentials``).
 
     Args:
         c_values: thresholds to track.
         s: the balancer's self-preference parameter (enters ``φ'``).
     """
+
+    needs = LOADS
 
     def __init__(self, c_values: list[int], s: int) -> None:
         self.c_values = list(c_values)
@@ -104,11 +111,11 @@ class PotentialMonitor(Monitor):
             for c in self.c_values
         }
 
-    def observe(self, t, loads_before, sends, loads_after) -> None:
+    def observe_loads(self, t, loads) -> None:
         for c in self.c_values:
-            self.phi_history[c].append(phi(loads_after, c, self._d_plus))
+            self.phi_history[c].append(phi(loads, c, self._d_plus))
             self.phi_prime_history[c].append(
-                phi_prime(loads_after, c, self._d_plus, self.s)
+                phi_prime(loads, c, self._d_plus, self.s)
             )
 
     def phi_is_monotone(self, c: int) -> bool:
@@ -126,6 +133,21 @@ class PotentialMonitor(Monitor):
             self.phi_is_monotone(c) and self.phi_prime_is_monotone(c)
             for c in self.c_values
         )
+
+    def columns(self):
+        columns = {}
+        for c in self.c_values:
+            history = self.phi_history[c]
+            columns[f"phi[{c}]"] = (list(range(len(history))), list(history))
+            prime = self.phi_prime_history[c]
+            columns[f"phi_prime[{c}]"] = (
+                list(range(len(prime))),
+                list(prime),
+            )
+        return columns
+
+    def summary(self) -> dict:
+        return {"potentials_monotone": self.all_monotone()}
 
 
 def threshold_c0(average: float, d_plus: int, d_self: int, delta: int) -> int:

@@ -1,0 +1,267 @@
+"""Capability-typed probes: observers that scale *with* the engine.
+
+The legacy :class:`~repro.core.monitors.Monitor` contract hands every
+observer a dense ``(n, d+)`` sends matrix, which forces the engines off
+their matrix-free structured fast path even for observers that only
+ever look at load vectors.  A :class:`Probe` instead *declares what it
+consumes* and the engine feeds it the cheapest representation it
+accepts:
+
+* ``needs = "loads"`` — the probe only reads load vectors.  It runs on
+  the structured engine and inside the batch runner's vectorized
+  ``(replicas, n)`` executor; the engine calls :meth:`Probe.\
+observe_loads` with the post-round vector.
+* ``needs = "sends"`` — the probe consumes per-port sends.  On the
+  dense engine it receives real ``(n, d+)`` matrices via
+  :meth:`Probe.observe`; if it also sets ``accepts_structured`` it can
+  ride the structured engine and receive the compact
+  :class:`~repro.core.structured.StructuredRound` via
+  :meth:`Probe.observe_structured` instead (often with an O(n·d)
+  fast path of its own).
+
+A probe that needs sends and does *not* accept structured rounds is
+"dense-requiring": ``engine="auto"`` falls back to the dense engine for
+it, exactly as legacy monitors always did.
+
+Probes register by name in :data:`PROBES` (``@register_probe``) so
+scenario JSON and the CLI can request them declaratively via
+:class:`ProbeSpec` — the observability counterpart of
+:class:`~repro.scenarios.spec.AlgorithmSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.registry import Registry
+
+#: Capability constants — what a probe consumes each round.
+LOADS = "loads"
+SENDS = "sends"
+
+CAPABILITIES = (LOADS, SENDS)
+
+#: Named probes available to scenario specs and the CLI.
+PROBES: Registry = Registry("probe")
+
+#: Decorator registering a probe factory: ``@register_probe(name)``.
+register_probe = PROBES.register
+
+
+class Probe:
+    """Base class for capability-typed simulation observers.
+
+    Subclasses declare :attr:`needs` (and, for sends consumers,
+    :attr:`accepts_structured`), then implement the matching observe
+    hook.  Probes deliberately cannot influence the simulation.
+
+    Results flow into the columnar :class:`~repro.core.trace.Trace`
+    model through two optional hooks: :meth:`columns` (per-round
+    series) and :meth:`summary` (end-of-run scalars).
+    """
+
+    #: What this probe consumes: ``"loads"`` or ``"sends"``.
+    needs: str = LOADS
+
+    #: Sends consumers only: True if :meth:`observe_structured` is
+    #: implemented, letting the probe ride the structured engine.
+    accepts_structured: bool = False
+
+    def start(self, graph, balancer, loads) -> None:
+        """Called once before the first round with the initial vector."""
+
+    def observe_loads(self, t: int, loads: np.ndarray) -> None:
+        """Loads-capability hook: post-round vector of round ``t``."""
+
+    def observe(
+        self,
+        t: int,
+        loads_before: np.ndarray,
+        sends: np.ndarray,
+        loads_after: np.ndarray,
+    ) -> None:
+        """Dense hook: full round data.  Defaults to the loads hook, so
+        loads-only probes work unchanged on the dense engine."""
+        self.observe_loads(t, loads_after)
+
+    def observe_structured(
+        self,
+        t: int,
+        loads_before: np.ndarray,
+        compact,
+        loads_after: np.ndarray,
+    ) -> None:
+        """Structured hook: compact round description.
+
+        Only called on probes with ``accepts_structured = True`` (or on
+        loads-only probes, for which the default forwards to
+        :meth:`observe_loads`); sends consumers that opt in override
+        this with their own compact-form accounting.
+        """
+        self.observe_loads(t, loads_after)
+
+    # -- results --------------------------------------------------------
+
+    def columns(self) -> dict[str, tuple[Sequence[int], Sequence]]:
+        """Per-round trace columns: ``name -> (rounds, values)``."""
+        return {}
+
+    def summary(self) -> dict:
+        """End-of-run scalar facts merged into the run's summary."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(needs={self.needs!r})"
+
+
+class MonitorProbe(Probe):
+    """Adapter presenting a duck-typed legacy monitor as a probe.
+
+    Anything with ``start(graph, balancer, loads)`` and
+    ``observe(t, loads_before, sends, loads_after)`` methods — e.g. a
+    third-party observer written against the pre-probe API without
+    subclassing :class:`~repro.core.monitors.Monitor` — wraps into a
+    dense-requiring probe.
+    """
+
+    needs = SENDS
+
+    def __init__(self, monitor) -> None:
+        self.monitor = monitor
+
+    def start(self, graph, balancer, loads) -> None:
+        self.monitor.start(graph, balancer, loads)
+
+    def observe(self, t, loads_before, sends, loads_after) -> None:
+        self.monitor.observe(t, loads_before, sends, loads_after)
+
+    def summary(self) -> dict:
+        summary = getattr(self.monitor, "summary", None)
+        return summary() if callable(summary) else {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MonitorProbe({self.monitor!r})"
+
+
+def as_probe(observer) -> Probe:
+    """Coerce ``observer`` into a :class:`Probe`.
+
+    Probe instances (including all built-in monitors, which now derive
+    from :class:`Probe`) pass through; duck-typed legacy observers wrap
+    in :class:`MonitorProbe`.
+    """
+    if isinstance(observer, Probe):
+        return observer
+    if isinstance(observer, ProbeSpec):
+        return observer.build()
+    if hasattr(observer, "start") and hasattr(observer, "observe"):
+        return MonitorProbe(observer)
+    raise TypeError(
+        f"cannot interpret {observer!r} as a probe: expected a Probe, "
+        "a ProbeSpec, or an object with start/observe methods"
+    )
+
+
+def dense_required(probes: Iterable[Probe]) -> bool:
+    """True if some probe needs dense sends matrices.
+
+    Such a probe pins ``engine="auto"`` to the dense engine; everything
+    else rides the structured fast path.
+    """
+    return any(
+        probe.needs == SENDS and not probe.accepts_structured
+        for probe in probes
+    )
+
+
+def loads_only(probes: Iterable[Probe]) -> bool:
+    """True if every probe consumes plain load vectors.
+
+    Loads-only probe sets are the ones the vectorized batch runner can
+    carry without leaving its stacked ``(replicas, n)`` execution.
+    """
+    return all(probe.needs == LOADS for probe in probes)
+
+
+def _freeze(value):
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return frozenset(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """A registered probe by name plus construction parameters.
+
+    The declarative counterpart of instantiating a probe class: round-
+    trips through JSON (scenario files, ``repro-lb simulate --probe``)
+    and builds fresh instances per replica, so stateful probes never
+    leak state across runs.
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        return hash((self.name, _freeze(self.params)))
+
+    def build(self) -> Probe:
+        probe = PROBES.create(self.name, **self.params)
+        if not isinstance(probe, Probe):
+            probe = as_probe(probe)
+        return probe
+
+    def to_dict(self) -> dict:
+        data: dict = {"name": self.name}
+        if self.params:
+            data["params"] = dict(self.params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProbeSpec":
+        return cls(data["name"], dict(data.get("params", {})))
+
+    @classmethod
+    def parse(cls, text: str) -> "ProbeSpec":
+        """Parse CLI shorthand: ``name`` or ``name:{json params}``."""
+        import json
+
+        if ":" in text:
+            name, _, raw = text.partition(":")
+            params = json.loads(raw)
+            if not isinstance(params, dict):
+                raise ValueError(
+                    f"probe params must be a JSON object, got {raw!r}"
+                )
+            return cls(name, params)
+        return cls(text)
+
+
+def build_probes(
+    specs: Iterable,
+) -> tuple[Probe, ...]:
+    """Build a fresh probe set from specs/factories/instances.
+
+    Accepts a mix of :class:`ProbeSpec`, probe classes / zero-argument
+    factories, and ready probe instances (passed through
+    :func:`as_probe`).  Used by the scenario layer to instantiate one
+    independent set per replica.
+    """
+    built: list[Probe] = []
+    for spec in specs:
+        if isinstance(spec, ProbeSpec):
+            built.append(spec.build())
+        elif isinstance(spec, Probe):
+            built.append(spec)
+        elif isinstance(spec, type) or callable(spec):
+            built.append(as_probe(spec()))
+        else:
+            built.append(as_probe(spec))
+    return tuple(built)

@@ -17,9 +17,11 @@ engines (:class:`~repro.core.engine.Simulator`,
 :class:`~repro.scenarios.batch.BatchRunner`) then execute rounds with a
 handful of O(n·d) operations and validate invariants on the compact
 form — no ``(n, d+)`` allocation anywhere on the hot path.  The dense
-``sends`` protocol remains the fallback for arbitrary balancers and is
-still required by monitors, and :meth:`StructuredRound.to_dense`
-reconstructs the exact sends matrix for parity tests.
+``sends`` protocol remains the fallback for arbitrary balancers and
+for dense-requiring probes (loads-only and structured-capable probes
+ride this path; see :mod:`repro.core.probes`), and
+:meth:`StructuredRound.to_dense` reconstructs the exact sends matrix
+for parity tests.
 
 All arrays are integer; the structured execution is bit-identical to
 the dense engine (enforced by the property suite).

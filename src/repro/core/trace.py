@@ -1,0 +1,318 @@
+"""Columnar run records: sampling schedules, traces, and run summaries.
+
+Observability results used to be scattered — the engine's ad-hoc
+``discrepancy_history`` list, per-replica monitor tuples on
+:class:`~repro.scenarios.spec.ScenarioResult`, and bespoke row dicts in
+every experiment driver.  This module unifies them:
+
+* :class:`SamplingSchedule` — *when* to record a per-round value
+  (every ``k`` rounds, geometrically spaced boundaries, or only the
+  run's endpoints);
+* :class:`Trace` — a columnar store of per-round series: each column
+  owns its sampled round indices, so probes with different schedules
+  coexist in one record;
+* :class:`RunRecord` — one replica's complete outcome: scalar summary
+  (engine facts merged with every probe's :meth:`~repro.core.probes.\
+Probe.summary`) plus the :class:`Trace` of per-round columns.
+
+Everything round-trips through plain dictionaries, so records flow
+straight into ``analysis.export`` (JSON lines / CSV) and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+SCHEDULE_KINDS = ("every", "geometric", "boundary")
+
+
+@dataclass(frozen=True)
+class SamplingSchedule:
+    """When a per-round column samples the trajectory.
+
+    Kinds:
+
+    * ``every`` — every ``stride`` round boundaries (``stride=1`` is
+      the classic full-resolution history);
+    * ``geometric`` — boundaries ``0, 1`` and then the first boundary
+      at or past each power of ``base`` (``0, 1, 2, 4, 8, ...`` for
+      ``base=2``) — long runs in O(log T) samples;
+    * ``boundary`` — only the initial boundary (recorders add the final
+      one themselves), for cheapest-possible endpoint records.
+
+    The initial boundary (``t = 0``) is always sampled; recorders are
+    expected to also retain the final observed boundary so a sampled
+    trace still ends at the run's last state.
+    """
+
+    kind: str = "every"
+    stride: int = 1
+    base: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCHEDULE_KINDS:
+            raise ValueError(
+                f"unknown schedule kind {self.kind!r}; "
+                f"known: {SCHEDULE_KINDS}"
+            )
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        if self.base <= 1.0:
+            raise ValueError("geometric base must be > 1")
+
+    @classmethod
+    def every(cls, stride: int = 1) -> "SamplingSchedule":
+        return cls(kind="every", stride=stride)
+
+    @classmethod
+    def geometric(cls, base: float = 2.0) -> "SamplingSchedule":
+        return cls(kind="geometric", base=base)
+
+    @classmethod
+    def boundary(cls) -> "SamplingSchedule":
+        return cls(kind="boundary")
+
+    def wants(self, t: int) -> bool:
+        """Should the boundary after round ``t`` be sampled? (``0`` =
+        the initial vector; always sampled.)"""
+        if t <= 0:
+            return True
+        if self.kind == "every":
+            return t % self.stride == 0
+        if self.kind == "boundary":
+            return False
+        if t == 1:
+            return True
+        # Geometric: sample the first boundary at or past each power of
+        # base, i.e. some power p satisfies t-1 < p <= t.  Built by
+        # repeated multiplication rather than math.log, whose rounding
+        # (log(1000, 10) == 2.999...96) skips exact power boundaries.
+        power = 1.0
+        while power <= t - 1:
+            power *= self.base
+        return power <= t
+
+    def to_dict(self) -> dict:
+        data: dict = {"kind": self.kind}
+        if self.kind == "every" and self.stride != 1:
+            data["stride"] = self.stride
+        if self.kind == "geometric":
+            data["base"] = self.base
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SamplingSchedule":
+        return cls(**data)
+
+
+def _plain(value):
+    """Convert numpy scalars/arrays into JSON-friendly Python values."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+class Trace:
+    """Columnar per-round record.
+
+    Each column is an independent ``(rounds, values)`` pair —
+    ``rounds[i]`` is the round boundary at which ``values[i]`` was
+    sampled (``0`` describes the initial vector) — so columns recorded
+    on different :class:`SamplingSchedule`\\ s coexist.  Values are
+    usually scalars; trajectory-style columns may hold vectors.
+    """
+
+    def __init__(self) -> None:
+        self._rounds: dict[str, list[int]] = {}
+        self._values: dict[str, list] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_column(
+        self,
+        name: str,
+        rounds: Sequence[int],
+        values: Sequence,
+    ) -> None:
+        if len(rounds) != len(values):
+            raise ValueError(
+                f"column {name!r}: {len(rounds)} rounds for "
+                f"{len(values)} values"
+            )
+        if name in self._values:
+            raise ValueError(f"column {name!r} already present")
+        self._rounds[name] = [int(r) for r in rounds]
+        self._values[name] = [_plain(v) for v in values]
+
+    def merge(self, columns: Mapping[str, tuple[Sequence[int], Sequence]]) -> None:
+        """Add several ``name -> (rounds, values)`` columns at once."""
+        for name, (rounds, values) in columns.items():
+            self.add_column(name, rounds, values)
+
+    # -- access ---------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return list(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def column(self, name: str) -> np.ndarray:
+        """Sampled values of ``name`` as an array."""
+        return np.asarray(self._values[name])
+
+    def rounds(self, name: str) -> list[int]:
+        """Round boundaries at which ``name`` was sampled."""
+        return list(self._rounds[name])
+
+    def series(self, name: str) -> tuple[list[int], list]:
+        return list(self._rounds[name]), list(self._values[name])
+
+    # -- export ---------------------------------------------------------
+
+    def to_rows(self) -> list[dict]:
+        """Row-major view: one dict per sampled round (outer join).
+
+        Columns sampled on different schedules leave ``None`` holes —
+        CSV/JSON consumers see an explicit missing value rather than a
+        misaligned series.
+        """
+        boundaries = sorted(
+            {r for rounds in self._rounds.values() for r in rounds}
+        )
+        index = {
+            name: dict(zip(rounds, self._values[name]))
+            for name, rounds in self._rounds.items()
+        }
+        return [
+            {
+                "round": boundary,
+                **{
+                    name: index[name].get(boundary)
+                    for name in self._values
+                },
+            }
+            for boundary in boundaries
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "columns": {
+                name: {
+                    "rounds": list(self._rounds[name]),
+                    "values": list(self._values[name]),
+                }
+                for name in self._values
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        trace = cls()
+        for name, column in data.get("columns", {}).items():
+            trace.add_column(name, column["rounds"], column["values"])
+        return trace
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace(columns={self.names()})"
+
+
+@dataclass
+class RunRecord:
+    """One replica's complete outcome in columnar form.
+
+    Attributes:
+        replica: replica index within its scenario (0 for single runs).
+        rounds_executed: rounds actually executed.
+        stopped_early: True if a stop predicate fired.
+        summary: scalar facts — engine outcomes (initial/final
+            discrepancy) merged with every probe's ``summary()``.
+        trace: per-round columns contributed by the engine history and
+            every probe's ``columns()``.
+    """
+
+    replica: int
+    rounds_executed: int
+    stopped_early: bool
+    summary: dict = field(default_factory=dict)
+    trace: Trace = field(default_factory=Trace)
+
+    def row(self) -> dict:
+        """Flat summary row (the experiment-driver / CSV shape)."""
+        return {
+            "replica": self.replica,
+            "rounds": self.rounds_executed,
+            "stopped_early": self.stopped_early,
+            **{key: _plain(value) for key, value in self.summary.items()},
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "replica": self.replica,
+            "rounds_executed": self.rounds_executed,
+            "stopped_early": self.stopped_early,
+            "summary": {
+                key: _plain(value) for key, value in self.summary.items()
+            },
+            "trace": self.trace.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        return cls(
+            replica=int(data.get("replica", 0)),
+            rounds_executed=int(data["rounds_executed"]),
+            stopped_early=bool(data.get("stopped_early", False)),
+            summary=dict(data.get("summary", {})),
+            trace=Trace.from_dict(data.get("trace", {})),
+        )
+
+
+def build_record(
+    *,
+    replica: int,
+    rounds_executed: int,
+    stopped_early: bool,
+    engine_summary: Mapping | None = None,
+    discrepancy_history: Sequence | None = None,
+    probes: Iterable = (),
+) -> RunRecord:
+    """Assemble a :class:`RunRecord` from engine facts plus probes.
+
+    Probe columns win name collisions against the engine's discrepancy
+    history (a discrepancy probe re-records the same series, possibly
+    on a sparser schedule); colliding probe-vs-probe columns get a
+    ``#k`` suffix rather than raising, so two instances of the same
+    probe class can ride one run.
+    """
+    record = RunRecord(
+        replica=replica,
+        rounds_executed=rounds_executed,
+        stopped_early=stopped_early,
+        summary=dict(engine_summary or {}),
+    )
+    for probe in probes:
+        for name, (rounds, values) in probe.columns().items():
+            unique = name
+            suffix = 1
+            while unique in record.trace:
+                suffix += 1
+                unique = f"{name}#{suffix}"
+            record.trace.add_column(unique, rounds, values)
+        for key, value in probe.summary().items():
+            record.summary.setdefault(key, _plain(value))
+    if discrepancy_history and "discrepancy" not in record.trace:
+        record.trace.add_column(
+            "discrepancy",
+            range(len(discrepancy_history)),
+            discrepancy_history,
+        )
+    return record

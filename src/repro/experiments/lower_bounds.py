@@ -159,7 +159,7 @@ def run_rotor_alternating(
                 graph,
                 instance.balancer,
                 instance.initial_loads,
-                monitors=(detector,),
+                probes=(detector,),
                 record_history=True,
             )
             simulator.run(12)

@@ -30,7 +30,7 @@ from repro.algorithms.registry import all_names, make
 from repro.analysis.convergence import horizon_for
 from repro.analysis.theory import predicted_after_t
 from repro.core.loads import point_mass
-from repro.core.monitors import LoadBoundsMonitor
+from repro.core.probes import ProbeSpec
 from repro.experiments.base import ExperimentResult, timed
 from repro.graphs.balancing import BalancingGraph
 from repro.graphs.spectral import eigenvalue_gap
@@ -95,12 +95,15 @@ def run_table1(config: Table1Config | None = None) -> ExperimentResult:
     od_budget = horizon_for(
         graph, initial, config.od_budget_multiplier, gap
     )
+    # The NL column needs only load extremes — a loads-only probe, so
+    # every supported algorithm's measurement rides the structured
+    # engine instead of being pinned dense by a legacy monitor.
     after_t_suite = ScenarioSuite.cartesian(
         graphs=graph_spec,
         algorithms=algorithms,
         loads=loads,
         stop=StopRule.fixed(horizon),
-        monitors=(LoadBoundsMonitor,),
+        probes=(ProbeSpec("load_bounds"),),
         name="table1/after_T",
     )
     od_suite = ScenarioSuite.cartesian(
@@ -108,7 +111,7 @@ def run_table1(config: Table1Config | None = None) -> ExperimentResult:
         algorithms=algorithms,
         loads=loads,
         stop=StopRule.discrepancy(od_target, od_budget),
-        monitors=(LoadBoundsMonitor,),
+        probes=(ProbeSpec("load_bounds"),),
         name="table1/time_to_O(d)",
     )
     rows: list[dict] = []

@@ -28,7 +28,7 @@ from repro.analysis.theory import (
     rabani_bound,
 )
 from repro.core.loads import point_mass
-from repro.core.monitors import LoadBoundsMonitor
+from repro.core.probes import ProbeSpec
 from repro.experiments.base import ExperimentResult, timed
 from repro.graphs import families
 from repro.graphs.spectral import eigenvalue_gap
@@ -66,7 +66,7 @@ def _measure(graph, name, tokens_per_node, seed, gap=None):
         algorithm=AlgorithmSpec(name, seed=seed),
         loads=LoadSpec("point_mass", {"tokens": tokens}),
         stop=StopRule.fixed(horizon),
-        monitors=(LoadBoundsMonitor,),
+        probes=(ProbeSpec("load_bounds"),),
     )
     summary = scenario.run().replica_summary()
     return ConvergenceReport(

@@ -160,7 +160,7 @@ def run_potential_monotonicity(
             )
             monitor = PotentialMonitor(c_values, s)
             simulator = Simulator(
-                graph, balancer, initial, monitors=(monitor,)
+                graph, balancer, initial, probes=(monitor,)
             )
             simulator.run(rounds)
             rows.append(

@@ -7,6 +7,8 @@ See :mod:`repro.scenarios.spec` for the data model and
 :mod:`repro.scenarios.batch` for the stacked-array engine.
 """
 
+from repro.core.probes import ProbeSpec
+from repro.core.trace import RunRecord, SamplingSchedule, Trace
 from repro.scenarios.batch import BatchResult, BatchRunner
 from repro.scenarios.spec import (
     STOP_KINDS,
@@ -25,6 +27,10 @@ __all__ = [
     "AlgorithmSpec",
     "StopRule",
     "STOP_KINDS",
+    "ProbeSpec",
+    "SamplingSchedule",
+    "Trace",
+    "RunRecord",
     "Scenario",
     "ScenarioResult",
     "ScenarioSuite",

@@ -38,6 +38,8 @@ from repro.core.errors import (
     NegativeLoadError,
 )
 from repro.core.loads import validate_load_matrix
+from repro.core.probes import Probe, build_probes, loads_only
+from repro.core.trace import RunRecord, build_record
 from repro.graphs.balancing import BalancingGraph
 
 
@@ -53,6 +55,9 @@ class BatchResult:
         stopped_early: per-replica early-stop flags (``run_until``).
         histories: per-replica discrepancy trajectories (empty lists if
             recording was off).
+        records: per-replica columnar
+            :class:`~repro.core.trace.RunRecord`\\ s (engine summary
+            plus any attached probes' columns and scalars).
     """
 
     initial_loads: np.ndarray
@@ -60,6 +65,7 @@ class BatchResult:
     rounds_executed: np.ndarray
     stopped_early: np.ndarray
     histories: list[list[int]] = field(default_factory=list)
+    records: list[RunRecord] = field(default_factory=list)
 
     def __len__(self) -> int:
         return self.initial_loads.shape[0]
@@ -78,6 +84,9 @@ class BatchResult:
                 list(self.histories[index]) if self.histories else []
             ),
             stopped_early=bool(self.stopped_early[index]),
+            record=(
+                self.records[index] if self.records else None
+            ),
         )
 
     def as_simulation_results(self) -> list[SimulationResult]:
@@ -94,6 +103,11 @@ class BatchRunner:
             stateless balancer implementing ``sends_batch`` (shared
             across all replicas and evaluated fully vectorized).
         initial_loads: ``(replicas, n)`` nonnegative integer array.
+        probes: per-replica observer sets — a sequence of ``replicas``
+            collections of loads-only probes (specs, factories, or
+            instances).  Loads-only is the price of staying on the
+            stacked vectorized path; sends-consuming probes need the
+            looped :class:`~repro.core.engine.Simulator`.
         record_history: keep per-replica discrepancy trajectories.
         validate_every_round: structural validation of each batch of
             sends matrices or compact rounds (vectorized; cheap).
@@ -107,6 +121,7 @@ class BatchRunner:
         balancers: Balancer | Sequence[Balancer],
         initial_loads: np.ndarray,
         *,
+        probes: Sequence[Sequence] | None = None,
         record_history: bool = True,
         validate_every_round: bool = True,
         engine: str = "auto",
@@ -178,6 +193,33 @@ class BatchRunner:
             if record_history
             else []
         )
+        if probes is None:
+            self.probe_sets: list[tuple[Probe, ...]] = []
+        else:
+            if len(probes) != replicas:
+                raise ValueError(
+                    f"got {len(probes)} probe sets for "
+                    f"{replicas} replicas"
+                )
+            self.probe_sets = [build_probes(spec) for spec in probes]
+            for replica, probe_set in enumerate(self.probe_sets):
+                if not loads_only(probe_set):
+                    bad = next(
+                        p for p in probe_set if p.needs != "loads"
+                    )
+                    raise ValueError(
+                        f"probe {type(bad).__name__} consumes sends "
+                        "matrices; the vectorized batch runner only "
+                        "carries loads-only probes — use the looped "
+                        "Simulator for sends-consuming probes"
+                    )
+                for probe in probe_set:
+                    probe.start(
+                        graph,
+                        self._balancer_for(replica),
+                        self.initial_loads[replica],
+                    )
+        self._has_probes = any(self.probe_sets)
 
     # ------------------------------------------------------------------
 
@@ -240,6 +282,11 @@ class BatchRunner:
             ).tolist()
             for replica, value in zip(active.tolist(), discrepancies):
                 self.histories[replica].append(value)
+        if self._has_probes:
+            for replica in active.tolist():
+                row = self._loads[replica]
+                for probe in self.probe_sets[replica]:
+                    probe.observe_loads(self.round, row)
         self.round += 1
         return self._loads
 
@@ -402,6 +449,11 @@ class BatchRunner:
                 discrepancy_rows.append(
                     loads.max(axis=1) - loads.min(axis=1)
                 )
+            if self._has_probes:
+                for replica in range(replicas):
+                    row = loads[replica]
+                    for probe in self.probe_sets[replica]:
+                        probe.observe_loads(self.round, row)
             self.round += 1
         self._loads = loads
         self._rounds_executed += rounds
@@ -480,10 +532,35 @@ class BatchRunner:
             )
 
     def _result(self) -> BatchResult:
+        records = [
+            build_record(
+                replica=replica,
+                rounds_executed=int(self._rounds_executed[replica]),
+                stopped_early=bool(self._stopped_early[replica]),
+                engine_summary={
+                    "initial_discrepancy": int(
+                        self.initial_loads[replica].max()
+                        - self.initial_loads[replica].min()
+                    ),
+                    "final_discrepancy": int(
+                        self._loads[replica].max()
+                        - self._loads[replica].min()
+                    ),
+                },
+                discrepancy_history=(
+                    self.histories[replica] if self.histories else None
+                ),
+                probes=(
+                    self.probe_sets[replica] if self.probe_sets else ()
+                ),
+            )
+            for replica in range(self.num_replicas)
+        ]
         return BatchResult(
             initial_loads=self.initial_loads,
             final_loads=self._loads.copy(),
             rounds_executed=self._rounds_executed.copy(),
             stopped_early=self._stopped_early.copy(),
             histories=[list(h) for h in self.histories],
+            records=records,
         )

@@ -20,10 +20,13 @@ Example::
     result = scenario.run()
 
 Execution is delegated either to the looped
-:class:`~repro.core.engine.Simulator` (one per replica; required when
-monitors are attached) or to the vectorized
+:class:`~repro.core.engine.Simulator` (one per replica; required by
+legacy monitors and sends-consuming probes) or to the vectorized
 :class:`~repro.scenarios.batch.BatchRunner`, which stacks all replicas
-into one ``(replicas, n)`` array.  Both produce identical trajectories
+into one ``(replicas, n)`` array.  Loads-only probes
+(:class:`~repro.core.probes.ProbeSpec` entries in :attr:`Scenario.\
+probes`) ride both executors — and the structured engine — without
+forcing the slow path.  Both executors produce identical trajectories
 replica-for-replica.
 """
 
@@ -45,6 +48,8 @@ from repro.core.metrics import (
     time_to_discrepancy,
 )
 from repro.core.monitors import LoadBoundsMonitor, Monitor
+from repro.core.probes import Probe, ProbeSpec, build_probes, loads_only
+from repro.core.trace import RunRecord
 from repro.graphs import families
 from repro.graphs.balancing import BalancingGraph
 from repro.scenarios.batch import BatchRunner
@@ -259,13 +264,22 @@ class StopRule:
 
 @dataclass
 class ScenarioResult:
-    """Outcome of one scenario: per-replica results plus their monitors."""
+    """Outcome of one scenario: per-replica results, probes, records."""
 
     scenario: "Scenario"
     graph: BalancingGraph
     executor: str
     results: list[SimulationResult]
-    monitors: list[tuple[Monitor, ...]]
+    monitors: list[tuple]
+
+    @property
+    def records(self) -> list[RunRecord]:
+        """Per-replica columnar records (engine facts + probe output)."""
+        return [
+            result.record
+            for result in self.results
+            if result.record is not None
+        ]
 
     def __len__(self) -> int:
         return len(self.results)
@@ -284,10 +298,20 @@ class ScenarioResult:
                 return monitor
         return None
 
+    def record(self, replica: int = 0) -> RunRecord | None:
+        """Replica ``replica``'s columnar record (None if unavailable)."""
+        return self.results[replica].record
+
     def replica_summary(
         self, replica: int = 0, plateau_window: int = 16
     ) -> dict:
-        """Measurement row for one replica (plateau, min load, target)."""
+        """Measurement row for one replica (plateau, min load, target).
+
+        Engine facts come first; every probe's scalar summary is merged
+        in (``min_load`` from the load-bounds probe, ``period`` from
+        the period detector, ...), so drivers read one uniform dict
+        instead of fishing values out of monitor instances.
+        """
         result = self.results[replica]
         history = result.discrepancy_history
         data = result.summary()
@@ -296,6 +320,10 @@ class ScenarioResult:
             if history
             else result.final_discrepancy
         )
+        record = result.record
+        if record is not None:
+            for key, value in record.summary.items():
+                data.setdefault(key, value)
         bounds = self.monitor(LoadBoundsMonitor, replica)
         if bounds is not None:
             data["min_load"] = bounds.min_ever
@@ -336,10 +364,16 @@ class Scenario:
             per replica.
         stop: when each replica ends.
         replicas: independent repetitions of the run.
-        monitors: per-replica monitor *factories* (e.g. the class
-            ``LoadBoundsMonitor`` itself); instantiated fresh for every
-            replica.  Monitors force the looped executor and are not
-            serialized.
+        probes: capability-typed observers, instantiated fresh per
+            replica: :class:`~repro.core.probes.ProbeSpec`\\ s (which
+            serialize with the scenario) or probe factories (e.g. the
+            class ``LoadBoundsMonitor`` itself; not serializable).
+            Loads-only probes keep multi-replica scenarios on the
+            vectorized batch executor and the structured engine;
+            sends-consuming probes fall back to the looped executor.
+        monitors: legacy per-replica monitor *factories*.  Monitors
+            force the looped executor and the dense engine and are not
+            serialized — prefer ``probes``.
         record_history: keep per-round discrepancy trajectories.
         validate_every_round: structural validation each round.
         name: optional label used in reports.
@@ -350,6 +384,7 @@ class Scenario:
     loads: LoadSpec
     stop: StopRule
     replicas: int = 1
+    probes: tuple = ()
     monitors: tuple[Callable[[], Monitor], ...] = ()
     record_history: bool = True
     validate_every_round: bool = True
@@ -358,6 +393,25 @@ class Scenario:
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.replicas > 1:
+            # Anything that is not a spec or a factory is a ready
+            # instance (Probe or duck-typed legacy observer) whose
+            # state would be shared — and corrupted — across replicas.
+            shared = [
+                spec
+                for spec in self.probes
+                if not isinstance(spec, ProbeSpec) and not callable(spec)
+            ]
+            if shared:
+                raise ValueError(
+                    "multi-replica scenarios need fresh probes per "
+                    "replica; pass ProbeSpecs or factories instead of "
+                    f"instances ({type(shared[0]).__name__})"
+                )
+
+    def build_probe_set(self) -> tuple[Probe, ...]:
+        """One replica's freshly built probe instances."""
+        return build_probes(self.probes)
 
     # -- construction helpers ------------------------------------------
 
@@ -393,9 +447,19 @@ class Scenario:
         if self.monitors:
             raise ValueError(
                 "monitor factories cannot be serialized; attach them "
-                "programmatically after from_dict"
+                "programmatically after from_dict (or use ProbeSpecs)"
             )
-        return {
+        not_specs = [
+            spec
+            for spec in self.probes
+            if not isinstance(spec, ProbeSpec)
+        ]
+        if not_specs:
+            raise ValueError(
+                "probe factories/instances cannot be serialized; use "
+                "registered ProbeSpecs (repro.core.probes.register_probe)"
+            )
+        data = {
             "graph": self.graph.to_dict(),
             "algorithm": self.algorithm.to_dict(),
             "loads": self.loads.to_dict(),
@@ -405,6 +469,9 @@ class Scenario:
             "validate_every_round": self.validate_every_round,
             "name": self.name,
         }
+        if self.probes:
+            data["probes"] = [spec.to_dict() for spec in self.probes]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
@@ -414,6 +481,10 @@ class Scenario:
             loads=LoadSpec.from_dict(data["loads"]),
             stop=StopRule.from_dict(data["stop"]),
             replicas=int(data.get("replicas", 1)),
+            probes=tuple(
+                ProbeSpec.from_dict(entry)
+                for entry in data.get("probes", [])
+            ),
             record_history=bool(data.get("record_history", True)),
             validate_every_round=bool(
                 data.get("validate_every_round", True)
@@ -433,24 +504,37 @@ class Scenario:
         Args:
             executor: ``"loop"`` (one :class:`Simulator` per replica),
                 ``"batch"`` (stacked :class:`BatchRunner`), or
-                ``"auto"`` — batch for multi-replica monitor-free
-                scenarios, loop otherwise.
+                ``"auto"`` — batch for multi-replica scenarios whose
+                observers are loads-only probes, loop otherwise.
             graph: optional prebuilt graph (cache for sweeps that reuse
                 one graph across many scenarios).
         """
         if executor not in ("auto", "loop", "batch"):
             raise ValueError(f"unknown executor {executor!r}")
+        probe_preview = self.build_probe_set()
         if executor == "auto":
             executor = (
                 "batch"
-                if self.replicas > 1 and not self.monitors
+                if self.replicas > 1
+                and not self.monitors
+                and loads_only(probe_preview)
                 else "loop"
             )
-        if executor == "batch" and self.monitors:
-            raise ValueError(
-                "monitors require the looped executor "
-                "(run(executor='loop'))"
-            )
+        if executor == "batch":
+            if self.monitors:
+                raise ValueError(
+                    "monitors require the looped executor "
+                    "(run(executor='loop'))"
+                )
+            if not loads_only(probe_preview):
+                bad = next(
+                    p for p in probe_preview if p.needs != "loads"
+                )
+                raise ValueError(
+                    f"probe {type(bad).__name__} consumes sends "
+                    "matrices and requires the looped executor "
+                    "(run(executor='loop'))"
+                )
         graph = graph if graph is not None else self.build_graph()
         if executor == "loop":
             return self._run_looped(graph)
@@ -458,14 +542,16 @@ class Scenario:
 
     def _run_looped(self, graph: BalancingGraph) -> ScenarioResult:
         results: list[SimulationResult] = []
-        monitor_sets: list[tuple[Monitor, ...]] = []
+        monitor_sets: list[tuple] = []
         for replica in range(self.replicas):
             monitors = tuple(factory() for factory in self.monitors)
+            probe_set = self.build_probe_set()
             simulator = Simulator(
                 graph,
                 self.build_balancer(replica),
                 self.build_loads(graph, replica),
                 monitors=monitors,
+                probes=probe_set,
                 record_history=self.record_history,
                 validate_every_round=self.validate_every_round,
             )
@@ -478,8 +564,10 @@ class Scenario:
                     stop.max_rounds,
                     check_every=stop.check_every,
                 )
+            if result.record is not None:
+                result.record.replica = replica
             results.append(result)
-            monitor_sets.append(monitors)
+            monitor_sets.append(tuple(simulator.monitors))
         return ScenarioResult(
             scenario=self,
             graph=graph,
@@ -507,10 +595,16 @@ class Scenario:
                 for replica in range(self.replicas)
             ]
         )
+        probe_sets = (
+            [self.build_probe_set() for _ in range(self.replicas)]
+            if self.probes
+            else None
+        )
         runner = BatchRunner(
             graph,
             balancers,
             initial,
+            probes=probe_sets,
             record_history=self.record_history,
             validate_every_round=self.validate_every_round,
         )
@@ -531,7 +625,11 @@ class Scenario:
             graph=graph,
             executor="batch",
             results=batch.as_simulation_results(),
-            monitors=[() for _ in range(self.replicas)],
+            monitors=(
+                probe_sets
+                if probe_sets is not None
+                else [() for _ in range(self.replicas)]
+            ),
         )
 
 
@@ -566,6 +664,7 @@ class ScenarioSuite:
         loads: LoadSpec | Sequence[LoadSpec],
         stop: StopRule | Sequence[StopRule],
         replicas: int = 1,
+        probes: tuple = (),
         monitors: tuple[Callable[[], Monitor], ...] = (),
         record_history: bool = True,
         validate_every_round: bool = True,
@@ -583,6 +682,7 @@ class ScenarioSuite:
                 loads=load,
                 stop=stop_rule,
                 replicas=replicas,
+                probes=probes,
                 monitors=monitors,
                 record_history=record_history,
                 validate_every_round=validate_every_round,

@@ -70,3 +70,66 @@ class TestTrajectory:
         lines = path.read_text().strip().splitlines()
         assert lines[0] == "round,discrepancy"
         assert lines[1] == "0,5"
+
+
+class TestTraceExport:
+    def _trace(self):
+        from repro.core.trace import Trace
+
+        trace = Trace()
+        trace.add_column("discrepancy", [0, 1, 2], [10, 5, 2])
+        trace.add_column("phi", [0, 2], [7, 1])
+        return trace
+
+    def test_write_trace_csv(self, tmp_path):
+        from repro.analysis.export import write_trace_csv
+
+        path = write_trace_csv(self._trace(), tmp_path / "trace.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "round,discrepancy,phi"
+        assert lines[1] == "0,10,7"
+        assert lines[2] == "1,5,"  # outer-join hole
+
+    def test_write_trace_csv_empty_rejected(self, tmp_path):
+        import pytest
+
+        from repro.analysis.export import write_trace_csv
+        from repro.core.trace import Trace
+
+        with pytest.raises(ValueError):
+            write_trace_csv(Trace(), tmp_path / "trace.csv")
+
+    def test_write_trace_json_round_trips(self, tmp_path):
+        import json
+
+        from repro.analysis.export import write_trace_json
+        from repro.core.trace import Trace
+
+        path = write_trace_json(self._trace(), tmp_path / "trace.json")
+        rebuilt = Trace.from_dict(json.loads(path.read_text()))
+        assert rebuilt.series("phi") == ([0, 2], [7, 1])
+
+    def test_records_jsonl_round_trip(self, tmp_path):
+        from repro.analysis.export import (
+            read_jsonl,
+            record_rows,
+            write_records_jsonl,
+        )
+        from repro.core.trace import RunRecord, build_record
+
+        records = [
+            build_record(
+                replica=i,
+                rounds_executed=3,
+                stopped_early=False,
+                engine_summary={"final_discrepancy": i},
+                discrepancy_history=[5, 3, i],
+            )
+            for i in range(2)
+        ]
+        path = write_records_jsonl(records, tmp_path / "records.jsonl")
+        rebuilt = [RunRecord.from_dict(r) for r in read_jsonl(path)]
+        assert [r.summary["final_discrepancy"] for r in rebuilt] == [0, 1]
+        rows = record_rows(records)
+        assert rows[1]["replica"] == 1
+        assert rows[1]["rounds"] == 3

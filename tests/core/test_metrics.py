@@ -64,3 +64,47 @@ class TestTrajectories:
     def test_final_plateau_empty(self):
         with pytest.raises(ValueError):
             metrics.final_plateau([])
+
+
+class TestFloatDiscrepancy:
+    """Regression: real-valued loads must not be silently truncated.
+
+    Continuous diffusion produces float load vectors, so discrepancy
+    values (and histories built from them) are floats — `discrepancy`
+    is type-preserving instead of casting through `int`.
+    """
+
+    def test_discrepancy_preserves_float(self):
+        loads = np.array([1.25, 3.75, 2.0])
+        value = metrics.discrepancy(loads)
+        assert isinstance(value, float)
+        assert value == pytest.approx(2.5)
+
+    def test_discrepancy_keeps_int_for_integer_loads(self):
+        value = metrics.discrepancy(np.array([1, 5, 3], dtype=np.int64))
+        assert isinstance(value, int)
+        assert value == 4
+
+    def test_final_plateau_preserves_float(self):
+        history = [2.5, 1.75, 1.25]
+        value = metrics.final_plateau(history, window=2)
+        assert isinstance(value, float)
+        assert value == pytest.approx(1.75)
+
+    def test_continuous_diffusion_history_is_float(self):
+        from repro.algorithms.continuous import ContinuousDiffusion
+        from repro.graphs import families
+
+        graph = families.cycle(8)
+        initial = np.zeros(8)
+        initial[0] = 10.0
+        result = ContinuousDiffusion(graph).run(initial, 5)
+        assert all(
+            isinstance(v, float) for v in result.discrepancy_history
+        )
+        # after a few rounds the true discrepancy is fractional; the
+        # recorded value must match the exact max-min, not its floor
+        final = result.discrepancy_history[-1]
+        exact = float(result.final_loads.max() - result.final_loads.min())
+        assert final == pytest.approx(exact)
+        assert final != int(final)

@@ -229,16 +229,73 @@ class TestStructuredEngineInvariants:
         assert len(result.discrepancy_history) == 31
 
 
-class TestLateMonitors:
-    def test_monitor_appended_after_init_still_fires(self, cycle12):
+class TestLateAttach:
+    """Attach-after-construction is `attach()`; list mutation raises."""
+
+    def test_append_to_monitors_raises_clear_error(self, cycle12):
         from repro.core.monitors import DiscrepancyRecorder
 
         simulator = Simulator(
             cycle12, make("send_floor"), _loads_for(cycle12)
         )
         assert simulator.engine == "structured"
-        monitor = DiscrepancyRecorder()
-        monitor.start(cycle12, simulator.balancer, simulator.loads)
-        simulator.monitors.append(monitor)
-        simulator.run(5)  # falls back to dense rounds so monitors observe
-        assert len(monitor.history) == 6  # initial + 5 rounds
+        with pytest.raises(TypeError, match="attach"):
+            simulator.monitors.append(DiscrepancyRecorder())
+
+    def test_attach_starts_probe_and_keeps_structured(self, cycle12):
+        from repro.core.monitors import DiscrepancyRecorder
+
+        simulator = Simulator(
+            cycle12, make("send_floor"), _loads_for(cycle12)
+        )
+        probe = simulator.attach(DiscrepancyRecorder())
+        assert simulator.engine == "structured"  # loads-only probe
+        simulator.run(5)
+        assert len(probe.history) == 6  # started with current loads
+        assert probe.history == simulator.discrepancy_history
+
+    def test_attach_mid_run_observes_from_now_on(self, cycle12):
+        from repro.core.monitors import DiscrepancyRecorder
+
+        simulator = Simulator(
+            cycle12, make("send_floor"), _loads_for(cycle12)
+        )
+        simulator.run(3)
+        probe = simulator.attach(DiscrepancyRecorder())
+        simulator.run(4)
+        assert len(probe.history) == 5  # attach-time state + 4 rounds
+        assert probe.history == simulator.discrepancy_history[3:]
+
+    def test_attach_dense_probe_downgrades_auto_engine(self, cycle12):
+        from repro.core.monitors import Monitor
+
+        class DenseOnly(Monitor):
+            def __init__(self):
+                self.seen = 0
+
+            def observe(self, t, loads_before, sends, loads_after):
+                assert sends.ndim == 2
+                self.seen += 1
+
+        simulator = Simulator(
+            cycle12, make("send_floor"), _loads_for(cycle12)
+        )
+        assert simulator.engine == "structured"
+        probe = simulator.attach(DenseOnly())
+        assert simulator.engine == "dense"
+        simulator.run(4)
+        assert probe.seen == 4
+
+    def test_attach_dense_probe_on_explicit_structured_raises(
+        self, cycle12
+    ):
+        from repro.core.monitors import Monitor
+
+        simulator = Simulator(
+            cycle12,
+            make("send_floor"),
+            _loads_for(cycle12),
+            engine="structured",
+        )
+        with pytest.raises(ValueError, match="dense sends"):
+            simulator.attach(Monitor())

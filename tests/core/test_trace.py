@@ -1,0 +1,177 @@
+"""Unit tests for the columnar Trace / RunRecord model."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import (
+    RunRecord,
+    SamplingSchedule,
+    Trace,
+    build_record,
+)
+
+
+class TestSamplingSchedule:
+    def test_every_stride(self):
+        schedule = SamplingSchedule.every(3)
+        sampled = [t for t in range(10) if schedule.wants(t)]
+        assert sampled == [0, 3, 6, 9]
+
+    def test_every_default_is_full_resolution(self):
+        schedule = SamplingSchedule.every()
+        assert all(schedule.wants(t) for t in range(20))
+
+    def test_geometric_base_two(self):
+        schedule = SamplingSchedule.geometric(2.0)
+        sampled = [t for t in range(70) if schedule.wants(t)]
+        assert sampled == [0, 1, 2, 4, 8, 16, 32, 64]
+
+    def test_geometric_hits_exact_powers(self):
+        # regression: math.log(1000, 10) == 2.999...96 used to skip
+        # exact power-of-base boundaries
+        schedule = SamplingSchedule.geometric(10.0)
+        assert schedule.wants(1000)
+        assert schedule.wants(10**6)
+        two = SamplingSchedule.geometric(2.0)
+        for k in range(1, 60):
+            assert two.wants(2**k)
+            assert not two.wants(2**k + 1) or k == 0
+
+    def test_boundary_only_initial(self):
+        schedule = SamplingSchedule.boundary()
+        assert schedule.wants(0)
+        assert not any(schedule.wants(t) for t in range(1, 50))
+
+    def test_round_trip(self):
+        for schedule in (
+            SamplingSchedule.every(4),
+            SamplingSchedule.geometric(3.0),
+            SamplingSchedule.boundary(),
+        ):
+            assert (
+                SamplingSchedule.from_dict(schedule.to_dict()) == schedule
+            )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="kind"):
+            SamplingSchedule(kind="fibonacci")
+        with pytest.raises(ValueError, match="stride"):
+            SamplingSchedule.every(0)
+        with pytest.raises(ValueError, match="base"):
+            SamplingSchedule.geometric(1.0)
+
+
+class TestTrace:
+    def test_columns_with_independent_rounds(self):
+        trace = Trace()
+        trace.add_column("a", [0, 1, 2], [10, 9, 8])
+        trace.add_column("b", [0, 2], [5.0, 4.0])
+        assert trace.names() == ["a", "b"]
+        np.testing.assert_array_equal(trace.column("a"), [10, 9, 8])
+        assert trace.rounds("b") == [0, 2]
+
+    def test_to_rows_outer_joins_on_round(self):
+        trace = Trace()
+        trace.add_column("a", [0, 1, 2], [10, 9, 8])
+        trace.add_column("b", [0, 2], [5, 4])
+        rows = trace.to_rows()
+        assert rows == [
+            {"round": 0, "a": 10, "b": 5},
+            {"round": 1, "a": 9, "b": None},
+            {"round": 2, "a": 8, "b": 4},
+        ]
+
+    def test_round_trip(self):
+        trace = Trace()
+        trace.add_column("discrepancy", [0, 1], [12, 6])
+        rebuilt = Trace.from_dict(trace.to_dict())
+        assert rebuilt.names() == ["discrepancy"]
+        assert rebuilt.series("discrepancy") == ([0, 1], [12, 6])
+
+    def test_numpy_values_become_plain(self):
+        trace = Trace()
+        trace.add_column(
+            "x", [0], [np.int64(3)]
+        )
+        assert isinstance(trace.series("x")[1][0], int)
+
+    def test_mismatched_lengths_rejected(self):
+        trace = Trace()
+        with pytest.raises(ValueError, match="rounds"):
+            trace.add_column("a", [0, 1], [1])
+
+    def test_duplicate_column_rejected(self):
+        trace = Trace()
+        trace.add_column("a", [0], [1])
+        with pytest.raises(ValueError, match="already"):
+            trace.add_column("a", [0], [2])
+
+
+class _FakeProbe:
+    def __init__(self, name, summary=None):
+        self._name = name
+        self._summary = summary or {}
+
+    def columns(self):
+        return {self._name: ([0, 1], [1, 2])}
+
+    def summary(self):
+        return dict(self._summary)
+
+
+class TestRunRecord:
+    def test_build_record_merges_probe_output(self):
+        record = build_record(
+            replica=2,
+            rounds_executed=5,
+            stopped_early=True,
+            engine_summary={"final_discrepancy": 3},
+            discrepancy_history=[9, 6, 3],
+            probes=[_FakeProbe("phi", {"min_load": 0})],
+        )
+        assert record.replica == 2
+        assert record.summary["final_discrepancy"] == 3
+        assert record.summary["min_load"] == 0
+        assert "phi" in record.trace
+        assert record.trace.series("discrepancy") == (
+            [0, 1, 2],
+            [9, 6, 3],
+        )
+
+    def test_probe_columns_win_over_engine_history(self):
+        record = build_record(
+            replica=0,
+            rounds_executed=1,
+            stopped_early=False,
+            discrepancy_history=[9, 6],
+            probes=[_FakeProbe("discrepancy")],
+        )
+        # the probe's (possibly sparser) series is the one kept
+        assert record.trace.series("discrepancy") == ([0, 1], [1, 2])
+
+    def test_colliding_probe_columns_get_suffixes(self):
+        record = build_record(
+            replica=0,
+            rounds_executed=1,
+            stopped_early=False,
+            probes=[_FakeProbe("red"), _FakeProbe("red")],
+        )
+        assert set(record.trace.names()) == {"red", "red#2"}
+
+    def test_row_and_dict_round_trip(self):
+        record = build_record(
+            replica=1,
+            rounds_executed=4,
+            stopped_early=False,
+            engine_summary={"final_discrepancy": 2},
+            discrepancy_history=[4, 2],
+        )
+        row = record.row()
+        assert row["replica"] == 1
+        assert row["rounds"] == 4
+        assert row["final_discrepancy"] == 2
+        rebuilt = RunRecord.from_dict(record.to_dict())
+        assert rebuilt.summary == record.summary
+        assert rebuilt.trace.series("discrepancy") == (
+            record.trace.series("discrepancy")
+        )

@@ -167,3 +167,96 @@ class TestScenarioCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "replicas:   3 (batch executor)" in out
+
+
+class TestSimulateProbes:
+    def test_probe_by_name(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "send_floor",
+                "--family",
+                "cycle",
+                "--n",
+                "12",
+                "--rounds",
+                "20",
+                "--probe",
+                "load_bounds",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "min_load: 0" in out
+
+    def test_probe_with_json_params(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "send_floor",
+                "--family",
+                "cycle",
+                "--n",
+                "12",
+                "--rounds",
+                "20",
+                "--probe",
+                'potentials:{"c_values": [4], "s": 1}',
+            ]
+        )
+        assert code == 0
+        assert "potentials_monotone" in capsys.readouterr().out
+
+    def test_probe_with_replicas_stays_batched(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "send_floor",
+                "--family",
+                "cycle",
+                "--n",
+                "12",
+                "--rounds",
+                "20",
+                "--replicas",
+                "3",
+                "--probe",
+                "load_bounds",
+            ]
+        )
+        assert code == 0
+        assert "(batch executor)" in capsys.readouterr().out
+
+    def test_trace_csv(self, tmp_path, capsys):
+        path = tmp_path / "trace.csv"
+        code = main(
+            [
+                "simulate",
+                "send_floor",
+                "--family",
+                "cycle",
+                "--n",
+                "12",
+                "--rounds",
+                "10",
+                "--probe",
+                "discrepancy",
+                "--trace-csv",
+                str(path),
+            ]
+        )
+        assert code == 0
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("round,")
+        assert "discrepancy" in header
+
+    def test_list_probes(self, capsys):
+        code = main(["simulate", "--list-probes"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "load_bounds" in out
+        assert "flows" in out
+
+    def test_missing_algorithm_errors(self):
+        with pytest.raises(SystemExit, match="algorithm"):
+            main(["simulate"])

@@ -1,0 +1,208 @@
+"""Property tests: loads-only probes never perturb trajectories.
+
+The capability-typed observation layer promises that attaching
+loads-only probes (discrepancy, load bounds, trajectory snapshots,
+period detection, potentials) keeps ``engine="auto"`` on the structured
+path — and that the structured-with-probes run is bit-identical to the
+dense run, looped and batched, fixed-round and ``run_until``.  The
+probes themselves must also read identical data on both engines.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import make
+from repro.core.engine import Simulator
+from repro.core.metrics import discrepancy
+from repro.core.monitors import (
+    DiscrepancyRecorder,
+    LoadBoundsMonitor,
+    PeriodDetector,
+    TrajectoryRecorder,
+)
+from repro.core.potentials import PotentialMonitor
+from repro.graphs import families
+from repro.scenarios.batch import BatchRunner
+from tests.property.strategies import balancing_graphs, load_vectors
+
+STRUCTURED_ALGORITHMS = ["send_floor", "send_rounded", "rotor_router"]
+
+
+def _probe_set():
+    return (
+        DiscrepancyRecorder(),
+        LoadBoundsMonitor(),
+        TrajectoryRecorder(stride=4),
+        PeriodDetector(),
+        PotentialMonitor([1, 2], s=1),
+    )
+
+
+def _probe_facts(probes):
+    recorder, bounds, trajectory, period, potentials = probes
+    return (
+        recorder.history,
+        (bounds.min_ever, bounds.max_ever),
+        [s.tolist() for s in trajectory.snapshots],
+        (period.period, period.first_repeat_round),
+        potentials.phi_history,
+        potentials.phi_prime_history,
+    )
+
+
+def _graph_for(name):
+    return {
+        "cycle": lambda: families.cycle(15),
+        "torus": lambda: families.torus(4, 2),
+        "hypercube": lambda: families.hypercube(4),
+        "random_regular": lambda: families.random_regular(20, 4, seed=9),
+    }[name]()
+
+
+@pytest.mark.parametrize("algorithm", STRUCTURED_ALGORITHMS)
+@pytest.mark.parametrize(
+    "family", ["cycle", "torus", "hypercube", "random_regular"]
+)
+def test_looped_parity_with_probes(algorithm, family):
+    """Seeded sweep: probes attached, engines still bit-identical."""
+    graph = _graph_for(family)
+    rng = np.random.default_rng(7)
+    loads = rng.integers(0, 300, graph.num_nodes).astype(np.int64)
+    results, facts = [], []
+    for engine in ("dense", "structured"):
+        probes = _probe_set()
+        simulator = Simulator(
+            graph, make(algorithm), loads, probes=probes, engine=engine
+        )
+        results.append(simulator.run(60))
+        facts.append(_probe_facts(probes))
+    dense, structured = results
+    np.testing.assert_array_equal(
+        dense.final_loads, structured.final_loads
+    )
+    assert dense.discrepancy_history == structured.discrepancy_history
+    assert facts[0] == facts[1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_looped_parity_with_probes_random_graphs(data):
+    """Hypothesis: random graph × loads × algorithm, probes attached."""
+    graph = data.draw(balancing_graphs())
+    algorithm = data.draw(st.sampled_from(STRUCTURED_ALGORITHMS))
+    loads = data.draw(load_vectors(graph.num_nodes))
+    rounds = data.draw(st.integers(1, 40))
+    facts = []
+    finals = []
+    for engine in ("dense", "structured"):
+        probes = _probe_set()
+        simulator = Simulator(
+            graph, make(algorithm), loads, probes=probes, engine=engine
+        )
+        assert simulator.engine == engine
+        finals.append(simulator.run(rounds).final_loads)
+        facts.append(_probe_facts(probes))
+    np.testing.assert_array_equal(finals[0], finals[1])
+    assert facts[0] == facts[1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_run_until_parity_with_probes(data):
+    """run_until with probes: same stopping round, same probe data."""
+    graph = data.draw(balancing_graphs(max_self_loops=4))
+    algorithm = data.draw(st.sampled_from(STRUCTURED_ALGORITHMS))
+    loads = data.draw(load_vectors(graph.num_nodes, max_load=120))
+    target = max(2 * graph.total_degree, 4)
+    outcomes = []
+    for engine in ("dense", "structured"):
+        probes = _probe_set()
+        simulator = Simulator(
+            graph, make(algorithm), loads, probes=probes, engine=engine
+        )
+        result = simulator.run_until(
+            lambda x: discrepancy(x) <= target, max_rounds=60
+        )
+        outcomes.append(
+            (
+                result.rounds_executed,
+                result.stopped_early,
+                result.final_loads.tolist(),
+                _probe_facts(probes),
+            )
+        )
+    assert outcomes[0] == outcomes[1]
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_batched_probes_match_looped(data):
+    """BatchRunner with loads-only probes == looped run, per replica."""
+    graph = data.draw(balancing_graphs(max_self_loops=4))
+    algorithm = data.draw(st.sampled_from(STRUCTURED_ALGORITHMS))
+    replicas = data.draw(st.integers(1, 4))
+    rounds = data.draw(st.integers(1, 25))
+    stack = np.stack(
+        [
+            data.draw(load_vectors(graph.num_nodes, max_load=150))
+            for _ in range(replicas)
+        ]
+    )
+    batch_probe_sets = [_probe_set() for _ in range(replicas)]
+    runner = BatchRunner(
+        graph,
+        [make(algorithm) for _ in range(replicas)],
+        stack,
+        probes=batch_probe_sets,
+    )
+    batch = runner.run(rounds)
+    for replica in range(replicas):
+        probes = _probe_set()
+        looped = Simulator(
+            graph, make(algorithm), stack[replica], probes=probes
+        ).run(rounds)
+        np.testing.assert_array_equal(
+            batch.final_loads[replica], looped.final_loads
+        )
+        assert batch.histories[replica] == looped.discrepancy_history
+        assert _probe_facts(batch_probe_sets[replica]) == _probe_facts(
+            probes
+        )
+
+
+def test_batched_run_until_with_probes():
+    """Frozen replicas stop feeding probes, matching looped runs."""
+    graph = families.cycle(12)
+    stack = np.stack(
+        [
+            np.arange(12, dtype=np.int64) * 10,
+            np.full(12, 5, dtype=np.int64),
+        ]
+    )
+    target = 8
+    batch_probe_sets = [_probe_set() for _ in range(2)]
+    runner = BatchRunner(
+        graph,
+        [make("send_floor") for _ in range(2)],
+        stack,
+        probes=batch_probe_sets,
+    )
+    predicates = [
+        (lambda x: discrepancy(x) <= target) for _ in range(2)
+    ]
+    batch = runner.run_until(predicates, max_rounds=80)
+    for replica in range(2):
+        probes = _probe_set()
+        looped = Simulator(
+            graph, make("send_floor"), stack[replica], probes=probes
+        ).run_until(lambda x: discrepancy(x) <= target, max_rounds=80)
+        assert bool(batch.stopped_early[replica]) == looped.stopped_early
+        assert (
+            int(batch.rounds_executed[replica])
+            == looped.rounds_executed
+        )
+        assert _probe_facts(batch_probe_sets[replica]) == _probe_facts(
+            probes
+        )

@@ -234,3 +234,51 @@ class TestBatchEngineSelection:
                 np.ones((2, 24), dtype=np.int64),
                 engine="structured",
             )
+
+
+class TestBatchProbes:
+    @staticmethod
+    def _floor():
+        from repro.algorithms import SendFloor
+
+        return SendFloor()
+
+    def test_sends_probe_rejected(self, expander24):
+        from repro.core.flows import FlowTracker
+
+        with pytest.raises(ValueError, match="loads-only"):
+            BatchRunner(
+                expander24,
+                [self._floor(), self._floor()],
+                np.ones((2, 24), dtype=np.int64),
+                probes=[(FlowTracker(),), (FlowTracker(),)],
+            )
+
+    def test_probe_set_count_must_match_replicas(self, expander24):
+        from repro.core.monitors import LoadBoundsMonitor
+
+        with pytest.raises(ValueError, match="probe sets"):
+            BatchRunner(
+                expander24,
+                [self._floor(), self._floor()],
+                np.ones((2, 24), dtype=np.int64),
+                probes=[(LoadBoundsMonitor(),)],
+            )
+
+    def test_records_include_probe_summaries(self, expander24):
+        from repro.core.monitors import LoadBoundsMonitor
+
+        loads = np.zeros((2, 24), dtype=np.int64)
+        loads[:, 0] = 240
+        runner = BatchRunner(
+            expander24,
+            self._floor(),
+            loads,
+            probes=[(LoadBoundsMonitor(),), (LoadBoundsMonitor(),)],
+        )
+        batch = runner.run(10)
+        assert len(batch.records) == 2
+        for record in batch.records:
+            assert record.summary["min_load"] == 0
+            assert record.summary["max_load"] == 240
+        assert batch.replica(0).record is batch.records[0]
