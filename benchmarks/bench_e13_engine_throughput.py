@@ -10,7 +10,10 @@ must win by at least 2x while producing bit-identical load vectors.
 The module is also a script: the **structured-vs-dense ladder** times
 both engines on cycles (``d+ = 2d``) from small ``n`` up to a million
 nodes, verifies bit-identical final loads wherever both engines ran,
-and emits ``BENCH_e13.json`` so the perf trajectory is recorded.
+and emits ``BENCH_e13.json`` so the perf trajectory is recorded.  Each
+rung also carries a probe-overhead row and a **dynamics row**
+(structured engine under ``constant_rate`` injection), both gated at
+1.2x over the bare structured run by ``--check``.
 
     python benchmarks/bench_e13_engine_throughput.py \
         --sizes 1024 4096 16384 --rounds 50 --output BENCH_e13.json --check
@@ -189,14 +192,22 @@ LADDER_ALGORITHMS = ("send_floor", "send_rounded", "rotor_router")
 
 
 def _time_run(
-    graph, algorithm, loads, rounds, engine, repeats, probes=None
+    graph,
+    algorithm,
+    loads,
+    rounds,
+    engine,
+    repeats,
+    probes=None,
+    dynamics=None,
 ):
     """Best-of-``repeats`` wall time.
 
     Returns ``(seconds, final_loads, engine_used)`` — the engine the
     simulator actually selected, so probe rows can verify that a
     loads-only probe did not knock ``engine="auto"`` off the
-    structured path.
+    structured path.  ``probes`` and ``dynamics`` are factories called
+    per repeat (fresh observer/injector state each run).
     """
     from repro.core.engine import Simulator as _Simulator
 
@@ -211,6 +222,7 @@ def _time_run(
             record_history=False,
             engine=engine,
             probes=probes() if probes is not None else (),
+            dynamics=dynamics() if dynamics is not None else None,
         )
         engine_used = simulator.engine
         start = time.perf_counter()
@@ -239,10 +251,24 @@ def run_ladder(
     ladder.  ``probe_engine`` records which engine auto selected (it
     must stay ``"structured"``) and ``probe_overhead`` the slowdown
     relative to the bare structured run.
+
+    The **dynamics row**: the structured engine with ``constant_rate``
+    injection (8 tokens/round, deterministic round-robin placement) —
+    ``dynamics_overhead`` is its slowdown over the bare structured run
+    (injection is a vector add, so it must stay well under the gated
+    1.2x); at small ``n`` the injected run is also cross-checked
+    bit-identical against the dense engine with the same event stream.
     """
     from repro.core.loads import adversarial_split
     from repro.core.monitors import LoadBoundsMonitor
+    from repro.dynamics import DynamicsSpec
     from repro.graphs.families import cycle
+
+    # Round-robin placement: the zero-variance arrival stream — the
+    # row measures the injection *mechanism*, not RNG call overhead.
+    injection = DynamicsSpec(
+        "constant_rate", {"rate": 8, "placement": "round_robin"}
+    )
 
     entries = []
     for n in sizes:
@@ -267,6 +293,53 @@ def run_ladder(
                 raise AssertionError(
                     f"probe run diverged at n={n}, {algorithm}"
                 )
+            # The overhead ratio needs care at small n: a 50-round run
+            # takes single-digit milliseconds there, so (a) bare and
+            # injected runs are interleaved (separate timing blocks are
+            # at the mercy of frequency scaling / noisy neighbours) and
+            # (b) the timed window is stretched until it is long enough
+            # to measure a ~1.1x effect reliably.
+            overhead_rounds = rounds * max(1, 32_768 // n)
+            bare_seconds = float("inf")
+            dynamics_seconds = float("inf")
+            dynamics_finals = None
+            for _ in range(max(repeats, 3)):
+                bare, _, _ = _time_run(
+                    graph,
+                    algorithm,
+                    loads,
+                    overhead_rounds,
+                    "structured",
+                    1,
+                )
+                injected, dynamics_finals, _ = _time_run(
+                    graph,
+                    algorithm,
+                    loads,
+                    overhead_rounds,
+                    "structured",
+                    1,
+                    dynamics=injection.build,
+                )
+                bare_seconds = min(bare_seconds, bare)
+                dynamics_seconds = min(dynamics_seconds, injected)
+            if n <= min(dense_cap, 16_384):
+                _, dense_dynamics_finals, _ = _time_run(
+                    graph,
+                    algorithm,
+                    loads,
+                    overhead_rounds,
+                    "dense",
+                    1,
+                    dynamics=injection.build,
+                )
+                if not np.array_equal(
+                    dense_dynamics_finals, dynamics_finals
+                ):
+                    raise AssertionError(
+                        f"injected run diverged across engines at "
+                        f"n={n}, {algorithm}"
+                    )
             entry = {
                 "n": n,
                 "d_plus": graph.total_degree,
@@ -281,6 +354,11 @@ def run_ladder(
                 "probe_engine": probe_engine,
                 "probe_overhead": round(
                     probe_seconds / structured_seconds, 3
+                ),
+                "dynamics_rounds": overhead_rounds,
+                "dynamics_seconds": round(dynamics_seconds, 4),
+                "dynamics_overhead": round(
+                    dynamics_seconds / bare_seconds, 3
                 ),
             }
             if n <= dense_cap:
@@ -303,6 +381,7 @@ def run_ladder(
                 f"structured {structured_seconds:8.3f}s"
                 f"  +probe {entry['probe_overhead']:5.2f}x"
                 f" ({probe_engine})"
+                f"  +inject {entry['dynamics_overhead']:5.2f}x"
                 + (
                     f"  dense {entry['dense_seconds']:8.3f}s"
                     f"  speedup {entry['speedup']:5.2f}x"
@@ -374,8 +453,8 @@ def main(argv=None):
         "--check",
         action="store_true",
         help="exit nonzero if structured is slower than dense, a "
-        "loads-only probe forces the dense path, or probe overhead "
-        "exceeds the limit at any n >= 4096",
+        "loads-only probe forces the dense path, or probe/injection "
+        "overhead exceeds its limit at any n >= 4096",
     )
     parser.add_argument(
         "--probe-overhead-limit",
@@ -383,6 +462,13 @@ def main(argv=None):
         default=1.2,
         help="max allowed structured+probe / structured-bare ratio "
         "at n >= 4096 (default 1.2)",
+    )
+    parser.add_argument(
+        "--dynamics-overhead-limit",
+        type=float,
+        default=1.2,
+        help="max allowed structured+injection / structured-bare "
+        "ratio at n >= 4096 (default 1.2)",
     )
     args = parser.parse_args(argv)
 
@@ -440,12 +526,25 @@ def main(argv=None):
                     f"n={entry['n']} ({entry['algorithm']})",
                     file=sys.stderr,
                 )
+            if (
+                entry["dynamics_overhead"]
+                > args.dynamics_overhead_limit
+            ):
+                failed = True
+                print(
+                    f"FAIL: injection overhead "
+                    f"{entry['dynamics_overhead']}x exceeds "
+                    f"{args.dynamics_overhead_limit}x at "
+                    f"n={entry['n']} ({entry['algorithm']})",
+                    file=sys.stderr,
+                )
         if failed:
             return 1
         print(
-            "check passed: structured >= dense and probe overhead "
-            f"<= {args.probe_overhead_limit}x (structured engine kept) "
-            "at every n >= 4096"
+            "check passed: structured >= dense, probe overhead "
+            f"<= {args.probe_overhead_limit}x (structured engine "
+            f"kept), and injection overhead <= "
+            f"{args.dynamics_overhead_limit}x at every n >= 4096"
         )
     return 0
 

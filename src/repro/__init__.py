@@ -19,6 +19,11 @@ Public API overview
   potentials, metrics.
 * :mod:`repro.algorithms` — SEND(⌊x/d+⌋), SEND([x/d+]), ROTOR-ROUTER,
   ROTOR-ROUTER*, continuous diffusion, and all Table 1 baselines.
+* :mod:`repro.dynamics` — dynamic workloads: per-round load-event
+  injectors (``constant_rate``, ``batch_arrivals``,
+  ``adversarial_peak``, ``random_churn``, ``scripted``;
+  ``@register_injector``) and the declarative ``DynamicsSpec`` that
+  scenarios, the CLI, and both engines consume.
 * :mod:`repro.lower_bounds` — the Section 4 adversarial constructions.
 * :mod:`repro.analysis` — theory-bound formulas, convergence runs,
   scaling fits, table rendering.
@@ -59,6 +64,7 @@ from repro import (
     algorithms,
     analysis,
     core,
+    dynamics,
     experiments,
     graphs,
     lower_bounds,
@@ -72,6 +78,7 @@ __all__ = [
     "graphs",
     "core",
     "algorithms",
+    "dynamics",
     "lower_bounds",
     "analysis",
     "experiments",

@@ -7,6 +7,8 @@ Examples::
     repro-lb run --full           # run everything at full size
     repro-lb run --json out.json  # machine-readable results
     repro-lb simulate rotor_router --family cycle --n 32 --rounds 500
+    repro-lb simulate send_floor --n 64 \\
+        --inject 'constant_rate:{"rate": 8}'   # dynamic workload
     repro-lb scenario sweep.json  # run a declarative scenario (suite)
 
 The ``simulate`` subcommand is a thin front end over the declarative
@@ -97,6 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered probe names and exit",
     )
     sim_parser.add_argument(
+        "--inject",
+        metavar="NAME[:JSON]",
+        help=(
+            "dynamic workload: a registered injector applied at the "
+            "start of every round, e.g. --inject "
+            "'constant_rate:{\"rate\": 8, \"seed\": 1}' or --inject "
+            "'random_churn:{\"rate\": 16}' (injection rides the "
+            "structured/batched fast paths)"
+        ),
+    )
+    sim_parser.add_argument(
+        "--list-injectors",
+        action="store_true",
+        help="list registered injector names and exit",
+    )
+    sim_parser.add_argument(
         "--trace-csv",
         metavar="PATH",
         help="dump replica 0's columnar trace (probe columns) as CSV",
@@ -155,6 +173,7 @@ def graph_spec_from_cli(
 def _run_simulate(args) -> int:
     from repro.analysis.convergence import horizon_for
     from repro.core.probes import PROBES, ProbeSpec
+    from repro.dynamics import INJECTORS, DynamicsSpec
     from repro.graphs.spectral import eigenvalue_gap
     from repro.scenarios import (
         AlgorithmSpec,
@@ -168,9 +187,17 @@ def _run_simulate(args) -> int:
         for name in PROBES.names():
             print(f"  {name}")
         return 0
+    if args.list_injectors:
+        print("registered injectors:")
+        for name in INJECTORS.names():
+            print(f"  {name}")
+        return 0
     if args.algorithm is None:
         raise SystemExit("simulate: an algorithm name is required")
     probes = tuple(ProbeSpec.parse(text) for text in args.probe)
+    dynamics = (
+        DynamicsSpec.parse(args.inject) if args.inject else None
+    )
     graph_spec = graph_spec_from_cli(
         args.family, args.n, args.degree, args.seed, args.self_loops
     )
@@ -191,12 +218,15 @@ def _run_simulate(args) -> int:
         stop=StopRule.fixed(rounds),
         replicas=args.replicas,
         probes=probes,
+        dynamics=dynamics,
     )
     outcome = scenario.run(graph=graph)
     result = outcome.replica(0)
     print(f"graph:      {graph.name} (d+={graph.total_degree})")
     print(f"mu:         {gap:.5g}")
     print(f"rounds:     {result.rounds_executed}")
+    if dynamics is not None:
+        print(f"dynamics:   {dynamics.name}")
     print(f"discrepancy {result.initial_discrepancy} -> "
           f"{result.final_discrepancy}")
     if args.replicas > 1:
@@ -206,7 +236,7 @@ def _run_simulate(args) -> int:
             f"final discrepancy {min(finals)}..{max(finals)}"
         )
     record = outcome.record(0)
-    if probes and record is not None:
+    if (probes or dynamics is not None) and record is not None:
         for key, value in record.summary.items():
             if key in ("initial_discrepancy", "final_discrepancy"):
                 continue

@@ -44,7 +44,7 @@ from repro.core.errors import (
     InvalidSendMatrix,
     NegativeLoadError,
 )
-from repro.core.loads import validate_loads
+from repro.core.loads import validate_delta, validate_loads
 from repro.core.metrics import discrepancy
 from repro.core.probes import LOADS, Probe, build_probes, dense_required
 from repro.core.trace import RunRecord, build_record
@@ -125,6 +125,14 @@ class Simulator:
             :class:`~repro.core.probes.ProbeSpec`\\ s, or zero-argument
             factories).  Loads-only probes keep ``engine="auto"`` on
             the structured fast path.
+        dynamics: optional dynamic workload — an
+            :class:`~repro.dynamics.injectors.Injector` instance or a
+            :class:`~repro.dynamics.spec.DynamicsSpec`.  Its delta is
+            applied at the *beginning* of every round, before the
+            balancing step (adversary moves first); the running token
+            total is adjusted accordingly, so conservation of the
+            balancing step itself stays fully checked.  Injection is a
+            vector add and rides every engine unchanged.
         record_history: keep the per-round discrepancy trajectory.
         validate_every_round: full structural validation of each sends
             matrix (or compact round description).  Cheap (vectorized)
@@ -143,6 +151,7 @@ class Simulator:
         *,
         monitors: Iterable = (),
         probes: Iterable = (),
+        dynamics=None,
         record_history: bool = True,
         validate_every_round: bool = True,
         engine: str = "auto",
@@ -197,11 +206,18 @@ class Simulator:
                     "matrices; use the dense engine"
                 )
         self.engine = engine
+        if dynamics is not None:
+            from repro.dynamics.spec import as_injector
+
+            dynamics = as_injector(dynamics)
+        self._injector = dynamics
         self.total_tokens = int(initial_loads.sum())
         self.round = 1  # the paper's convention: x_1 is the initial vector
         self.discrepancy_history: list[int | float] = (
             [discrepancy(initial_loads)] if record_history else []
         )
+        if self._injector is not None:
+            self._injector.start(graph, self._loads)
         for probe in self._probes:
             probe.start(graph, self.balancer, self._loads)
 
@@ -249,8 +265,25 @@ class Simulator:
         self._probes.append(probe)
         return probe
 
+    def _apply_injection(self) -> None:
+        """Apply this round's load events (the adversary moves first).
+
+        Applied in place: the engine owns ``_loads`` (observers that
+        retain vectors must copy, per the probe contract), and a fresh
+        O(n) allocation every round costs more in allocator churn than
+        the add itself at large ``n``.
+        """
+        delta = self._injector.delta(self.round, self._loads)
+        delta = validate_delta(
+            delta, self._loads, self._injector.name, self.round
+        )
+        np.add(self._loads, delta, out=self._loads)
+        self.total_tokens += int(delta.sum())
+
     def step(self) -> np.ndarray:
         """Execute one synchronous round; returns the new load vector."""
+        if self._injector is not None:
+            self._apply_injection()
         if self.engine == "structured":
             return self._step_structured()
         graph = self.graph
@@ -383,14 +416,20 @@ class Simulator:
 
     def record(self, replica: int = 0) -> RunRecord:
         """Columnar record of the run so far (engine facts + probes)."""
+        engine_summary = {
+            "initial_discrepancy": discrepancy(self.initial_loads),
+            "final_discrepancy": discrepancy(self._loads),
+        }
+        if self._injector is not None:
+            engine_summary["tokens_injected"] = self.total_tokens - int(
+                self.initial_loads.sum()
+            )
+            engine_summary.update(self._injector.summary())
         return build_record(
             replica=replica,
             rounds_executed=self.round - 1,
             stopped_early=False,
-            engine_summary={
-                "initial_discrepancy": discrepancy(self.initial_loads),
-                "final_discrepancy": discrepancy(self._loads),
-            },
+            engine_summary=engine_summary,
             discrepancy_history=(
                 self.discrepancy_history if self.record_history else None
             ),
@@ -425,6 +464,7 @@ def simulate(
     *,
     monitors: Iterable = (),
     probes: Iterable = (),
+    dynamics=None,
     record_history: bool = True,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
@@ -434,6 +474,7 @@ def simulate(
         initial_loads,
         monitors=monitors,
         probes=probes,
+        dynamics=dynamics,
         record_history=record_history,
     )
     return simulator.run(rounds)

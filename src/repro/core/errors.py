@@ -26,5 +26,15 @@ class ConservationError(SimulationError):
     """Raised when a round does not conserve the total number of tokens."""
 
 
+class InvalidInjection(SimulationError):
+    """Raised when a dynamic-workload injector breaks its contract.
+
+    Injector deltas must be integer vectors of the loads' shape and may
+    never drain a node below zero (departures are clipped by well-behaved
+    injectors such as ``random_churn``; a scripted stream that overdraws
+    is a bug in the stream).
+    """
+
+
 class BindingError(SimulationError):
     """Raised when a balancer is bound to an incompatible graph."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.errors import InvalidLoadVector
+from repro.core.errors import InvalidInjection, InvalidLoadVector
 from repro.registry import Registry
 
 #: Named initial-load distributions available to scenario specs.
@@ -87,6 +87,42 @@ def validate_load_matrix(
             f"replica {replica}: loads must be nonnegative"
         )
     return loads
+
+
+def validate_delta(
+    delta: np.ndarray, loads: np.ndarray, name: str, t: int
+) -> np.ndarray:
+    """Check a dynamic-workload delta against the injector contract.
+
+    The engines apply injector deltas at the beginning of every round
+    (see :mod:`repro.dynamics.injectors`); this is the corresponding
+    engine-side validator, the delta sibling of :func:`validate_loads`:
+    the delta must be an integer vector of the loads' shape and may
+    never drain a node below zero.  Returns the delta as ``int64``.
+    """
+    delta = np.asarray(delta)
+    if delta.shape != loads.shape:
+        raise InvalidInjection(
+            f"round {t}: injector {name!r} emitted shape {delta.shape}, "
+            f"expected {loads.shape}"
+        )
+    if not np.issubdtype(delta.dtype, np.integer):
+        raise InvalidInjection(
+            f"round {t}: injector {name!r} emitted dtype {delta.dtype}; "
+            "deltas must be integer (tokens are indivisible)"
+        )
+    delta = delta.astype(np.int64, copy=False)
+    # Overdraw is only possible when some entry is negative; skipping
+    # the temporary ``loads + delta`` otherwise keeps arrival-only
+    # injection allocation-free on the hot path.
+    if delta.size and delta.min() < 0 and (loads + delta).min() < 0:
+        node = int(np.argmin(loads + delta))
+        raise InvalidInjection(
+            f"round {t}: injector {name!r} drained node {node} below "
+            f"zero ({int(loads[node])} tokens held, "
+            f"{int(-delta[node])} removed)"
+        )
+    return delta
 
 
 @register_load_spec("point_mass")

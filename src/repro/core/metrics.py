@@ -100,6 +100,23 @@ def time_to_discrepancy(
     return None
 
 
+def steady_state_discrepancy(
+    history: list[int | float] | np.ndarray, window: int = 50
+) -> float:
+    """Mean discrepancy over the last ``window`` recorded rounds.
+
+    The headline statistic for *dynamic* workloads: under sustained
+    injection the discrepancy does not converge to a plateau value but
+    fluctuates around a steady state set by the arrival rate; the tail
+    mean is that steady state (:func:`final_plateau` reports the tail
+    *maximum* — the pessimistic variant).
+    """
+    if len(history) == 0:
+        raise ValueError("history is empty")
+    tail = np.asarray(history[-window:], dtype=np.float64)
+    return float(tail.mean())
+
+
 def final_plateau(
     history: list[int | float] | np.ndarray, window: int = 16
 ) -> int | float:

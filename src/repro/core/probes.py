@@ -36,7 +36,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.registry import Registry
+from repro.registry import Registry, freeze_params, parse_spec_shorthand
 
 #: Capability constants — what a probe consumes each round.
 LOADS = "loads"
@@ -186,16 +186,6 @@ def loads_only(probes: Iterable[Probe]) -> bool:
     return all(probe.needs == LOADS for probe in probes)
 
 
-def _freeze(value):
-    if isinstance(value, dict):
-        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
-    if isinstance(value, (list, tuple)):
-        return tuple(_freeze(v) for v in value)
-    if isinstance(value, set):
-        return frozenset(_freeze(v) for v in value)
-    return value
-
-
 @dataclass(frozen=True)
 class ProbeSpec:
     """A registered probe by name plus construction parameters.
@@ -210,7 +200,7 @@ class ProbeSpec:
     params: dict = field(default_factory=dict)
 
     def __hash__(self) -> int:
-        return hash((self.name, _freeze(self.params)))
+        return hash((self.name, freeze_params(self.params)))
 
     def build(self) -> Probe:
         probe = PROBES.create(self.name, **self.params)
@@ -231,17 +221,7 @@ class ProbeSpec:
     @classmethod
     def parse(cls, text: str) -> "ProbeSpec":
         """Parse CLI shorthand: ``name`` or ``name:{json params}``."""
-        import json
-
-        if ":" in text:
-            name, _, raw = text.partition(":")
-            params = json.loads(raw)
-            if not isinstance(params, dict):
-                raise ValueError(
-                    f"probe params must be a JSON object, got {raw!r}"
-                )
-            return cls(name, params)
-        return cls(text)
+        return cls(*parse_spec_shorthand(text, "probe"))
 
 
 def build_probes(

@@ -1,0 +1,39 @@
+"""Dynamic workloads: per-round load injection and churn.
+
+The static model balances a fixed vector; this package adds the
+*dynamic* workload class — an :class:`Injector` emits an integer delta
+at the beginning of every round (arrivals positive, departures
+negative) and the engines apply it before the balancing step.  See
+:mod:`repro.dynamics.injectors` for the round semantics and the
+built-in injectors (``constant_rate``, ``batch_arrivals``,
+``adversarial_peak``, ``random_churn``, ``scripted``) and
+:mod:`repro.dynamics.spec` for the declarative
+:class:`DynamicsSpec` used by scenario JSON and the CLI.
+"""
+
+from repro.dynamics.injectors import (
+    INJECTORS,
+    AdversarialPeak,
+    BatchArrivals,
+    ConstantRate,
+    Injector,
+    RandomChurn,
+    Scripted,
+    register_injector,
+    validate_delta,
+)
+from repro.dynamics.spec import DynamicsSpec, as_injector
+
+__all__ = [
+    "Injector",
+    "INJECTORS",
+    "register_injector",
+    "validate_delta",
+    "ConstantRate",
+    "BatchArrivals",
+    "AdversarialPeak",
+    "RandomChurn",
+    "Scripted",
+    "DynamicsSpec",
+    "as_injector",
+]

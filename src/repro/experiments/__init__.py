@@ -7,6 +7,10 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.deviation import DeviationConfig, run_deviation
+from repro.experiments.dynamic_steady_state import (
+    DynamicSteadyStateConfig,
+    run_dynamic_steady_state,
+)
 from repro.experiments.figures import TrajectoryConfig, run_trajectories
 from repro.experiments.lower_bounds import (
     LowerBoundConfig,
@@ -51,6 +55,8 @@ __all__ = [
     "run_engine_throughput",
     "DeviationConfig",
     "run_deviation",
+    "DynamicSteadyStateConfig",
+    "run_dynamic_steady_state",
     "TrajectoryConfig",
     "run_trajectories",
 ]

@@ -22,6 +22,10 @@ from repro.experiments.lower_bounds import (
     run_steady_state,
 )
 from repro.experiments.deviation import DeviationConfig, run_deviation
+from repro.experiments.dynamic_steady_state import (
+    DynamicSteadyStateConfig,
+    run_dynamic_steady_state,
+)
 from repro.experiments.figures import TrajectoryConfig, run_trajectories
 from repro.experiments.table1 import Table1Config, run_table1
 from repro.experiments.theorem23 import (
@@ -49,6 +53,9 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "E12": lambda: run_potential_monotonicity(Theorem33Config()),
     "E13": lambda: run_engine_throughput(n=256, rounds=100),
     "E14": lambda: run_deviation(DeviationConfig(n=64, rounds=150)),
+    "E15": lambda: run_dynamic_steady_state(
+        DynamicSteadyStateConfig(n=32, rounds=120, tail_window=30)
+    ),
     "F1": lambda: run_trajectories(TrajectoryConfig(n=64, degree=6)),
 }
 
@@ -63,6 +70,9 @@ FULL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     ),
     "E13": lambda: run_engine_throughput(n=1024, rounds=200),
     "E14": lambda: run_deviation(DeviationConfig()),
+    "E15": lambda: run_dynamic_steady_state(
+        DynamicSteadyStateConfig(n=256, rounds=400, tail_window=100)
+    ),
     "F1": lambda: run_trajectories(TrajectoryConfig()),
 }
 

@@ -26,6 +26,46 @@ from typing import Callable, Iterator, TypeVar
 F = TypeVar("F", bound=Callable)
 
 
+def freeze_params(value):
+    """Recursively convert a params tree into something hashable.
+
+    The shared hashing helper behind every ``(name, params)`` spec
+    (:class:`~repro.scenarios.spec.GraphSpec` / ``LoadSpec``,
+    :class:`~repro.core.probes.ProbeSpec`,
+    :class:`~repro.dynamics.spec.DynamicsSpec`): dicts become sorted
+    key/value tuples, sequences become tuples, sets become frozensets.
+    """
+    if isinstance(value, dict):
+        return tuple(
+            sorted((k, freeze_params(v)) for k, v in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_params(v) for v in value)
+    if isinstance(value, set):
+        return frozenset(freeze_params(v) for v in value)
+    return value
+
+
+def parse_spec_shorthand(text: str, kind: str) -> tuple[str, dict]:
+    """Parse the CLI spec shorthand ``name`` or ``name:{json params}``.
+
+    The shared grammar behind ``--probe`` and ``--inject``: everything
+    after the first ``:`` is a JSON object of constructor params.
+    Returns ``(name, params)``.
+    """
+    import json
+
+    if ":" not in text:
+        return text, {}
+    name, _, raw = text.partition(":")
+    params = json.loads(raw)
+    if not isinstance(params, dict):
+        raise ValueError(
+            f"{kind} params must be a JSON object, got {raw!r}"
+        )
+    return name, params
+
+
 class RegistryError(Exception):
     """Base class for registry failures."""
 

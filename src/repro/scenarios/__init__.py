@@ -9,6 +9,7 @@ See :mod:`repro.scenarios.spec` for the data model and
 
 from repro.core.probes import ProbeSpec
 from repro.core.trace import RunRecord, SamplingSchedule, Trace
+from repro.dynamics.spec import DynamicsSpec
 from repro.scenarios.batch import BatchResult, BatchRunner
 from repro.scenarios.spec import (
     STOP_KINDS,
@@ -28,6 +29,7 @@ __all__ = [
     "StopRule",
     "STOP_KINDS",
     "ProbeSpec",
+    "DynamicsSpec",
     "SamplingSchedule",
     "Trace",
     "RunRecord",

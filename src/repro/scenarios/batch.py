@@ -37,7 +37,7 @@ from repro.core.errors import (
     InvalidSendMatrix,
     NegativeLoadError,
 )
-from repro.core.loads import validate_load_matrix
+from repro.core.loads import validate_delta, validate_load_matrix
 from repro.core.probes import Probe, build_probes, loads_only
 from repro.core.trace import RunRecord, build_record
 from repro.graphs.balancing import BalancingGraph
@@ -108,6 +108,14 @@ class BatchRunner:
             instances).  Loads-only is the price of staying on the
             stacked vectorized path; sends-consuming probes need the
             looped :class:`~repro.core.engine.Simulator`.
+        dynamics: optional dynamic workload.  A
+            :class:`~repro.dynamics.spec.DynamicsSpec` builds one fresh
+            injector per replica (seeded specs offset ``seed + r``, so
+            replica ``r``'s event stream is independent of the batch
+            size); alternatively a sequence of ``replicas`` ready
+            :class:`~repro.dynamics.injectors.Injector` instances.
+            Deltas apply at the beginning of each round, before the
+            balancing step, exactly as in the looped engine.
         record_history: keep per-replica discrepancy trajectories.
         validate_every_round: structural validation of each batch of
             sends matrices or compact rounds (vectorized; cheap).
@@ -122,6 +130,7 @@ class BatchRunner:
         initial_loads: np.ndarray,
         *,
         probes: Sequence[Sequence] | None = None,
+        dynamics=None,
         record_history: bool = True,
         validate_every_round: bool = True,
         engine: str = "auto",
@@ -185,6 +194,10 @@ class BatchRunner:
         self._active = np.ones(replicas, dtype=bool)
         self._rounds_executed = np.zeros(replicas, dtype=np.int64)
         self._stopped_early = np.zeros(replicas, dtype=bool)
+        self._injectors = self._build_injectors(dynamics, replicas)
+        if self._injectors is not None:
+            for replica, injector in enumerate(self._injectors):
+                injector.start(graph, self.initial_loads[replica])
         self.histories: list[list[int]] = (
             [
                 [int(row.max() - row.min())]
@@ -231,6 +244,51 @@ class BatchRunner:
     def _balancer_for(self, replica: int) -> Balancer:
         return self.balancers[0 if len(self.balancers) == 1 else replica]
 
+    @staticmethod
+    def _build_injectors(dynamics, replicas: int):
+        """One fresh injector per replica (or None for static runs)."""
+        if dynamics is None:
+            return None
+        from repro.dynamics.injectors import Injector
+        from repro.dynamics.spec import DynamicsSpec
+
+        if isinstance(dynamics, DynamicsSpec):
+            return [dynamics.build(replica) for replica in range(replicas)]
+        if isinstance(dynamics, Injector):
+            if replicas != 1:
+                raise ValueError(
+                    "a single Injector instance cannot be shared across "
+                    f"{replicas} replicas (its state would be corrupted); "
+                    "pass a DynamicsSpec or one instance per replica"
+                )
+            return [dynamics]
+        injectors = list(dynamics)
+        if len(injectors) != replicas:
+            raise ValueError(
+                f"got {len(injectors)} injectors for {replicas} replicas"
+            )
+        return injectors
+
+    def _apply_injection(self) -> None:
+        """Apply this round's load events to every active replica.
+
+        Mirrors the looped engine exactly: each replica's own injector
+        sees its own row (frozen ``run_until`` replicas stop receiving
+        events, just as a stopped Simulator stops stepping), and the
+        per-replica token total shifts by the delta sum.
+        """
+        for replica in np.flatnonzero(self._active).tolist():
+            injector = self._injectors[replica]
+            row = self._loads[replica]
+            delta = validate_delta(
+                injector.delta(self.round, row),
+                row,
+                injector.name,
+                self.round,
+            )
+            row += delta  # in place: the runner owns the load stack
+            self.totals[replica] += int(delta.sum())
+
     @property
     def _incoming_flat(self) -> np.ndarray:
         # Flat incoming-gather index for the dense engine: token
@@ -248,6 +306,8 @@ class BatchRunner:
 
     def step(self) -> np.ndarray:
         """Execute one synchronous round for every active replica."""
+        if self._injectors is not None:
+            self._apply_injection()
         all_active = bool(self._active.all())
         if all_active:
             # Fast path: no index gathers/scatters on the load stack.
@@ -407,6 +467,8 @@ class BatchRunner:
         discrepancy_rows: list[np.ndarray] = []
         loads = self._loads
         for _ in range(rounds):
+            if self._injectors is not None:
+                loads = self._inject_stack(loads)
             if structured:
                 compact = balancer.sends_structured(loads, self.round)
                 if validate:
@@ -461,6 +523,26 @@ class BatchRunner:
             tails = np.stack(discrepancy_rows, axis=1).tolist()
             for history, tail in zip(self.histories, tails):
                 history.extend(tail)
+
+    def _inject_stack(self, loads: np.ndarray) -> np.ndarray:
+        """Injection for the tight fixed-round loop (all replicas active).
+
+        In place, row by row: each replica's injector sees exactly its
+        own row, and no per-round ``(replicas, n)`` scratch array is
+        allocated (allocator churn would dominate the vector add).
+        """
+        for replica in range(self.num_replicas):
+            injector = self._injectors[replica]
+            row = loads[replica]
+            delta = validate_delta(
+                injector.delta(self.round, row),
+                row,
+                injector.name,
+                self.round,
+            )
+            row += delta
+            self.totals[replica] += int(delta.sum())
+        return loads
 
     def run_until(
         self,
@@ -531,22 +613,32 @@ class BatchRunner:
                 "forward along edges"
             )
 
+    def _engine_summary(self, replica: int) -> dict:
+        summary = {
+            "initial_discrepancy": int(
+                self.initial_loads[replica].max()
+                - self.initial_loads[replica].min()
+            ),
+            "final_discrepancy": int(
+                self._loads[replica].max()
+                - self._loads[replica].min()
+            ),
+        }
+        if self._injectors is not None:
+            summary["tokens_injected"] = int(
+                self.totals[replica]
+                - self.initial_loads[replica].sum()
+            )
+            summary.update(self._injectors[replica].summary())
+        return summary
+
     def _result(self) -> BatchResult:
         records = [
             build_record(
                 replica=replica,
                 rounds_executed=int(self._rounds_executed[replica]),
                 stopped_early=bool(self._stopped_early[replica]),
-                engine_summary={
-                    "initial_discrepancy": int(
-                        self.initial_loads[replica].max()
-                        - self.initial_loads[replica].min()
-                    ),
-                    "final_discrepancy": int(
-                        self._loads[replica].max()
-                        - self._loads[replica].min()
-                    ),
-                },
+                engine_summary=self._engine_summary(replica),
                 discrepancy_history=(
                     self.histories[replica] if self.histories else None
                 ),

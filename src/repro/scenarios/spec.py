@@ -50,22 +50,13 @@ from repro.core.metrics import (
 from repro.core.monitors import LoadBoundsMonitor, Monitor
 from repro.core.probes import Probe, ProbeSpec, build_probes, loads_only
 from repro.core.trace import RunRecord
+from repro.dynamics.spec import DynamicsSpec, as_injector
 from repro.graphs import families
 from repro.graphs.balancing import BalancingGraph
+from repro.registry import freeze_params as _freeze
 from repro.scenarios.batch import BatchRunner
 
 STOP_KINDS = ("rounds", "target_discrepancy", "converged")
-
-
-def _freeze(value):
-    """Recursively convert ``value`` into something hashable."""
-    if isinstance(value, dict):
-        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
-    if isinstance(value, (list, tuple)):
-        return tuple(_freeze(v) for v in value)
-    if isinstance(value, set):
-        return frozenset(_freeze(v) for v in value)
-    return value
 
 
 @dataclass(frozen=True)
@@ -371,6 +362,13 @@ class Scenario:
             Loads-only probes keep multi-replica scenarios on the
             vectorized batch executor and the structured engine;
             sends-consuming probes fall back to the looped executor.
+        dynamics: optional dynamic workload — a
+            :class:`~repro.dynamics.spec.DynamicsSpec` (serializes with
+            the scenario; replica ``r`` gets a fresh injector built
+            with ``seed + r``) or, for single-replica programmatic use,
+            a ready :class:`~repro.dynamics.injectors.Injector`.
+            Injection is a vector add, so dynamic scenarios keep every
+            fast path (structured engine, batch executor).
         monitors: legacy per-replica monitor *factories*.  Monitors
             force the looped executor and the dense engine and are not
             serialized — prefer ``probes``.
@@ -385,6 +383,7 @@ class Scenario:
     stop: StopRule
     replicas: int = 1
     probes: tuple = ()
+    dynamics: DynamicsSpec | None = None
     monitors: tuple[Callable[[], Monitor], ...] = ()
     record_history: bool = True
     validate_every_round: bool = True
@@ -393,6 +392,16 @@ class Scenario:
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if (
+            self.dynamics is not None
+            and not isinstance(self.dynamics, DynamicsSpec)
+            and self.replicas > 1
+        ):
+            raise ValueError(
+                "multi-replica scenarios need fresh injectors per "
+                "replica; pass a DynamicsSpec instead of an instance "
+                f"({type(self.dynamics).__name__})"
+            )
         if self.replicas > 1:
             # Anything that is not a spec or a factory is a ready
             # instance (Probe or duck-typed legacy observer) whose
@@ -421,7 +430,10 @@ class Scenario:
             if isinstance(self.graph, BalancingGraph)
             else self.graph.family
         )
-        return f"{self.algorithm.name} @ {graph} / {self.loads.name}"
+        label = f"{self.algorithm.name} @ {graph} / {self.loads.name}"
+        if self.dynamics is not None:
+            label += f" + {self.dynamics.name}"
+        return label
 
     def build_graph(self) -> BalancingGraph:
         if isinstance(self.graph, BalancingGraph):
@@ -459,6 +471,14 @@ class Scenario:
                 "probe factories/instances cannot be serialized; use "
                 "registered ProbeSpecs (repro.core.probes.register_probe)"
             )
+        if self.dynamics is not None and not isinstance(
+            self.dynamics, DynamicsSpec
+        ):
+            raise ValueError(
+                "injector instances cannot be serialized; use a "
+                "registered DynamicsSpec "
+                "(repro.dynamics.register_injector)"
+            )
         data = {
             "graph": self.graph.to_dict(),
             "algorithm": self.algorithm.to_dict(),
@@ -471,6 +491,8 @@ class Scenario:
         }
         if self.probes:
             data["probes"] = [spec.to_dict() for spec in self.probes]
+        if self.dynamics is not None:
+            data["dynamics"] = self.dynamics.to_dict()
         return data
 
     @classmethod
@@ -484,6 +506,11 @@ class Scenario:
             probes=tuple(
                 ProbeSpec.from_dict(entry)
                 for entry in data.get("probes", [])
+            ),
+            dynamics=(
+                DynamicsSpec.from_dict(data["dynamics"])
+                if data.get("dynamics") is not None
+                else None
             ),
             record_history=bool(data.get("record_history", True)),
             validate_every_round=bool(
@@ -552,6 +579,7 @@ class Scenario:
                 self.build_loads(graph, replica),
                 monitors=monitors,
                 probes=probe_set,
+                dynamics=as_injector(self.dynamics, replica),
                 record_history=self.record_history,
                 validate_every_round=self.validate_every_round,
             )
@@ -605,6 +633,7 @@ class Scenario:
             balancers,
             initial,
             probes=probe_sets,
+            dynamics=self.dynamics,
             record_history=self.record_history,
             validate_every_round=self.validate_every_round,
         )
@@ -665,6 +694,7 @@ class ScenarioSuite:
         stop: StopRule | Sequence[StopRule],
         replicas: int = 1,
         probes: tuple = (),
+        dynamics: DynamicsSpec | None = None,
         monitors: tuple[Callable[[], Monitor], ...] = (),
         record_history: bool = True,
         validate_every_round: bool = True,
@@ -683,6 +713,7 @@ class ScenarioSuite:
                 stop=stop_rule,
                 replicas=replicas,
                 probes=probes,
+                dynamics=dynamics,
                 monitors=monitors,
                 record_history=record_history,
                 validate_every_round=validate_every_round,

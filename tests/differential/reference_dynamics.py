@@ -1,0 +1,89 @@
+"""A deliberately naive reference implementation of *injected* rounds.
+
+The production engines apply dynamics as a vectorized delta add feeding
+dense, structured, and batched execution paths.  This module is the
+differential-testing anchor for all of them: one injected round is
+executed with per-node Python loops and explicit phase ordering —
+
+1. the adversary moves first: the injector's delta is added node by
+   node (asserting no node is drained below zero);
+2. the balancer's sends are applied one port at a time, exactly as in
+   :class:`repro.core.reference.ReferenceSimulator`;
+3. the balancing phase is asserted to conserve tokens (only phase 1 may
+   change the total).
+
+Nothing here is clever, which is the point: correctness is obvious by
+inspection, so any divergence from the fast engines is a fast-engine
+bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.balancer import Balancer
+from repro.core.errors import NegativeLoadError
+from repro.graphs.balancing import BalancingGraph
+
+
+class ReferenceDynamicSimulator:
+    """Slow, obviously-correct dynamic-round execution (tests only)."""
+
+    def __init__(
+        self,
+        graph: BalancingGraph,
+        balancer: Balancer,
+        initial_loads: np.ndarray,
+        injector=None,
+    ) -> None:
+        self.graph = graph
+        self.balancer = balancer.bind(graph)
+        self.injector = injector
+        self.loads = [int(v) for v in initial_loads]
+        self.round = 1
+        if injector is not None:
+            injector.start(
+                graph, np.asarray(initial_loads, dtype=np.int64)
+            )
+
+    def step(self) -> list[int]:
+        graph = self.graph
+        # Phase 1: the adversary moves first.
+        if self.injector is not None:
+            delta = self.injector.delta(
+                self.round, np.array(self.loads, dtype=np.int64)
+            )
+            for node in range(graph.num_nodes):
+                self.loads[node] += int(delta[node])
+                assert self.loads[node] >= 0, (
+                    f"injector drained node {node} below zero in the "
+                    "reference engine"
+                )
+        total_before_balancing = sum(self.loads)
+        # Phase 2: balancing, one token movement at a time.
+        loads_array = np.array(self.loads, dtype=np.int64)
+        sends = self.balancer.sends(loads_array, self.round)
+        new_loads = [0] * graph.num_nodes
+        for node in range(graph.num_nodes):
+            outgoing = int(sends[node].sum())
+            remainder = self.loads[node] - outgoing
+            if remainder < 0 and not self.balancer.allows_negative:
+                raise NegativeLoadError(
+                    f"node {node} overdrew in reference engine"
+                )
+            new_loads[node] += remainder
+        for node in range(graph.num_nodes):
+            for port in range(graph.total_degree):
+                target = graph.port_target(node, port)
+                new_loads[target] += int(sends[node, port])
+        assert sum(new_loads) == total_before_balancing, (
+            "balancing phase must conserve tokens"
+        )
+        self.loads = new_loads
+        self.round += 1
+        return new_loads
+
+    def run(self, rounds: int) -> list[int]:
+        for _ in range(rounds):
+            self.step()
+        return self.loads

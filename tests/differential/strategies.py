@@ -1,0 +1,92 @@
+"""Hypothesis strategies for dynamic-workload event streams.
+
+Graph and load strategies live in ``tests.helpers``; this module adds
+the dynamics axis: random scripted event streams and random
+:class:`~repro.dynamics.DynamicsSpec`\\ s over every registered
+injector.  Specs are generated (rather than raw injector instances) so
+each drawn case also exercises the registry construction path the
+scenario layer uses.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.dynamics import DynamicsSpec
+
+
+@st.composite
+def event_streams(draw, n: int, max_rounds: int, max_amount: int = 40):
+    """Scripted ``[round, node, amount]`` arrival events.
+
+    Generated streams are arrival-only (nonnegative amounts): a random
+    departure is usually an overdraw, which the engine correctly
+    rejects — targeted departure cases are written deterministically in
+    the suites instead.
+    """
+    count = draw(st.integers(0, 12))
+    return [
+        [
+            draw(st.integers(1, max_rounds)),
+            draw(st.integers(0, n - 1)),
+            draw(st.integers(0, max_amount)),
+        ]
+        for _ in range(count)
+    ]
+
+
+@st.composite
+def dynamics_specs(draw, n: int, max_rounds: int):
+    """A random spec over every registered built-in injector."""
+    kind = draw(
+        st.sampled_from(
+            [
+                "constant_rate",
+                "batch_arrivals",
+                "adversarial_peak",
+                "random_churn",
+                "scripted",
+            ]
+        )
+    )
+    seed = draw(st.integers(0, 1000))
+    if kind == "constant_rate":
+        return DynamicsSpec(
+            kind,
+            {
+                "rate": draw(st.integers(0, 20)),
+                "placement": draw(
+                    st.sampled_from(["random", "round_robin"])
+                ),
+                "seed": seed,
+            },
+        )
+    if kind == "batch_arrivals":
+        params = {
+            "tokens": draw(st.integers(0, 60)),
+            "period": draw(st.integers(1, 7)),
+            "seed": seed,
+        }
+        if draw(st.booleans()):
+            params["node"] = draw(st.integers(0, n - 1))
+        return DynamicsSpec(kind, params)
+    if kind == "adversarial_peak":
+        return DynamicsSpec(
+            kind,
+            {
+                "rate": draw(st.integers(0, 20)),
+                "period": draw(st.integers(1, 3)),
+            },
+        )
+    if kind == "random_churn":
+        return DynamicsSpec(
+            kind,
+            {
+                "rate": draw(st.integers(0, 30)),
+                "refill": draw(st.booleans()),
+                "seed": seed,
+            },
+        )
+    return DynamicsSpec(
+        "scripted", {"events": draw(event_streams(n, max_rounds))}
+    )

@@ -260,3 +260,97 @@ class TestSimulateProbes:
     def test_missing_algorithm_errors(self):
         with pytest.raises(SystemExit, match="algorithm"):
             main(["simulate"])
+
+
+class TestSimulateDynamics:
+    def test_inject_by_name_with_params(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "send_floor",
+                "--family",
+                "cycle",
+                "--n",
+                "12",
+                "--rounds",
+                "30",
+                "--inject",
+                'constant_rate:{"rate": 4, "seed": 2}',
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dynamics:   constant_rate" in out
+        assert "tokens_injected: 120" in out
+
+    def test_inject_composes_with_probes_and_replicas(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "send_floor",
+                "--family",
+                "torus",
+                "--n",
+                "16",
+                "--rounds",
+                "20",
+                "--replicas",
+                "3",
+                "--probe",
+                "load_bounds",
+                "--inject",
+                'random_churn:{"rate": 8, "seed": 1}',
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(batch executor)" in out
+        assert "tokens_departed" in out
+        assert "min_load" in out
+
+    def test_list_injectors(self, capsys):
+        code = main(["simulate", "--list-injectors"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in (
+            "constant_rate",
+            "batch_arrivals",
+            "adversarial_peak",
+            "random_churn",
+            "scripted",
+        ):
+            assert name in out
+
+    def test_scenario_file_with_dynamics(self, tmp_path, capsys):
+        import json
+
+        from repro.scenarios import (
+            AlgorithmSpec,
+            DynamicsSpec,
+            GraphSpec,
+            LoadSpec,
+            Scenario,
+            StopRule,
+        )
+
+        scenario = Scenario(
+            graph=GraphSpec("cycle", {"n": 12}),
+            algorithm=AlgorithmSpec("send_floor"),
+            loads=LoadSpec("point_mass", {"tokens": 120}),
+            stop=StopRule.fixed(25),
+            replicas=2,
+            dynamics=DynamicsSpec(
+                "batch_arrivals",
+                {"tokens": 10, "period": 5, "seed": 1},
+            ),
+        )
+        path = tmp_path / "dynamic.json"
+        path.write_text(json.dumps(scenario.to_dict()))
+        out_path = tmp_path / "rows.json"
+        assert (
+            main(["scenario", str(path), "--json", str(out_path)]) == 0
+        )
+        rows = json.loads(out_path.read_text())
+        assert len(rows) == 2
+        assert all(row["tokens_injected"] == 50 for row in rows)
+        assert "batch_arrivals" in capsys.readouterr().out

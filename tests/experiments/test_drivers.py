@@ -8,7 +8,9 @@ respected).
 
 import pytest
 
-from repro.experiments import (
+pytestmark = pytest.mark.slow
+
+from repro.experiments import (  # noqa: E402
     AblationConfig,
     LowerBoundConfig,
     Table1Config,
@@ -165,3 +167,65 @@ class TestAblations:
         assert len(result.rows) >= 5
         for row in result.rows:
             assert row["rounds_per_sec"] > 0
+
+
+class TestDynamicSteadyState:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import (
+            DynamicSteadyStateConfig,
+            run_dynamic_steady_state,
+        )
+
+        return run_dynamic_steady_state(
+            DynamicSteadyStateConfig(
+                n=16,
+                rounds=80,
+                tail_window=20,
+                rates=(0, 4, 16),
+                replicas=2,
+            )
+        )
+
+    def test_covers_four_families_and_all_rates(self, result):
+        families = {row["family"] for row in result.rows}
+        assert families == {
+            "cycle",
+            "torus",
+            "hypercube",
+            "random_regular",
+        }
+        assert {row["rate"] for row in result.rows} == {0, 4, 16}
+
+    def test_static_baseline_injects_nothing(self, result):
+        for row in result.rows:
+            if row["rate"] == 0:
+                assert row["injector"] == "static"
+                assert row["tokens_injected_mean"] == 0
+            else:
+                assert row["tokens_injected_mean"] == row["rate"] * 80
+
+    def test_steady_state_grows_with_adversarial_rate(self, result):
+        for family in ("cycle", "torus"):
+            rows = {
+                row["rate"]: row["steady_state"]
+                for row in result.rows
+                if row["family"] == family
+                and row["algorithm"] == "send_floor"
+                and row["injector"] in ("static", "adversarial_peak")
+            }
+            assert rows[16] > rows[4] > rows[0]
+
+    def test_adversary_no_easier_than_random_arrivals(self, result):
+        for row in result.rows:
+            if row["injector"] != "adversarial_peak" or row["rate"] < 16:
+                continue
+            twin = next(
+                r
+                for r in result.rows
+                if r["family"] == row["family"]
+                and r["algorithm"] == row["algorithm"]
+                and r["injector"] == "constant_rate"
+                and r["rate"] == row["rate"]
+            )
+            assert row["steady_state"] >= twin["steady_state"]

@@ -6,6 +6,8 @@ and a sane final discrepancy for all (algorithm × graph) pairs.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.algorithms.registry import all_names, make
 from repro.core.engine import Simulator
 from repro.core.loads import point_mass

@@ -20,7 +20,7 @@ from repro.algorithms import (
 from repro.core.engine import Simulator
 from repro.core.monitors import LoadBoundsMonitor
 
-from tests.property.strategies import balancing_graphs, load_vectors
+from tests.helpers import balancing_graphs, load_vectors
 
 
 COMMON_SETTINGS = dict(

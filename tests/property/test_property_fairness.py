@@ -15,8 +15,7 @@ from repro.algorithms import (
     effective_self_preference,
 )
 
-from tests.helpers import run_monitored
-from tests.property.strategies import balancing_graphs, load_vectors
+from tests.helpers import balancing_graphs, load_vectors, run_monitored
 
 
 COMMON_SETTINGS = dict(

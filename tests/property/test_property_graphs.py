@@ -5,7 +5,7 @@ from hypothesis import HealthCheck, given, settings
 
 from repro.graphs.spectral import eigenvalue_gap, eigenvalues
 
-from tests.property.strategies import balancing_graphs
+from tests.helpers import balancing_graphs
 
 
 COMMON_SETTINGS = dict(

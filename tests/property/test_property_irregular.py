@@ -14,8 +14,7 @@ from repro.core.engine import Simulator
 from repro.core.reference import ReferenceSimulator
 from repro.graphs.irregular import from_irregular_edges
 
-from tests.helpers import run_monitored
-from tests.property.strategies import load_vectors
+from tests.helpers import load_vectors, run_monitored
 
 
 COMMON_SETTINGS = dict(

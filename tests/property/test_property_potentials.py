@@ -8,7 +8,7 @@ from repro.algorithms import RotorRouterStar
 from repro.core.engine import Simulator
 from repro.core.potentials import PotentialMonitor, phi, phi_prime
 
-from tests.property.strategies import balancing_graphs, load_vectors
+from tests.helpers import balancing_graphs, load_vectors
 
 
 COMMON_SETTINGS = dict(

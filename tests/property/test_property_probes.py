@@ -25,7 +25,7 @@ from repro.core.monitors import (
 from repro.core.potentials import PotentialMonitor
 from repro.graphs import families
 from repro.scenarios.batch import BatchRunner
-from tests.property.strategies import balancing_graphs, load_vectors
+from tests.helpers import balancing_graphs, load_vectors
 
 STRUCTURED_ALGORITHMS = ["send_floor", "send_rounded", "rotor_router"]
 

@@ -19,7 +19,7 @@ from repro.algorithms import (
 from repro.core.engine import Simulator
 from repro.core.reference import ReferenceSimulator
 
-from tests.property.strategies import balancing_graphs, load_vectors
+from tests.helpers import balancing_graphs, load_vectors
 
 
 COMMON_SETTINGS = dict(

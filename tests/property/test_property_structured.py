@@ -16,7 +16,7 @@ from repro.algorithms.registry import make
 from repro.core.engine import Simulator
 from repro.graphs import families
 from repro.scenarios.batch import BatchRunner
-from tests.property.strategies import balancing_graphs, load_vectors
+from tests.helpers import balancing_graphs, load_vectors
 
 STRUCTURED_ALGORITHMS = ["send_floor", "send_rounded", "rotor_router"]
 

@@ -67,6 +67,57 @@ class TestRoundTrip:
         with pytest.raises(ValueError, match="monitor"):
             scenario.to_dict()
 
+    def test_dynamics_round_trip(self):
+        from repro.scenarios import DynamicsSpec
+
+        scenario = make_scenario(
+            dynamics=DynamicsSpec(
+                "random_churn", {"rate": 6, "seed": 3}
+            )
+        )
+        data = json.loads(json.dumps(scenario.to_dict()))
+        restored = Scenario.from_dict(data)
+        assert restored == scenario
+        assert restored.dynamics.params == {"rate": 6, "seed": 3}
+        # ... and the restored scenario actually injects.
+        outcome = restored.run()
+        assert (
+            "tokens_departed"
+            in outcome.record(0).summary
+        )
+
+    def test_static_scenario_dict_has_no_dynamics_key(self):
+        assert "dynamics" not in make_scenario().to_dict()
+
+    def test_injector_instance_not_serializable(self):
+        from repro.dynamics import AdversarialPeak
+
+        scenario = make_scenario(
+            replicas=1, dynamics=AdversarialPeak(rate=2)
+        )
+        with pytest.raises(ValueError, match="injector instances"):
+            scenario.to_dict()
+
+    def test_injector_instance_rejected_for_multi_replica(self):
+        from repro.dynamics import AdversarialPeak
+
+        with pytest.raises(ValueError, match="fresh injectors"):
+            make_scenario(replicas=2, dynamics=AdversarialPeak(rate=2))
+
+    def test_cartesian_carries_dynamics(self):
+        from repro.scenarios import DynamicsSpec
+
+        suite = ScenarioSuite.cartesian(
+            graphs=GraphSpec("cycle", {"n": 12}),
+            algorithms=AlgorithmSpec("send_floor"),
+            loads=LoadSpec("point_mass", {"tokens": 120}),
+            stop=StopRule.fixed(10),
+            dynamics=DynamicsSpec("constant_rate", {"rate": 2}),
+        )
+        (scenario,) = tuple(suite)
+        assert scenario.dynamics.name == "constant_rate"
+        assert "constant_rate" in scenario.label()
+
 
 class TestValidation:
     def test_unknown_stop_kind(self):
