@@ -13,7 +13,11 @@ nodes, verifies bit-identical final loads wherever both engines ran,
 and emits ``BENCH_e13.json`` so the perf trajectory is recorded.  Each
 rung also carries a probe-overhead row and a **dynamics row**
 (structured engine under ``constant_rate`` injection), both gated at
-1.2x over the bare structured run by ``--check``.
+1.2x over the bare structured run by ``--check``.  ``--suite-bench``
+adds the **workers axis**: serial vs ``--suite-workers`` parallel
+execution of a multi-scenario grid through :mod:`repro.exec`, verified
+bit-identical and gated at ``--suite-speedup-limit`` (default 1.5x)
+when the machine has at least as many cpus as workers.
 
     python benchmarks/bench_e13_engine_throughput.py \
         --sizes 1024 4096 16384 --rounds 50 --output BENCH_e13.json --check
@@ -41,7 +45,9 @@ from repro.scenarios import (
     GraphSpec,
     LoadSpec,
     Scenario,
+    ScenarioSuite,
     StopRule,
+    canonical_json,
 )
 
 
@@ -392,6 +398,91 @@ def run_ladder(
     return entries
 
 
+def run_suite_throughput(
+    n=4096,
+    rounds=2000,
+    workers=4,
+    scenarios_per_algorithm=4,
+    algorithms=LADDER_ALGORITHMS,
+):
+    """The workers axis: serial vs N-worker multi-scenario grids.
+
+    A grid of ``3 algorithms x scenarios_per_algorithm seeds`` on a
+    cycle at ``n >= 4096`` is executed twice — once serially
+    (the legacy in-process path) and once through the sharded
+    :class:`repro.exec.SuiteExecutor` process pool — and the records
+    are verified bit-identical before the speedup is reported.  The
+    parallel time includes pool startup, i.e. it is the end-to-end
+    wall time a user sees.
+
+    On machines without enough cores the measured speedup is recorded
+    but the ``--check`` gate is skipped (``os.cpu_count`` is part of
+    the emitted row, so the context is never lost).
+    """
+    import os
+
+    from repro.exec import run_suite
+
+    suite = ScenarioSuite(
+        tuple(
+            Scenario(
+                graph=GraphSpec("cycle", {"n": n}),
+                algorithm=AlgorithmSpec(algorithm),
+                loads=LoadSpec(
+                    "uniform_random",
+                    {"total_tokens": 32 * n, "seed": seed},
+                ),
+                stop=StopRule.fixed(rounds),
+            )
+            for algorithm in algorithms
+            for seed in range(1, scenarios_per_algorithm + 1)
+        ),
+        name=f"e13-suite-n{n}",
+    )
+
+    start = time.perf_counter()
+    serial_outcomes = suite.run()
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    report = run_suite(suite, workers=workers)
+    parallel_seconds = time.perf_counter() - start
+
+    serial_records = [
+        canonical_json(record.to_dict())
+        for outcome in serial_outcomes
+        for record in outcome.records
+    ]
+    parallel_records = [
+        canonical_json(record.to_dict())
+        for outcome in report.outcomes
+        for record in outcome.records
+    ]
+    if serial_records != parallel_records:
+        raise AssertionError(
+            f"parallel suite records diverged from serial at n={n}"
+        )
+
+    entry = {
+        "n": n,
+        "scenarios": len(suite),
+        "rounds": rounds,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "bit_identical": True,
+    }
+    print(
+        f"suite n={n} x{len(suite)} scenarios: serial "
+        f"{serial_seconds:6.2f}s, {workers}-worker "
+        f"{parallel_seconds:6.2f}s, speedup {entry['speedup']:.2f}x "
+        f"({entry['cpu_count']} cpus)"
+    )
+    return entry
+
+
 def run_million_headline(rounds=50, algorithms=LADDER_ALGORITHMS):
     """The acceptance scenario: 10^6-node cycle, construct + 50 rounds."""
     from repro.core.engine import Simulator as _Simulator
@@ -450,6 +541,27 @@ def main(argv=None):
         help="also run the 10^6-node cycle headline scenario",
     )
     parser.add_argument(
+        "--suite-bench",
+        action="store_true",
+        help=(
+            "also measure the workers axis: serial vs --suite-workers "
+            "parallel execution of a multi-scenario grid"
+        ),
+    )
+    parser.add_argument("--suite-n", type=int, default=4096)
+    parser.add_argument("--suite-rounds", type=int, default=2000)
+    parser.add_argument("--suite-workers", type=int, default=4)
+    parser.add_argument(
+        "--suite-speedup-limit",
+        type=float,
+        default=1.5,
+        help=(
+            "minimum parallel-over-serial suite speedup required by "
+            "--check at n >= 4096 (enforced only when the machine has "
+            "at least as many cpus as --suite-workers; default 1.5)"
+        ),
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="exit nonzero if structured is slower than dense, a "
@@ -483,6 +595,12 @@ def main(argv=None):
             repeats=args.repeats,
         ),
     }
+    if args.suite_bench:
+        report["suite_throughput"] = run_suite_throughput(
+            n=args.suite_n,
+            rounds=args.suite_rounds,
+            workers=args.suite_workers,
+        )
     if args.million:
         report["headline_million_nodes"] = run_million_headline(
             rounds=args.rounds
@@ -538,6 +656,28 @@ def main(argv=None):
                     f"n={entry['n']} ({entry['algorithm']})",
                     file=sys.stderr,
                 )
+        suite_entry = report.get("suite_throughput")
+        if suite_entry is not None and suite_entry["n"] >= 4096:
+            cpus = suite_entry["cpu_count"] or 1
+            if cpus < suite_entry["workers"]:
+                # A 1.5x demand is only fair when every worker can get
+                # a core: on 2 cpus with 4 workers the ideal is 2.0x
+                # and pool startup routinely eats the margin.  The
+                # measured number is still recorded above.
+                print(
+                    "note: suite-throughput gate skipped "
+                    f"({cpus} cpus for {suite_entry['workers']} "
+                    "workers; enforcement needs cpus >= workers)"
+                )
+            elif suite_entry["speedup"] < args.suite_speedup_limit:
+                failed = True
+                print(
+                    f"FAIL: {suite_entry['workers']}-worker suite "
+                    f"execution only {suite_entry['speedup']}x over "
+                    f"serial at n={suite_entry['n']} (need >= "
+                    f"{args.suite_speedup_limit}x on {cpus} cpus)",
+                    file=sys.stderr,
+                )
         if failed:
             return 1
         print(
@@ -545,6 +685,12 @@ def main(argv=None):
             f"<= {args.probe_overhead_limit}x (structured engine "
             f"kept), and injection overhead <= "
             f"{args.dynamics_overhead_limit}x at every n >= 4096"
+            + (
+                f"; {suite_entry['workers']}-worker suite speedup "
+                f"{suite_entry['speedup']}x"
+                if suite_entry is not None
+                else ""
+            )
         )
     return 0
 

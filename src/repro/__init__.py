@@ -24,6 +24,10 @@ Public API overview
   ``adversarial_peak``, ``random_churn``, ``scripted``;
   ``@register_injector``) and the declarative ``DynamicsSpec`` that
   scenarios, the CLI, and both engines consume.
+* :mod:`repro.exec` — the suite-execution subsystem: deterministic
+  sharding, ``ProcessPoolExecutor`` fan-out (``workers=N``), a
+  content-addressed result cache under ``.repro-cache/`` with
+  crash-resume, all bit-identical to serial execution.
 * :mod:`repro.lower_bounds` — the Section 4 adversarial constructions.
 * :mod:`repro.analysis` — theory-bound formulas, convergence runs,
   scaling fits, table rendering.
@@ -65,6 +69,7 @@ from repro import (
     analysis,
     core,
     dynamics,
+    exec,  # noqa: A004 - the suite-execution subsystem, per the paper repo layout
     experiments,
     graphs,
     lower_bounds,
@@ -79,6 +84,7 @@ __all__ = [
     "core",
     "algorithms",
     "dynamics",
+    "exec",
     "lower_bounds",
     "analysis",
     "experiments",

@@ -122,3 +122,12 @@ def write_records_jsonl(records, path: str | Path) -> Path:
     return write_jsonl(
         (record.to_dict() for record in records), path
     )
+
+
+def read_records_jsonl(path: str | Path) -> list:
+    """Read :class:`~repro.core.trace.RunRecord`\\ s written by
+    :func:`write_records_jsonl` (the same round-trip the result cache
+    uses for its shard entries)."""
+    from repro.core.trace import RunRecord
+
+    return [RunRecord.from_dict(row) for row in read_jsonl(path)]

@@ -10,11 +10,19 @@ Examples::
     repro-lb simulate send_floor --n 64 \\
         --inject 'constant_rate:{"rate": 8}'   # dynamic workload
     repro-lb scenario sweep.json  # run a declarative scenario (suite)
+    repro-lb scenario sweep.json --workers 4   # sharded process fan-out
+    repro-lb scenario sweep.json --resume      # recompute missing shards
+    repro-lb run E1 E3 --workers 4             # parallel experiment drivers
+    python -m repro --workers 4                # the full battery, parallel
 
 The ``simulate`` subcommand is a thin front end over the declarative
 Scenario API (:mod:`repro.scenarios`); ``scenario`` executes scenario /
 suite specifications straight from JSON files produced by
-``Scenario.to_dict`` / ``ScenarioSuite.to_dict``.
+``Scenario.to_dict`` / ``ScenarioSuite.to_dict``, sharded through the
+:mod:`repro.exec` executor: ``--workers N`` fans shards out over a
+process pool and the content-addressed result cache (on by default,
+under ``.repro-cache/``) makes reruns and crash resume skip everything
+already computed — results are bit-identical in every mode.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ import argparse
 import json
 import sys
 
-from repro.experiments.runner import EXPERIMENTS, FULL_EXPERIMENTS, run_all
+from repro.experiments.runner import EXPERIMENTS, run_all
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,6 +40,18 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduction harness for 'Improved Analysis of Deterministic "
             "Load-Balancing Schemes' (Berenbrink et al., PODC 2015)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        dest="global_workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "process fan-out for suite execution; with no subcommand, "
+            "`python -m repro --workers N` runs the full experiment "
+            "battery in parallel"
         ),
     )
     subparsers = parser.add_subparsers(dest="command")
@@ -46,6 +66,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="use the full-size configurations (slower)",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan suite-based drivers out over N worker processes",
+    )
+    run_parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "reuse/persist suite results in the content-addressed "
+            "result cache (see --cache-dir)"
+        ),
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="PATH",
+        help="result cache directory (default: .repro-cache)",
     )
     run_parser.add_argument(
         "--json",
@@ -142,6 +183,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         help="also write per-replica summaries as JSON to PATH",
+    )
+    scenario_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan independent shards out over N worker processes",
+    )
+    scenario_parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "content-addressed result cache: completed shards are "
+            "persisted and reruns skip them (default: on; runs are "
+            "deterministic given their specs, so cached replay is "
+            "bit-identical)"
+        ),
+    )
+    scenario_parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="PATH",
+        help="result cache directory (default: .repro-cache)",
+    )
+    scenario_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted run: recompute only shards missing "
+            "from the cache (requires the cache; incompatible with "
+            "--no-cache)"
+        ),
+    )
+    scenario_parser.add_argument(
+        "--max-replicas-per-shard",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "additionally split each scenario's replica axis into "
+            "shards of at most K replicas (finer-grained fan-out; "
+            "never changes results)"
+        ),
+    )
+    scenario_parser.add_argument(
+        "--records-jsonl",
+        metavar="PATH",
+        help="also dump every RunRecord (summary + trace) as JSON lines",
     )
     return parser
 
@@ -258,6 +348,11 @@ def _run_simulate(args) -> int:
 
 def _run_scenario(args) -> int:
     from repro.analysis.tables import render_table
+    from repro.exec import (
+        ResultCache,
+        SuiteExecutionError,
+        SuiteExecutor,
+    )
     from repro.scenarios import Scenario, ScenarioSuite
 
     with open(args.path, "r", encoding="utf-8") as handle:
@@ -266,8 +361,26 @@ def _run_scenario(args) -> int:
         suite = ScenarioSuite.from_dict(data)
     else:
         suite = ScenarioSuite((Scenario.from_dict(data),))
+    if args.resume and not args.cache:
+        raise SystemExit("scenario: --resume requires the cache "
+                         "(drop --no-cache)")
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    runner = SuiteExecutor(
+        workers=args.workers or args.global_workers or 1,
+        cache=cache,
+        executor=args.executor,
+        max_replicas_per_shard=args.max_replicas_per_shard,
+    )
+    try:
+        report = runner.run(suite)
+    except SuiteExecutionError as exc:
+        print(exc, file=sys.stderr)
+        for failure in exc.failures:
+            print(f"--- {failure.label} ---", file=sys.stderr)
+            print(failure.traceback, file=sys.stderr)
+        return 1
     rows = []
-    for outcome in suite.run(executor=args.executor):
+    for outcome in report.outcomes:
         label = outcome.scenario.name or outcome.scenario.label()
         for replica in range(len(outcome)):
             rows.append(
@@ -291,28 +404,67 @@ def _run_scenario(args) -> int:
             rows, columns=columns, title=f"scenarios from {args.path}"
         )
     )
+    print(report.summary_line())
+    if cache is not None:
+        stats = cache.stats
+        line = (
+            f"cache: {cache.root} ({stats.hits} hits, "
+            f"{stats.writes} writes"
+        )
+        if stats.corrupt:
+            line += f", {stats.corrupt} corrupt entries recomputed"
+        print(line + ")")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(rows, handle, indent=2, default=str)
         print(f"wrote {args.json}")
+    if args.records_jsonl:
+        from repro.analysis.export import write_records_jsonl
+
+        write_records_jsonl(
+            (
+                record
+                for outcome in report.outcomes
+                for record in outcome.records
+            ),
+            args.records_jsonl,
+        )
+        print(f"wrote {args.records_jsonl}")
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command is None and args.global_workers:
+        # `python -m repro --workers N`: the full battery, parallel.
+        args.command = "run"
+        args.experiments = []
+        args.full = False
+        args.json = None
+        args.markdown = False
+        args.workers = args.global_workers
+        args.cache = False
+        args.cache_dir = ".repro-cache"
     if args.command == "list" or args.command is None:
+        from repro.experiments.runner import FULL_OVERRIDDEN
+
         print("available experiments:")
-        table = EXPERIMENTS
-        for experiment_id in sorted(table, key=_experiment_key):
+        for experiment_id in sorted(EXPERIMENTS, key=_experiment_key):
             print(f"  {experiment_id}")
-        print("full-size variants exist for:", ", ".join(
-            sorted(set(FULL_EXPERIMENTS) & set(EXPERIMENTS))
-        ))
+        print(
+            "full-size variants exist for:",
+            ", ".join(FULL_OVERRIDDEN),
+        )
         return 0
     if args.command == "run":
         only = tuple(args.experiments) or None
-        results = run_all(fast=not args.full, only=only)
+        results = run_all(
+            fast=not args.full,
+            only=only,
+            workers=args.workers or args.global_workers,
+            cache=args.cache_dir if args.cache else None,
+        )
         payload = []
         for result in results:
             if args.markdown:

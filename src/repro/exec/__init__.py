@@ -1,0 +1,62 @@
+"""Suite execution subsystem: sharding, parallel fan-out, result cache.
+
+The pieces:
+
+* :mod:`repro.exec.sharding` — deterministic shard plans over a
+  :class:`~repro.scenarios.spec.ScenarioSuite` (per scenario, with
+  optional replica-axis splitting) and content-addressed shard keys;
+* :mod:`repro.exec.cache` — the crash-safe JSONL
+  :class:`~repro.exec.cache.ResultCache` under ``.repro-cache/``;
+* :mod:`repro.exec.runner` — :class:`SuiteExecutor`:
+  ``ProcessPoolExecutor`` fan-out, cache-hit skip, per-shard failure
+  capture, ordered reassembly, crash resume — bit-identical to the
+  serial path;
+* :mod:`repro.exec.context` — the ambient :func:`configure` settings
+  that ``ScenarioSuite.run`` (and therefore every suite-based
+  experiment driver) resolves its defaults from.
+
+Quick use::
+
+    from repro.exec import run_suite
+
+    report = run_suite(suite, workers=4, cache=".repro-cache")
+    print(report.summary_line())   # "12 shards: 5 computed, 7 cached"
+    rows = [o.replica_summary(0) for o in report.outcomes]
+"""
+
+from repro.exec.cache import CacheEntry, CacheStats, ResultCache, as_cache
+from repro.exec.context import ExecConfig, configure, current
+from repro.exec.records import RecordedRun
+from repro.exec.runner import (
+    ShardFailure,
+    SuiteExecutionError,
+    SuiteExecutor,
+    SuiteReport,
+    run_suite,
+)
+from repro.exec.sharding import (
+    Shard,
+    plan_shards,
+    shard_key,
+    source_fingerprint,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "ResultCache",
+    "as_cache",
+    "ExecConfig",
+    "configure",
+    "current",
+    "RecordedRun",
+    "Shard",
+    "plan_shards",
+    "shard_key",
+    "source_fingerprint",
+    "ShardFailure",
+    "SuiteExecutionError",
+    "SuiteExecutor",
+    "SuiteReport",
+    "run_suite",
+]

@@ -1,0 +1,90 @@
+"""Ambient execution configuration for suite runs.
+
+Experiment drivers call ``ScenarioSuite.run`` deep inside their own
+code; threading ``workers=``/``cache=`` parameters through every config
+dataclass would couple all of them to the executor.  Instead the
+executor settings live in a process-local ambient config:
+
+    with repro.exec.configure(workers=4, cache=".repro-cache"):
+        run_table1()          # every suite inside fans out and caches
+
+``ScenarioSuite.run`` resolves its ``workers``/``cache`` defaults from
+:func:`current`, so ``repro-lb run --workers 4`` parallelizes every
+suite-based driver without any of them knowing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+
+from repro.exec.cache import ResultCache, as_cache
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """Resolved executor settings.
+
+    Attributes:
+        workers: process-pool fan-out (1 = serial, in-process).
+        cache: content-addressed result cache, or None (no caching).
+        max_replicas_per_shard: split a scenario's replica axis into
+            shards of at most this many replicas (None = one shard per
+            scenario; replica splitting never changes results, only
+            work-unit granularity).
+    """
+
+    workers: int = 1
+    cache: ResultCache | None = None
+    max_replicas_per_shard: int | None = None
+
+
+_ROOT = ExecConfig()
+# A ContextVar (not a module-global stack): concurrent threads / async
+# tasks each see their own configuration, an exiting context restores
+# exactly the frame it replaced (token-based reset cannot pop someone
+# else's), and a configure() in one thread never leaks into another.
+_current: ContextVar[ExecConfig] = ContextVar(
+    "repro_exec_config", default=_ROOT
+)
+
+
+def current() -> ExecConfig:
+    """The innermost active :func:`configure` config (or the default)."""
+    return _current.get()
+
+
+@contextmanager
+def configure(
+    workers: int | None = None,
+    cache=None,
+    max_replicas_per_shard: int | None = None,
+):
+    """Override the ambient executor settings within a ``with`` block.
+
+    ``None`` arguments inherit from the enclosing configuration, so
+    nested contexts compose — e.g. an outer ``configure(cache=...)``
+    with an inner ``configure(workers=4)`` runs parallel *and* cached.
+    ``cache`` accepts a :class:`~repro.exec.cache.ResultCache`, a
+    directory path, or ``False`` to explicitly disable an inherited
+    cache.  Scoping is per thread / async context.
+    """
+    base = current()
+    overrides: dict = {}
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        overrides["workers"] = workers
+    if cache is False:
+        overrides["cache"] = None
+    elif cache is not None:
+        overrides["cache"] = as_cache(cache)
+    if max_replicas_per_shard is not None:
+        overrides["max_replicas_per_shard"] = max_replicas_per_shard
+    config = replace(base, **overrides)
+    token = _current.set(config)
+    try:
+        yield config
+    finally:
+        _current.reset(token)

@@ -1,0 +1,95 @@
+"""Record-backed stand-ins for engine results.
+
+Cached shards and shards computed in worker processes travel as
+:class:`~repro.core.trace.RunRecord`\\ s — the canonical, serializable
+outcome of a run.  :class:`RecordedRun` re-presents one record through
+the :class:`~repro.core.engine.SimulationResult` API surface that
+:class:`~repro.scenarios.spec.ScenarioResult` consumers (drivers, the
+CLI table, ``replica_summary``) actually use, so callers handle fresh
+and replayed results uniformly.
+
+Load *vectors* are deliberately not part of a record, so
+``final_loads``/``initial_loads`` raise with an explanation instead of
+silently returning something wrong.
+"""
+
+from __future__ import annotations
+
+from repro.core.trace import RunRecord
+
+
+class RecordedRun:
+    """A replica outcome reconstructed from its :class:`RunRecord`."""
+
+    def __init__(self, record: RunRecord) -> None:
+        self.record = record
+
+    @property
+    def rounds_executed(self) -> int:
+        return self.record.rounds_executed
+
+    @property
+    def stopped_early(self) -> bool:
+        return self.record.stopped_early
+
+    @property
+    def replica(self) -> int:
+        return self.record.replica
+
+    @property
+    def initial_discrepancy(self):
+        return self.record.summary["initial_discrepancy"]
+
+    @property
+    def final_discrepancy(self):
+        return self.record.summary["final_discrepancy"]
+
+    @property
+    def discrepancy_history(self) -> list:
+        """The full-resolution discrepancy trajectory, if recorded.
+
+        Only a contiguous ``0..k`` round-boundary column is accepted:
+        a sparsely sampled discrepancy probe column is *not* the
+        engine history, and returning it would silently change
+        plateau/time-to-target computations.  Missing or sparse
+        columns yield ``[]``, exactly like a run recorded with
+        ``record_history=False``.
+        """
+        trace = self.record.trace
+        if "discrepancy" not in trace:
+            return []
+        rounds, values = trace.series("discrepancy")
+        if rounds != list(range(len(rounds))):
+            return []
+        return values
+
+    def summary(self) -> dict:
+        # Mirrors SimulationResult.summary() key for key.
+        return {
+            "rounds": self.rounds_executed,
+            "initial_discrepancy": self.initial_discrepancy,
+            "final_discrepancy": self.final_discrepancy,
+            "stopped_early": self.stopped_early,
+        }
+
+    def _no_loads(self, attribute: str):
+        raise AttributeError(
+            f"{attribute} is not available on a record-backed result: "
+            "load vectors are not persisted in RunRecords (re-run the "
+            "scenario without the cache / with workers=1 to get full "
+            "SimulationResults)"
+        )
+
+    @property
+    def final_loads(self):
+        self._no_loads("final_loads")
+
+    @property
+    def initial_loads(self):
+        self._no_loads("initial_loads")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RecordedRun(replica={self.record.replica}, "
+            f"rounds={self.record.rounds_executed})"
+        )

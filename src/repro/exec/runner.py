@@ -1,0 +1,490 @@
+"""Sharded suite execution: process-pool fan-out, caching, resume.
+
+:class:`SuiteExecutor` turns a :class:`~repro.scenarios.spec.\
+ScenarioSuite` into a deterministic shard plan (see
+:mod:`repro.exec.sharding`), satisfies shards from the content-
+addressed :class:`~repro.exec.cache.ResultCache` where possible,
+computes the rest either in-process (``workers=1``) or on a
+``ProcessPoolExecutor`` (``workers>1``), and reassembles per-scenario
+outcomes in suite order regardless of completion order.
+
+Guarantees:
+
+* **Bit-identical results.**  Workers execute the exact same
+  ``Scenario.run`` path as a serial run, with absolute replica indices,
+  so the reassembled :class:`~repro.core.trace.RunRecord`\\ s are
+  byte-identical (canonical JSON) to the serial path's — property-
+  tested in ``tests/exec/``.
+* **Per-shard failure capture.**  A failing shard never takes down the
+  others: every completed shard is still cached, and the failures are
+  raised together afterwards as :class:`SuiteExecutionError`.
+* **Crash resume.**  Each shard's records hit the cache the moment the
+  shard completes, so re-running an interrupted suite recomputes only
+  the missing shards.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.core.trace import RunRecord
+from repro.exec.cache import ResultCache, as_cache
+from repro.exec.records import RecordedRun
+from repro.exec.sharding import Shard, plan_shards, shard_key
+from repro.scenarios.spec import (
+    GraphSpec,
+    Scenario,
+    ScenarioResult,
+    ScenarioSuite,
+)
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One shard's captured failure (error + full worker traceback)."""
+
+    shard: Shard
+    label: str
+    error: str
+    traceback: str
+
+
+class SuiteExecutionError(RuntimeError):
+    """One or more shards failed; the rest completed.
+
+    Attributes:
+        failures: per-shard failure details.
+        report: the partial :class:`SuiteReport` (completed scenarios
+            only) — useful for salvage and diagnostics.
+    """
+
+    def __init__(
+        self,
+        failures: list[ShardFailure],
+        report: "SuiteReport",
+        cache_attached: bool = False,
+    ) -> None:
+        self.failures = failures
+        self.report = report
+        hint = (
+            "completed shards were cached; re-run to resume"
+            if cache_attached
+            else "no cache configured, so completed work was "
+            "discarded; attach a cache to make reruns resume"
+        )
+        lines = [
+            f"{len(failures)} of {len(report.shards)} shards failed "
+            f"({hint}):"
+        ]
+        lines += [
+            f"  [{f.shard.scenario_index}] {f.label}: {f.error}"
+            for f in failures
+        ]
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class SuiteReport:
+    """Everything one suite execution produced.
+
+    Attributes:
+        suite: the executed suite.
+        outcomes: one :class:`ScenarioResult` per completed scenario,
+            in suite order (all of them, unless shards failed).
+        shards: the deterministic shard plan.
+        computed: shards actually executed this run.
+        cached: shards satisfied from the result cache.
+        failures: captured shard failures (empty on success).
+        workers: the worker count used.
+    """
+
+    suite: ScenarioSuite
+    outcomes: list[ScenarioResult]
+    shards: list[Shard]
+    computed: int
+    cached: int
+    failures: list[ShardFailure] = field(default_factory=list)
+    workers: int = 1
+
+    @property
+    def records(self) -> list[list[RunRecord]]:
+        """Per-scenario record lists, in suite order."""
+        return [outcome.records for outcome in self.outcomes]
+
+    def summary_line(self) -> str:
+        return (
+            f"{len(self.shards)} shards: {self.computed} computed, "
+            f"{self.cached} cached (workers={self.workers})"
+        )
+
+
+def _shard_task(payload: dict) -> dict:
+    """Worker-side execution of one shard (top level: picklable).
+
+    Scenarios travel as their canonical dictionaries and results come
+    back as record dictionaries, so the process boundary only ever
+    carries the same JSON-shaped data the cache persists.
+    """
+    scenario = Scenario.from_dict(payload["scenario"])
+    result = scenario.run(
+        executor=payload["executor"],
+        replica_range=range(
+            payload["replica_start"], payload["replica_stop"]
+        ),
+    )
+    return {
+        "executor": result.executor,
+        "records": [record.to_dict() for record in result.records],
+    }
+
+
+class SuiteExecutor:
+    """Sharded (optionally parallel, optionally cached) suite runner.
+
+    Args:
+        workers: process fan-out; 1 executes shards in-process.
+        cache: a :class:`ResultCache`, a directory path, or None.
+        executor: per-replica execution strategy forwarded to
+            :meth:`Scenario.run` (``"auto"``/``"loop"``/``"batch"``).
+            Part of the cache key — forcing a different strategy never
+            reuses entries recorded under another one.
+        max_replicas_per_shard: split scenario replica axes into
+            chunks of at most this size (None = shard per scenario).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | str | None = None,
+        executor: str = "auto",
+        max_replicas_per_shard: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if executor not in ("auto", "loop", "batch"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.workers = workers
+        self.cache = as_cache(cache)
+        self.executor = executor
+        self.max_replicas_per_shard = max_replicas_per_shard
+
+    # ------------------------------------------------------------------
+
+    def run(self, suite: ScenarioSuite, graph=None) -> SuiteReport:
+        """Execute ``suite``; see the module docstring for guarantees.
+
+        ``graph`` is the legacy prebuilt-graph override; it is used by
+        in-process execution only (worker processes deterministically
+        rebuild from the spec) and must match every scenario's spec,
+        exactly as in :meth:`ScenarioSuite.run`.  An override bypasses
+        the cache entirely (no reads, no writes): the cache key cannot
+        attest a caller-supplied object, and a stored spec-built result
+        is not an answer about the override.
+        """
+        scenarios = list(suite)
+        if graph is not None and scenarios:
+            first = scenarios[0].graph
+            if any(s.graph != first for s in scenarios[1:]):
+                raise ValueError(
+                    "graph= override is only valid when every scenario "
+                    "in the suite shares one graph spec; this suite "
+                    "sweeps multiple graphs"
+                )
+        shards = plan_shards(suite, self.max_replicas_per_shard)
+        # The cache key attests the *spec*; with a caller-supplied
+        # prebuilt graph in play the cache is bypassed entirely — no
+        # reads (a stored spec-built result is not an answer about the
+        # override) and no writes (see _compute_serial).
+        cache = self.cache if graph is None else None
+        payloads = self._payloads(scenarios, shards, cache)
+        keys = None
+        if cache is not None:
+            try:
+                keys = [
+                    shard_key(
+                        scenarios[shard.scenario_index],
+                        shard,
+                        self.executor,
+                    )
+                    for shard in shards
+                ]
+            except TypeError as exc:
+                raise ValueError(
+                    "suite cannot be cached: scenario params are not "
+                    f"plain JSON values ({exc}); run with the cache "
+                    "disabled or use JSON-serializable params"
+                ) from exc
+
+        parts: dict[int, ScenarioResult] = {}
+        failures: list[ShardFailure] = []
+        cached = 0
+        pending: list[int] = []
+        for index, shard in enumerate(shards):
+            entry = (
+                cache.get(keys[index]) if cache is not None else None
+            )
+            if entry is None:
+                pending.append(index)
+                continue
+            cached += 1
+            scenario = scenarios[shard.scenario_index]
+            parts[index] = _result_from_records(
+                scenario,
+                entry.records,
+                entry.meta.get("executor", "cached"),
+            )
+
+        if pending:
+            if self.workers > 1:
+                self._compute_pool(
+                    pending, shards, scenarios, payloads, keys, parts,
+                    failures,
+                )
+            else:
+                self._compute_serial(
+                    pending, shards, scenarios, keys, parts, failures,
+                    graph,
+                )
+
+        outcomes = self._reassemble(scenarios, shards, parts)
+        report = SuiteReport(
+            suite=suite,
+            outcomes=outcomes,
+            shards=shards,
+            computed=len(parts) - cached,
+            cached=cached,
+            failures=failures,
+            workers=self.workers,
+        )
+        if failures:
+            raise SuiteExecutionError(
+                failures, report, cache_attached=cache is not None
+            )
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _payloads(
+        self,
+        scenarios: list[Scenario],
+        shards: list[Shard],
+        cache: ResultCache | None,
+    ) -> list[dict] | None:
+        """Serialized shard payloads (None when staying in-process).
+
+        Caching and process fan-out both require canonically
+        serializable scenarios; the error points at the offender
+        instead of failing deep inside a worker.  ``cache`` is the
+        *effective* cache (after any graph-override bypass), so a
+        serial override run is not asked to serialize anything.
+        """
+        if cache is None and self.workers <= 1:
+            return None
+        dicts: dict[int, dict] = {}
+        for index, scenario in enumerate(scenarios):
+            try:
+                dicts[index] = scenario.to_dict()
+            except ValueError as exc:
+                raise ValueError(
+                    f"scenario {scenario.name or scenario.label()!r} "
+                    "cannot be sharded across processes or cached: "
+                    f"{exc}"
+                ) from exc
+        return [
+            {
+                "scenario": dicts[shard.scenario_index],
+                "replica_start": shard.replica_start,
+                "replica_stop": shard.replica_stop,
+                "executor": self.executor,
+            }
+            for shard in shards
+        ]
+
+    def _store(
+        self,
+        keys: list[str] | None,
+        index: int,
+        shard: Shard,
+        scenario: Scenario,
+        records: list[RunRecord],
+        executor_used: str,
+    ) -> None:
+        if keys is None:
+            return
+        self.cache.put(
+            keys[index],
+            records,
+            meta={
+                "executor": executor_used,
+                "scenario": shard.label(scenario),
+                "replicas": [shard.replica_start, shard.replica_stop],
+            },
+        )
+
+    def _compute_serial(
+        self, pending, shards, scenarios, keys, parts, failures, graph
+    ) -> None:
+        # One built graph per GraphSpec across the whole plan, exactly
+        # like the legacy serial path (specs are deterministic, graphs
+        # immutable).
+        graph_cache: dict[GraphSpec, object] = {}
+        for index in pending:
+            shard = shards[index]
+            scenario = scenarios[shard.scenario_index]
+            shard_graph = graph
+            if shard_graph is None and isinstance(
+                scenario.graph, GraphSpec
+            ):
+                try:
+                    shard_graph = graph_cache.get(scenario.graph)
+                    if shard_graph is None:
+                        shard_graph = scenario.graph.build()
+                        graph_cache[scenario.graph] = shard_graph
+                except TypeError:  # unhashable custom param value
+                    shard_graph = None
+            try:
+                result = scenario.run(
+                    executor=self.executor,
+                    graph=shard_graph,
+                    replica_range=shard.replica_range,
+                )
+            except Exception as exc:
+                failures.append(
+                    ShardFailure(
+                        shard=shard,
+                        label=shard.label(scenario),
+                        error=f"{type(exc).__name__}: {exc}",
+                        traceback=traceback.format_exc(),
+                    )
+                )
+                continue
+            parts[index] = result
+            # Records computed on a caller-supplied prebuilt graph are
+            # never cached: the key attests only the *spec*, and the
+            # cache must not outlive an override that might not match
+            # spec.build() — a transient wrong answer must not become a
+            # persistent one.  Spec-built graphs (graph_cache) are fine.
+            if graph is None:
+                self._store(
+                    keys, index, shard, scenario, result.records,
+                    result.executor,
+                )
+
+    def _compute_pool(
+        self, pending, shards, scenarios, payloads, keys, parts, failures
+    ) -> None:
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_shard_task, payloads[index]): index
+                for index in pending
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                shard = shards[index]
+                scenario = scenarios[shard.scenario_index]
+                exc = future.exception()
+                if exc is not None:
+                    failures.append(
+                        ShardFailure(
+                            shard=shard,
+                            label=shard.label(scenario),
+                            error=f"{type(exc).__name__}: {exc}",
+                            traceback="".join(
+                                traceback.format_exception(exc)
+                            ),
+                        )
+                    )
+                    continue
+                outcome = future.result()
+                records = [
+                    RunRecord.from_dict(data)
+                    for data in outcome["records"]
+                ]
+                parts[index] = _result_from_records(
+                    scenario, records, outcome["executor"]
+                )
+                self._store(
+                    keys, index, shard, scenario, records,
+                    outcome["executor"],
+                )
+
+    @staticmethod
+    def _reassemble(
+        scenarios: list[Scenario],
+        shards: list[Shard],
+        parts: dict[int, ScenarioResult],
+    ) -> list[ScenarioResult]:
+        """Suite-ordered outcomes, merging multi-shard scenarios.
+
+        Shard plans list a scenario's replica ranges in ascending
+        order, so concatenating its parts restores replica order.
+        Scenarios with any missing (failed) shard are omitted — the
+        caller raises with the failure details anyway.
+        """
+        by_scenario: dict[int, list[int]] = {}
+        for index, shard in enumerate(shards):
+            by_scenario.setdefault(shard.scenario_index, []).append(index)
+        outcomes: list[ScenarioResult] = []
+        for scenario_index, scenario in enumerate(scenarios):
+            shard_ids = by_scenario.get(scenario_index, [])
+            if not shard_ids or any(i not in parts for i in shard_ids):
+                continue
+            first = parts[shard_ids[0]]
+            if len(shard_ids) == 1:
+                outcomes.append(first)
+                continue
+            executors = {parts[i].executor for i in shard_ids}
+            outcomes.append(
+                ScenarioResult(
+                    scenario=scenario,
+                    graph=first.graph,
+                    executor=(
+                        executors.pop()
+                        if len(executors) == 1
+                        else "mixed"
+                    ),
+                    results=[
+                        result
+                        for i in shard_ids
+                        for result in parts[i].results
+                    ],
+                    monitors=[
+                        monitors
+                        for i in shard_ids
+                        for monitors in parts[i].monitors
+                    ],
+                )
+            )
+        return outcomes
+
+
+def _result_from_records(
+    scenario: Scenario, records: list[RunRecord], executor_label: str
+) -> ScenarioResult:
+    return ScenarioResult(
+        scenario=scenario,
+        graph=None,
+        executor=executor_label,
+        results=[RecordedRun(record) for record in records],
+        monitors=[() for _ in records],
+    )
+
+
+def run_suite(
+    suite: ScenarioSuite,
+    *,
+    workers: int = 1,
+    cache: ResultCache | str | None = None,
+    executor: str = "auto",
+    max_replicas_per_shard: int | None = None,
+) -> SuiteReport:
+    """One-shot convenience wrapper around :class:`SuiteExecutor`."""
+    return SuiteExecutor(
+        workers=workers,
+        cache=cache,
+        executor=executor,
+        max_replicas_per_shard=max_replicas_per_shard,
+    ).run(suite)

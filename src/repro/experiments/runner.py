@@ -2,11 +2,19 @@
 
 ``run_all(fast=True)`` uses the default (laptop-second) configurations;
 ``fast=False`` enlarges the sweeps to the sizes reported in
-EXPERIMENTS.md.
+EXPERIMENTS.md.  Both modes derive from one table of
+:class:`ExperimentDef` entries — the fast and full configurations of an
+experiment are two keyword-argument sets for the *same* config factory,
+so they cannot drift apart structurally (a sync test enforces this).
+
+``run_all(workers=N, cache=...)`` routes every suite-based driver
+through the :mod:`repro.exec` subsystem via the ambient execution
+context — no per-driver plumbing.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.experiments.ablations import (
@@ -40,56 +48,137 @@ from repro.experiments.theorem33 import (
     run_potential_monotonicity,
 )
 
-EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
-    "E1": lambda: run_table1(Table1Config()),
-    "E2": lambda: run_expander_sweep(Theorem23Config()),
-    "E3": lambda: run_cycle_sweep(Theorem23Config()),
-    "E4": lambda: run_minimal_selfloop_sweep(Theorem23Config()),
-    "E5": lambda: run_good_balancers(Theorem33Config()),
-    "E6": lambda: run_steady_state(LowerBoundConfig()),
-    "E7": lambda: run_stateless(LowerBoundConfig()),
-    "E8": lambda: run_rotor_alternating(LowerBoundConfig()),
-    "E11": lambda: run_selfloop_ablation(AblationConfig()),
-    "E12": lambda: run_potential_monotonicity(Theorem33Config()),
-    "E13": lambda: run_engine_throughput(n=256, rounds=100),
-    "E14": lambda: run_deviation(DeviationConfig(n=64, rounds=150)),
-    "E15": lambda: run_dynamic_steady_state(
-        DynamicSteadyStateConfig(n=32, rounds=120, tail_window=30)
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One experiment: a driver plus its fast/full configurations.
+
+    Attributes:
+        runner: the driver function.
+        config: config factory whose instance is the driver's single
+            argument; None for drivers taking plain keyword arguments.
+        fast: keyword arguments for the fast (default) configuration.
+        full: keyword arguments for the full-size configuration, or
+            None when the experiment has no enlarged variant (full mode
+            then reuses the fast arguments).
+    """
+
+    runner: Callable[..., ExperimentResult]
+    config: Callable[..., object] | None = None
+    fast: dict = field(default_factory=dict)
+    full: dict | None = None
+
+    def kwargs(self, full: bool) -> dict:
+        if full and self.full is not None:
+            return dict(self.full)
+        return dict(self.fast)
+
+    def build(self, full: bool = False) -> ExperimentResult:
+        kwargs = self.kwargs(full)
+        if self.config is not None:
+            return self.runner(self.config(**kwargs))
+        return self.runner(**kwargs)
+
+
+EXPERIMENT_DEFS: dict[str, ExperimentDef] = {
+    "E1": ExperimentDef(
+        run_table1, Table1Config, full={"n": 256, "degree": 8}
     ),
-    "F1": lambda: run_trajectories(TrajectoryConfig(n=64, degree=6)),
+    "E2": ExperimentDef(
+        run_expander_sweep,
+        Theorem23Config,
+        full={"expander_sizes": (64, 128, 256, 512)},
+    ),
+    "E3": ExperimentDef(
+        run_cycle_sweep,
+        Theorem23Config,
+        full={"cycle_sizes": (17, 25, 33, 49, 65, 97, 129)},
+    ),
+    "E4": ExperimentDef(run_minimal_selfloop_sweep, Theorem23Config),
+    "E5": ExperimentDef(run_good_balancers, Theorem33Config),
+    "E6": ExperimentDef(run_steady_state, LowerBoundConfig),
+    "E7": ExperimentDef(run_stateless, LowerBoundConfig),
+    "E8": ExperimentDef(run_rotor_alternating, LowerBoundConfig),
+    "E11": ExperimentDef(run_selfloop_ablation, AblationConfig),
+    "E12": ExperimentDef(run_potential_monotonicity, Theorem33Config),
+    "E13": ExperimentDef(
+        run_engine_throughput,
+        fast={"n": 256, "rounds": 100},
+        full={"n": 1024, "rounds": 200},
+    ),
+    "E14": ExperimentDef(
+        run_deviation,
+        DeviationConfig,
+        fast={"n": 64, "rounds": 150},
+        full={},
+    ),
+    "E15": ExperimentDef(
+        run_dynamic_steady_state,
+        DynamicSteadyStateConfig,
+        fast={"n": 32, "rounds": 120, "tail_window": 30},
+        full={"n": 256, "rounds": 400, "tail_window": 100},
+    ),
+    "F1": ExperimentDef(
+        run_trajectories,
+        TrajectoryConfig,
+        fast={"n": 64, "degree": 6},
+        full={},
+    ),
 }
 
-FULL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
-    **EXPERIMENTS,
-    "E1": lambda: run_table1(Table1Config(n=256, degree=8)),
-    "E2": lambda: run_expander_sweep(
-        Theorem23Config(expander_sizes=(64, 128, 256, 512))
-    ),
-    "E3": lambda: run_cycle_sweep(
-        Theorem23Config(cycle_sizes=(17, 25, 33, 49, 65, 97, 129))
-    ),
-    "E13": lambda: run_engine_throughput(n=1024, rounds=200),
-    "E14": lambda: run_deviation(DeviationConfig()),
-    "E15": lambda: run_dynamic_steady_state(
-        DynamicSteadyStateConfig(n=256, rounds=400, tail_window=100)
-    ),
-    "F1": lambda: run_trajectories(TrajectoryConfig()),
-}
+# Experiments whose full-size configuration actually differs.
+FULL_OVERRIDDEN: tuple[str, ...] = tuple(
+    sorted(
+        experiment_id
+        for experiment_id, definition in EXPERIMENT_DEFS.items()
+        if definition.full is not None
+    )
+)
+
+
+def _thunks(full: bool) -> dict[str, Callable[[], ExperimentResult]]:
+    return {
+        experiment_id: (
+            lambda definition=definition: definition.build(full)
+        )
+        for experiment_id, definition in EXPERIMENT_DEFS.items()
+    }
+
+
+# Backwards-compatible views of the single definition table.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = _thunks(False)
+FULL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = _thunks(
+    True
+)
 
 
 def run_all(
     fast: bool = True,
     only: tuple[str, ...] | None = None,
+    *,
+    workers: int | None = None,
+    cache=None,
 ) -> list[ExperimentResult]:
-    """Run all (or selected) experiments; returns their results."""
-    table = EXPERIMENTS if fast else FULL_EXPERIMENTS
-    selected = only or tuple(table)
-    results = []
+    """Run all (or selected) experiments; returns their results.
+
+    ``workers``/``cache`` configure the ambient
+    :mod:`repro.exec` context for the duration of the run, so every
+    ``ScenarioSuite``-based driver shards, fans out, and caches
+    without knowing about it.
+    """
+    from repro.exec import configure
+
+    selected = only or tuple(EXPERIMENT_DEFS)
     for experiment_id in selected:
-        if experiment_id not in table:
+        if experiment_id not in EXPERIMENT_DEFS:
             raise KeyError(
                 f"unknown experiment {experiment_id!r}; "
-                f"known: {sorted(table)}"
+                f"known: {sorted(EXPERIMENT_DEFS)}"
             )
-        results.append(table[experiment_id]())
+    results = []
+    with configure(workers=workers, cache=cache):
+        for experiment_id in selected:
+            results.append(
+                EXPERIMENT_DEFS[experiment_id].build(full=not fast)
+            )
     return results

@@ -13,6 +13,13 @@
   sits below ``d·log n/μ``.
 * **E9 (separation)**: same instances, cumulatively-fair vs adversarial
   arbitrary rounding — who wins and by how much.
+
+Each sweep assembles **one** :class:`~repro.scenarios.ScenarioSuite`
+over serializable :class:`~repro.scenarios.GraphSpec`\\ s and executes
+it in a single ``suite.run()`` call, so the whole grid inherits the
+ambient :mod:`repro.exec` configuration — ``repro-lb run --workers 4``
+fans the measurements out over a process pool, and a result cache
+skips everything already computed.
 """
 
 from __future__ import annotations
@@ -34,8 +41,10 @@ from repro.graphs import families
 from repro.graphs.spectral import eigenvalue_gap
 from repro.scenarios import (
     AlgorithmSpec,
+    GraphSpec,
     LoadSpec,
     Scenario,
+    ScenarioSuite,
     StopRule,
 )
 
@@ -55,28 +64,39 @@ class Theorem23Config:
     adversary: str = "arbitrary_rounding_fixed"
 
 
-def _measure(graph, name, tokens_per_node, seed, gap=None):
-    """Standardized O(T)-horizon measurement, driven by a Scenario."""
-    if gap is None:
-        gap = eigenvalue_gap(graph)
+def _scenario(
+    graph_spec: GraphSpec,
+    graph,
+    name: str,
+    tokens_per_node: int,
+    seed: int,
+    gap: float,
+) -> Scenario:
+    """Standardized O(T)-horizon measurement as a declarative Scenario."""
     tokens = tokens_per_node * graph.num_nodes
-    horizon = horizon_for(graph, point_mass(graph.num_nodes, tokens), gap=gap)
-    scenario = Scenario(
-        graph=graph,
+    horizon = horizon_for(
+        graph, point_mass(graph.num_nodes, tokens), gap=gap
+    )
+    return Scenario(
+        graph=graph_spec,
         algorithm=AlgorithmSpec(name, seed=seed),
         loads=LoadSpec("point_mass", {"tokens": tokens}),
         stop=StopRule.fixed(horizon),
         probes=(ProbeSpec("load_bounds"),),
+        name=f"{name} @ {graph.name}",
     )
-    summary = scenario.run().replica_summary()
+
+
+def _report(scenario: Scenario, outcome, graph, gap: float):
+    summary = outcome.replica_summary()
     return ConvergenceReport(
-        algorithm=name,
+        algorithm=scenario.algorithm.name,
         graph=graph.name,
         n=graph.num_nodes,
         degree=graph.degree,
         d_plus=graph.total_degree,
         gap=gap,
-        horizon=horizon,
+        horizon=scenario.stop.rounds,
         rounds_executed=summary["rounds"],
         initial_discrepancy=summary["initial_discrepancy"],
         final_discrepancy=summary["final_discrepancy"],
@@ -85,18 +105,58 @@ def _measure(graph, name, tokens_per_node, seed, gap=None):
     )
 
 
+def _sweep(graph_entries, names, config) -> list[list[ConvergenceReport]]:
+    """Run every (graph, algorithm) cell as one suite.
+
+    ``graph_entries`` is a list of ``(graph_spec, graph, gap)``
+    triples; returns one report list per entry, in ``names`` order.
+    """
+    scenarios = [
+        _scenario(
+            graph_spec, graph, name, config.tokens_per_node,
+            config.seed, gap,
+        )
+        for graph_spec, graph, gap in graph_entries
+        for name in names
+    ]
+    suite = ScenarioSuite(tuple(scenarios), name="theorem23")
+    outcomes = suite.run()
+    reports: list[list[ConvergenceReport]] = []
+    cursor = 0
+    for graph_spec, graph, gap in graph_entries:
+        row = []
+        for _ in names:
+            row.append(
+                _report(scenarios[cursor], outcomes[cursor], graph, gap)
+            )
+            cursor += 1
+        reports.append(row)
+    return reports
+
+
 def run_expander_sweep(
     config: Theorem23Config | None = None,
 ) -> ExperimentResult:
     """E2: claim (i) on expanders + E9 separation from the [17] class."""
     config = config or Theorem23Config()
+    names = tuple(config.algorithms) + (config.adversary,)
     rows: list[dict] = []
     with timed() as clock:
+        entries = []
         for n in config.expander_sizes:
-            graph = families.random_regular(
-                n, config.expander_degree, config.seed
+            spec = GraphSpec(
+                "random_regular",
+                {
+                    "n": n,
+                    "degree": config.expander_degree,
+                    "seed": config.seed,
+                },
             )
-            gap = eigenvalue_gap(graph)
+            graph = spec.build()
+            entries.append((spec, graph, eigenvalue_gap(graph)))
+        sweep = _sweep(entries, names, config)
+        for (spec, graph, gap), reports in zip(entries, sweep):
+            n = graph.num_nodes
             bound_i = cumulative_fair_bound_i(n, graph.degree, gap)
             bound_17 = rabani_bound(n, graph.degree, gap)
             row = {
@@ -106,22 +166,12 @@ def run_expander_sweep(
                 "bound_i": bound_i,
                 "bound_[17]": bound_17,
             }
-            for name in config.algorithms:
-                report = _measure(
-                    graph, name, config.tokens_per_node, config.seed, gap
-                )
+            for name, report in zip(names[:-1], reports[:-1]):
                 row[name] = report.plateau_discrepancy
                 row[f"{name}/bound_i"] = (
                     report.plateau_discrepancy / bound_i
                 )
-            adversary = _measure(
-                graph,
-                config.adversary,
-                config.tokens_per_node,
-                config.seed,
-                gap,
-            )
-            row["adversary"] = adversary.plateau_discrepancy
+            row["adversary"] = reports[-1].plateau_discrepancy
             rows.append(row)
     notes = [
         "claim (i): fair-balancer columns should stay within a constant "
@@ -156,11 +206,17 @@ def run_cycle_sweep(
     )
 
     config = config or Theorem23Config()
+    names = tuple(config.algorithms)
     rows: list[dict] = []
     with timed() as clock:
+        entries = []
         for n in config.cycle_sizes:
-            graph = families.cycle(n)
-            gap = eigenvalue_gap(graph)
+            spec = GraphSpec("cycle", {"n": n})
+            graph = spec.build()
+            entries.append((spec, graph, eigenvalue_gap(graph)))
+        sweep = _sweep(entries, names, config)
+        for (spec, graph, gap), reports in zip(entries, sweep):
+            n = graph.num_nodes
             bound_ii = cumulative_fair_bound_ii(n, graph.degree)
             bound_iii = cumulative_fair_bound_iii(n, graph.degree, gap)
             row = {
@@ -169,10 +225,7 @@ def run_cycle_sweep(
                 "bound_ii(d*sqrt n)": bound_ii,
                 "bound_iii(d*logn/mu)": bound_iii,
             }
-            for name in config.algorithms:
-                report = _measure(
-                    graph, name, config.tokens_per_node, config.seed, gap
-                )
+            for name, report in zip(names, reports):
                 row[name] = report.plateau_discrepancy
             bare = families.cycle(n, num_self_loops=0)
             instance = build_rotor_alternating_instance(bare)
@@ -213,16 +266,25 @@ def run_minimal_selfloop_sweep(
 ) -> ExperimentResult:
     """E4: claim (iii) with d° = 1 self-loop."""
     config = config or Theorem23Config()
+    names = tuple(config.algorithms)
     rows: list[dict] = []
     with timed() as clock:
+        entries = []
         for n in config.expander_sizes:
-            graph = families.random_regular(
-                n,
-                config.expander_degree,
-                config.seed,
-                num_self_loops=1,
+            spec = GraphSpec(
+                "random_regular",
+                {
+                    "n": n,
+                    "degree": config.expander_degree,
+                    "seed": config.seed,
+                    "num_self_loops": 1,
+                },
             )
-            gap = eigenvalue_gap(graph)
+            graph = spec.build()
+            entries.append((spec, graph, eigenvalue_gap(graph)))
+        sweep = _sweep(entries, names, config)
+        for (spec, graph, gap), reports in zip(entries, sweep):
+            n = graph.num_nodes
             bound = cumulative_fair_bound_iii(n, graph.degree, gap)
             row = {
                 "n": n,
@@ -230,10 +292,7 @@ def run_minimal_selfloop_sweep(
                 "mu": gap,
                 "bound_iii": bound,
             }
-            for name in config.algorithms:
-                report = _measure(
-                    graph, name, config.tokens_per_node, config.seed, gap
-                )
+            for name, report in zip(names, reports):
                 row[name] = report.plateau_discrepancy
                 row[f"{name}/bound"] = report.plateau_discrepancy / bound
             rows.append(row)

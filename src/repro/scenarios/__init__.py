@@ -20,9 +20,13 @@ from repro.scenarios.spec import (
     ScenarioResult,
     ScenarioSuite,
     StopRule,
+    canonical_json,
+    content_hash,
 )
 
 __all__ = [
+    "canonical_json",
+    "content_hash",
     "GraphSpec",
     "LoadSpec",
     "AlgorithmSpec",

@@ -32,6 +32,8 @@ replica-for-replica.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from itertools import product
 from typing import Callable, Iterator, Sequence
@@ -57,6 +59,24 @@ from repro.registry import freeze_params as _freeze
 from repro.scenarios.batch import BatchRunner
 
 STOP_KINDS = ("rounds", "target_discrepancy", "converged")
+
+
+def canonical_json(data) -> str:
+    """The canonical serialization used for content-addressed hashing.
+
+    Key order and separators are pinned so the same logical dictionary
+    always produces the same byte string — the foundation of the result
+    cache's "no false hits" guarantee.  Values that are not plain JSON
+    raise ``TypeError`` (no ``default=`` fallback): a lossy stringified
+    stand-in — numpy truncates large arrays to ``[0 1 ... 999]`` — could
+    hash two different scenarios to the same key.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(data) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``data``."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -255,13 +275,24 @@ class StopRule:
 
 @dataclass
 class ScenarioResult:
-    """Outcome of one scenario: per-replica results, probes, records."""
+    """Outcome of one scenario: per-replica results, probes, records.
+
+    ``graph`` may be ``None`` for results reassembled from cached or
+    remotely computed records (the executor subsystem ships
+    :class:`~repro.core.trace.RunRecord`\\ s, not graphs); it is rebuilt
+    lazily from the scenario's spec when actually needed.
+    """
 
     scenario: "Scenario"
-    graph: BalancingGraph
+    graph: BalancingGraph | None
     executor: str
     results: list[SimulationResult]
     monitors: list[tuple]
+
+    def _resolve_graph(self) -> BalancingGraph:
+        if self.graph is None:
+            self.graph = self.scenario.build_graph()
+        return self.graph
 
     @property
     def records(self) -> list[RunRecord]:
@@ -331,7 +362,7 @@ class ScenarioResult:
         finals = self.final_discrepancies
         return {
             "scenario": self.scenario.name or self.scenario.label(),
-            "graph": self.graph.name,
+            "graph": self._resolve_graph().name,
             "replicas": len(self.results),
             "executor": self.executor,
             "final_discrepancy_min": min(finals),
@@ -495,6 +526,18 @@ class Scenario:
             data["dynamics"] = self.dynamics.to_dict()
         return data
 
+    def canonical_json(self) -> str:
+        """Canonical byte-stable JSON of this scenario (see
+        :func:`canonical_json`).  Raises for scenarios that cannot be
+        serialized (prebuilt graphs, monitor factories, probe
+        instances) — exactly the scenarios that cannot be cached or
+        shipped to worker processes."""
+        return canonical_json(self.to_dict())
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical scenario JSON."""
+        return content_hash(self.to_dict())
+
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
         return cls(
@@ -525,6 +568,7 @@ class Scenario:
         self,
         executor: str = "auto",
         graph: BalancingGraph | None = None,
+        replica_range: range | None = None,
     ) -> ScenarioResult:
         """Execute every replica and collect the results.
 
@@ -535,9 +579,27 @@ class Scenario:
                 observers are loads-only probes, loop otherwise.
             graph: optional prebuilt graph (cache for sweeps that reuse
                 one graph across many scenarios).
+            replica_range: execute only this absolute replica range
+                (default: all of ``range(self.replicas)``).  Replica
+                ``r`` always runs with seed offset ``r`` regardless of
+                which range carries it, so a scenario split across
+                shards produces bit-identical per-replica results —
+                the contract the parallel suite executor relies on.
         """
         if executor not in ("auto", "loop", "batch"):
             raise ValueError(f"unknown executor {executor!r}")
+        if replica_range is None:
+            replica_range = range(self.replicas)
+        elif (
+            replica_range.step != 1
+            or replica_range.start < 0
+            or replica_range.stop > self.replicas
+            or len(replica_range) == 0
+        ):
+            raise ValueError(
+                f"replica_range {replica_range!r} must be a non-empty "
+                f"unit-step range within [0, {self.replicas})"
+            )
         probe_preview = self.build_probe_set()
         if executor == "auto":
             executor = (
@@ -564,13 +626,15 @@ class Scenario:
                 )
         graph = graph if graph is not None else self.build_graph()
         if executor == "loop":
-            return self._run_looped(graph)
-        return self._run_batched(graph)
+            return self._run_looped(graph, replica_range)
+        return self._run_batched(graph, replica_range)
 
-    def _run_looped(self, graph: BalancingGraph) -> ScenarioResult:
+    def _run_looped(
+        self, graph: BalancingGraph, replica_range: range
+    ) -> ScenarioResult:
         results: list[SimulationResult] = []
         monitor_sets: list[tuple] = []
-        for replica in range(self.replicas):
+        for replica in replica_range:
             monitors = tuple(factory() for factory in self.monitors)
             probe_set = self.build_probe_set()
             simulator = Simulator(
@@ -604,8 +668,10 @@ class Scenario:
             monitors=monitor_sets,
         )
 
-    def _run_batched(self, graph: BalancingGraph) -> ScenarioResult:
-        first = self.build_balancer(0)
+    def _run_batched(
+        self, graph: BalancingGraph, replica_range: range
+    ) -> ScenarioResult:
+        first = self.build_balancer(replica_range.start)
         if (
             first.supports_batched_sends
             and first.properties.stateless
@@ -615,25 +681,32 @@ class Scenario:
         else:
             balancers = [first] + [
                 self.build_balancer(replica)
-                for replica in range(1, self.replicas)
+                for replica in replica_range[1:]
             ]
         initial = np.stack(
             [
                 self.build_loads(graph, replica)
-                for replica in range(self.replicas)
+                for replica in replica_range
             ]
         )
         probe_sets = (
-            [self.build_probe_set() for _ in range(self.replicas)]
+            [self.build_probe_set() for _ in replica_range]
             if self.probes
             else None
         )
+        # Injectors are built here with *absolute* replica indices so a
+        # replica sub-range sees the same seed offsets as a full run.
+        dynamics = self.dynamics
+        if isinstance(dynamics, DynamicsSpec):
+            dynamics = [
+                dynamics.build(replica) for replica in replica_range
+            ]
         runner = BatchRunner(
             graph,
             balancers,
             initial,
             probes=probe_sets,
-            dynamics=self.dynamics,
+            dynamics=dynamics,
             record_history=self.record_history,
             validate_every_round=self.validate_every_round,
         )
@@ -641,23 +714,25 @@ class Scenario:
         if stop.kind == "rounds":
             batch = runner.run(stop.rounds)
         else:
-            predicates = [
-                stop.predicate() for _ in range(self.replicas)
-            ]
+            predicates = [stop.predicate() for _ in replica_range]
             batch = runner.run_until(
                 predicates,
                 stop.max_rounds,
                 check_every=stop.check_every,
             )
+        results = batch.as_simulation_results()
+        for replica, result in zip(replica_range, results):
+            if result.record is not None:
+                result.record.replica = replica
         return ScenarioResult(
             scenario=self,
             graph=graph,
             executor="batch",
-            results=batch.as_simulation_results(),
+            results=results,
             monitors=(
                 probe_sets
                 if probe_sets is not None
-                else [() for _ in range(self.replicas)]
+                else [() for _ in replica_range]
             ),
         )
 
@@ -727,18 +802,66 @@ class ScenarioSuite:
         )
         return cls(scenarios, name=name)
 
+    def canonical_json(self) -> str:
+        """Canonical byte-stable JSON of the whole suite."""
+        return canonical_json(self.to_dict())
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical suite JSON."""
+        return content_hash(self.to_dict())
+
     def run(
         self,
         executor: str = "auto",
         graph: BalancingGraph | None = None,
+        *,
+        workers: int | None = None,
+        cache=None,
     ) -> list[ScenarioResult]:
         """Run every scenario in order; see :meth:`Scenario.run`.
 
-        ``graph`` is a prebuilt-graph cache and is therefore only legal
-        when every scenario in the suite shares one graph spec — a
-        multi-graph sweep would otherwise silently run each scenario on
-        the wrong topology.
+        ``graph`` is a prebuilt-graph cache — it must be the graph the
+        shared spec builds (graph construction is deterministic, so
+        this is a pure build-once optimization) and is only legal when
+        every scenario in the suite shares one graph spec: a
+        multi-graph sweep would otherwise silently run each scenario
+        on the wrong topology.  With ``workers > 1`` the prebuilt
+        object is not shipped to worker processes; they rebuild from
+        the spec, which by the above contract is the same graph.  The
+        executor also bypasses the cache entirely for override runs,
+        since a cache key can only attest the spec.
+
+        ``workers`` and ``cache`` route execution through the
+        :mod:`repro.exec` subsystem: ``workers > 1`` fans independent
+        shards out over a process pool, ``cache`` (a
+        :class:`~repro.exec.ResultCache` or a directory path) skips
+        shards whose records are already cached.  Both default to the
+        ambient :func:`repro.exec.configure` context — pass
+        ``cache=False`` to opt this call out of an inherited cache
+        (e.g. a run drawing entropy outside its spec).  Drivers built
+        on ``ScenarioSuite.run`` therefore inherit parallelism and
+        caching without any config plumbing, and results are
+        bit-identical to the serial path in every mode.
         """
+        from repro.exec.context import current as current_exec_config
+
+        config = current_exec_config()
+        if workers is None:
+            workers = config.workers
+        if cache is False:
+            cache = None
+        elif cache is None:
+            cache = config.cache
+        if workers > 1 or cache is not None:
+            from repro.exec.runner import SuiteExecutor
+
+            report = SuiteExecutor(
+                workers=workers,
+                cache=cache,
+                executor=executor,
+                max_replicas_per_shard=config.max_replicas_per_shard,
+            ).run(self, graph=graph)
+            return report.outcomes
         if graph is not None and self.scenarios:
             first = self.scenarios[0].graph
             if any(s.graph != first for s in self.scenarios[1:]):
@@ -750,7 +873,7 @@ class ScenarioSuite:
         # Scenarios sharing a GraphSpec share one built graph instance
         # (specs are deterministic, graphs immutable), so a sweep of k
         # algorithms over one graph builds it once, not k times.
-        cache: dict[GraphSpec, BalancingGraph] = {}
+        graph_cache: dict[GraphSpec, BalancingGraph] = {}
         results = []
         for scenario in self.scenarios:
             scenario_graph = graph
@@ -758,10 +881,10 @@ class ScenarioSuite:
                 scenario.graph, GraphSpec
             ):
                 try:
-                    scenario_graph = cache.get(scenario.graph)
+                    scenario_graph = graph_cache.get(scenario.graph)
                     if scenario_graph is None:
                         scenario_graph = scenario.graph.build()
-                        cache[scenario.graph] = scenario_graph
+                        graph_cache[scenario.graph] = scenario_graph
                 except TypeError:  # unhashable custom param value
                     scenario_graph = None
             results.append(

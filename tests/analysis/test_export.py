@@ -133,3 +133,26 @@ class TestTraceExport:
         rows = record_rows(records)
         assert rows[1]["replica"] == 1
         assert rows[1]["rounds"] == 3
+
+    def test_read_records_jsonl_inverse(self, tmp_path):
+        from repro.analysis.export import (
+            read_records_jsonl,
+            write_records_jsonl,
+        )
+        from repro.core.trace import build_record
+
+        records = [
+            build_record(
+                replica=i,
+                rounds_executed=4,
+                stopped_early=bool(i),
+                engine_summary={"final_discrepancy": 2 * i},
+                discrepancy_history=[9, 4, 3, 2 * i],
+            )
+            for i in range(3)
+        ]
+        path = write_records_jsonl(records, tmp_path / "records.jsonl")
+        rebuilt = read_records_jsonl(path)
+        assert [r.to_dict() for r in rebuilt] == [
+            r.to_dict() for r in records
+        ]

@@ -7,6 +7,19 @@ import pytest
 from repro.graphs import families
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate the golden driver-output fixtures under "
+            "tests/golden/ instead of comparing against them (use "
+            "after an intentional numbers change; review the diff!)"
+        ),
+    )
+
+
 @pytest.fixture(scope="session")
 def expander24():
     """Small random 4-regular graph with d° = d self-loops."""

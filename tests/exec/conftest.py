@@ -1,0 +1,17 @@
+"""Shared fixtures for the suite-executor tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.exec.factories import canonical_records, make_suite
+
+
+@pytest.fixture()
+def suite():
+    return make_suite()
+
+
+@pytest.fixture()
+def serial_records(suite):
+    return canonical_records(suite.run())

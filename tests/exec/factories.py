@@ -1,0 +1,65 @@
+"""Suite factories shared by the executor tests.
+
+The reference suite deliberately crosses the axes that matter for
+parity: a structured-engine algorithm (send_floor) and a dense-only
+one (arbitrary_rounding_fixed), multiple graph families, multiple
+replicas (so batch execution and replica-splitting engage), loads-only
+probes, seeded dynamics, and both stop-rule shapes.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import (
+    AlgorithmSpec,
+    DynamicsSpec,
+    GraphSpec,
+    LoadSpec,
+    ProbeSpec,
+    Scenario,
+    ScenarioSuite,
+    StopRule,
+    canonical_json,
+)
+
+
+def make_suite(
+    *,
+    algorithms=("send_floor", "arbitrary_rounding_fixed"),
+    replicas=2,
+    dynamics=DynamicsSpec("constant_rate", {"rate": 2, "seed": 7}),
+    stop=StopRule.fixed(20),
+    name="exec-parity",
+) -> ScenarioSuite:
+    graphs = (
+        GraphSpec("cycle", {"n": 12}),
+        GraphSpec("random_regular", {"n": 16, "degree": 4, "seed": 3}),
+    )
+    return ScenarioSuite(
+        tuple(
+            Scenario(
+                graph=graph,
+                algorithm=AlgorithmSpec(algorithm, seed=1),
+                loads=LoadSpec(
+                    "uniform_random", {"total_tokens": 480, "seed": 2}
+                ),
+                stop=stop,
+                replicas=replicas,
+                probes=(
+                    ProbeSpec("load_bounds"),
+                    ProbeSpec("discrepancy"),
+                ),
+                dynamics=dynamics,
+            )
+            for graph in graphs
+            for algorithm in algorithms
+        ),
+        name=name,
+    )
+
+
+def canonical_records(outcomes) -> list[list[str]]:
+    """Byte-stable per-scenario record serializations for comparison."""
+    return [
+        [canonical_json(record.to_dict()) for record in outcome.records]
+        for outcome in outcomes
+    ]

@@ -1,0 +1,138 @@
+"""ResultCache store behavior: round-trip, corruption, atomicity."""
+
+import json
+
+import pytest
+
+from repro.core.trace import RunRecord, Trace
+from repro.exec import ResultCache, as_cache
+from repro.scenarios import canonical_json
+
+
+def _records(k=2):
+    records = []
+    for replica in range(k):
+        trace = Trace()
+        trace.add_column("discrepancy", [0, 1, 2], [10, 6, 4])
+        records.append(
+            RunRecord(
+                replica=replica,
+                rounds_executed=2,
+                stopped_early=False,
+                summary={
+                    "initial_discrepancy": 10,
+                    "final_discrepancy": 4,
+                },
+                trace=trace,
+            )
+        )
+    return records
+
+
+KEY = "ab" + "0" * 62
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(KEY, _records(), meta={"executor": "batch"})
+        entry = cache.get(KEY)
+        assert entry is not None
+        assert entry.meta["executor"] == "batch"
+        assert [
+            canonical_json(r.to_dict()) for r in entry.records
+        ] == [canonical_json(r.to_dict()) for r in _records()]
+        assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ff" + "0" * 62) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt == 0
+
+    def test_keys_and_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        other = "cd" + "1" * 62
+        cache.put(KEY, _records())
+        cache.put(other, _records(1))
+        assert cache.keys() == sorted([KEY, other])
+        assert len(cache) == 2
+        assert KEY in cache
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, _records())
+        assert path.parent.name == KEY[:2]
+        assert path.name == f"{KEY}.jsonl"
+
+    def test_as_cache_coercions(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert as_cache(None) is None
+        assert as_cache(cache) is cache
+        assert as_cache(str(tmp_path)).root == tmp_path
+        with pytest.raises(TypeError, match="cannot interpret"):
+            as_cache(42)
+
+
+class TestCorruptionDetection:
+    """Damaged entries must be recomputed, never trusted."""
+
+    def _fresh(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, _records(), meta={"executor": "batch"})
+        return cache
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = self._fresh(tmp_path)
+        path = cache.path_for(KEY)
+        # Simulate a torn write: drop the last record line.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        assert cache.get(KEY) is None
+        assert cache.stats.corrupt == 1
+
+    def test_garbage_line_is_a_miss(self, tmp_path):
+        cache = self._fresh(tmp_path)
+        path = cache.path_for(KEY)
+        content = path.read_text()
+        path.write_text(content[: len(content) // 2])
+        assert cache.get(KEY) is None
+        assert cache.stats.corrupt == 1
+
+    def test_wrong_key_in_header_is_a_miss(self, tmp_path):
+        cache = self._fresh(tmp_path)
+        other = "ab" + "9" * 62
+        cache.path_for(KEY).rename(cache.path_for(other))
+        assert cache.get(other) is None
+        assert cache.stats.corrupt == 1
+
+    def test_wrong_format_tag_is_a_miss(self, tmp_path):
+        cache = self._fresh(tmp_path)
+        path = cache.path_for(KEY)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["format"] = "someone-elses-format/9"
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]))
+        assert cache.get(KEY) is None
+
+    def test_malformed_record_payload_is_a_miss(self, tmp_path):
+        cache = self._fresh(tmp_path)
+        path = cache.path_for(KEY)
+        lines = path.read_text().splitlines()
+        lines[1] = json.dumps({"not": "a record"})
+        path.write_text("\n".join(lines))
+        assert cache.get(KEY) is None
+
+    def test_empty_file_is_a_miss(self, tmp_path):
+        cache = self._fresh(tmp_path)
+        cache.path_for(KEY).write_text("")
+        assert cache.get(KEY) is None
+
+    def test_rewrite_after_corruption_recovers(self, tmp_path):
+        cache = self._fresh(tmp_path)
+        cache.path_for(KEY).write_text("garbage\n")
+        assert cache.get(KEY) is None
+        cache.put(KEY, _records(), meta={"executor": "batch"})
+        assert cache.get(KEY) is not None

@@ -1,0 +1,82 @@
+"""Shard planning: determinism, replica splitting, and key coverage."""
+
+import pytest
+
+from repro.exec import Shard, plan_shards, shard_key
+from repro.exec.sharding import _package_version
+
+from tests.exec.factories import make_suite
+
+
+class TestPlanShards:
+    def test_default_one_shard_per_scenario(self):
+        suite = make_suite(replicas=3)
+        shards = plan_shards(suite)
+        assert len(shards) == len(suite)
+        for index, shard in enumerate(shards):
+            assert shard.scenario_index == index
+            assert shard.replica_range == range(0, 3)
+
+    def test_replica_axis_splitting(self):
+        suite = make_suite(replicas=5)
+        shards = plan_shards(suite, max_replicas_per_shard=2)
+        per_scenario = [
+            [s for s in shards if s.scenario_index == i]
+            for i in range(len(suite))
+        ]
+        for chunks in per_scenario:
+            assert [
+                (c.replica_start, c.replica_stop) for c in chunks
+            ] == [(0, 2), (2, 4), (4, 5)]
+        # Ranges tile the replica axis exactly.
+        assert sum(len(s) for s in shards) == 5 * len(suite)
+
+    def test_plan_is_deterministic(self):
+        suite = make_suite(replicas=4)
+        assert plan_shards(suite, 3) == plan_shards(suite, 3)
+
+    def test_plan_does_not_depend_on_workers(self):
+        # Worker count is deliberately absent from the signature: the
+        # plan (and therefore every cache key) is a pure function of
+        # the suite, so serial and parallel runs share cache entries.
+        suite = make_suite(replicas=4)
+        assert plan_shards(suite) == plan_shards(suite)
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError, match="max_replicas_per_shard"):
+            plan_shards(make_suite(), max_replicas_per_shard=0)
+
+    def test_invalid_shard_range(self):
+        with pytest.raises(ValueError, match="invalid replica range"):
+            Shard(0, 2, 2)
+
+
+class TestShardKey:
+    def test_key_is_stable(self):
+        suite = make_suite()
+        (scenario, *_rest) = tuple(suite)
+        shard = plan_shards(suite)[0]
+        assert shard_key(scenario, shard) == shard_key(scenario, shard)
+
+    def test_key_depends_on_replica_range(self):
+        suite = make_suite(replicas=4)
+        scenario = tuple(suite)[0]
+        a, b = Shard(0, 0, 2), Shard(0, 2, 4)
+        assert shard_key(scenario, a) != shard_key(scenario, b)
+
+    def test_key_uses_running_package_version(self, monkeypatch):
+        import repro
+
+        suite = make_suite()
+        scenario = tuple(suite)[0]
+        shard = plan_shards(suite)[0]
+        before = shard_key(scenario, shard)
+        monkeypatch.setattr(repro, "__version__", "999.0.0-test")
+        assert _package_version() == "999.0.0-test"
+        assert shard_key(scenario, shard) != before
+
+    def test_label_mentions_partial_ranges_only(self):
+        suite = make_suite(replicas=4)
+        scenario = tuple(suite)[0]
+        assert "replicas" not in Shard(0, 0, 4).label(scenario)
+        assert "[replicas 1:3]" in Shard(0, 1, 3).label(scenario)

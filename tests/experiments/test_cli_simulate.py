@@ -114,14 +114,79 @@ class TestScenarioCommand:
         path.write_text(json.dumps(suite.to_dict()))
         return path
 
-    def test_suite_file_runs(self, tmp_path, capsys):
+    def test_suite_file_runs(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
         path = self._write_suite(tmp_path)
         assert main(["scenario", str(path)]) == 0
         out = capsys.readouterr().out
         assert "send_floor @ cycle" in out
         assert "rotor_router @ cycle" in out
 
-    def test_single_scenario_file_and_json_output(self, tmp_path, capsys):
+    def test_workers_cache_resume_acceptance(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """The PR's acceptance path, end to end through the CLI.
+
+        ``--workers 4`` must produce byte-identical RunRecords to the
+        serial run, a second invocation must complete from cache with
+        zero scenario executions, and ``--resume`` on a partially
+        populated cache must recompute only the missing shards.
+        """
+        monkeypatch.chdir(tmp_path)
+        path = self._write_suite(tmp_path)
+        base = [
+            "scenario", str(path), "--cache-dir", str(tmp_path / "c"),
+        ]
+        assert main(
+            ["scenario", str(path), "--no-cache",
+             "--records-jsonl", str(tmp_path / "serial.jsonl")]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            base + ["--workers", "4",
+                    "--records-jsonl", str(tmp_path / "parallel.jsonl")]
+        ) == 0
+        assert "2 shards: 2 computed, 0 cached (workers=4)" in (
+            capsys.readouterr().out
+        )
+        assert (tmp_path / "parallel.jsonl").read_bytes() == (
+            tmp_path / "serial.jsonl"
+        ).read_bytes()
+
+        # Second invocation: zero scenario executions.
+        assert main(
+            base + ["--workers", "4",
+                    "--records-jsonl", str(tmp_path / "cached.jsonl")]
+        ) == 0
+        assert "2 shards: 0 computed, 2 cached" in (
+            capsys.readouterr().out
+        )
+        assert (tmp_path / "cached.jsonl").read_bytes() == (
+            tmp_path / "serial.jsonl"
+        ).read_bytes()
+
+        # Interrupted run: drop one shard's entry, resume recomputes
+        # only that shard.
+        from repro.exec import ResultCache
+
+        cache = ResultCache(tmp_path / "c")
+        victim = cache.keys()[0]
+        cache.path_for(victim).unlink()
+        assert main(base + ["--resume"]) == 0
+        assert "2 shards: 1 computed, 1 cached" in (
+            capsys.readouterr().out
+        )
+
+    def test_resume_requires_cache(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = self._write_suite(tmp_path)
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["scenario", str(path), "--no-cache", "--resume"])
+
+    def test_single_scenario_file_and_json_output(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
         import json
 
         from repro.scenarios import (
@@ -321,7 +386,8 @@ class TestSimulateDynamics:
         ):
             assert name in out
 
-    def test_scenario_file_with_dynamics(self, tmp_path, capsys):
+    def test_scenario_file_with_dynamics(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
         import json
 
         from repro.scenarios import (

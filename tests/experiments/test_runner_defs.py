@@ -1,0 +1,53 @@
+"""The single experiment-definition table: fast/full stay in sync."""
+
+import pytest
+
+from repro.experiments.runner import (
+    EXPERIMENT_DEFS,
+    EXPERIMENTS,
+    FULL_EXPERIMENTS,
+    FULL_OVERRIDDEN,
+    run_all,
+)
+
+
+class TestDefinitionTable:
+    def test_fast_and_full_keys_identical(self):
+        # The historical wart: FULL_EXPERIMENTS re-declared the dict
+        # with shadowed lambdas, so keys could drift.  Both views now
+        # derive from EXPERIMENT_DEFS and must stay key-identical.
+        assert set(EXPERIMENTS) == set(EXPERIMENT_DEFS)
+        assert set(FULL_EXPERIMENTS) == set(EXPERIMENT_DEFS)
+
+    def test_both_configurations_construct(self):
+        # Every fast and full kwargs set must actually build its config
+        # object — a typo'd override fails here, not mid-battery.
+        for experiment_id, definition in EXPERIMENT_DEFS.items():
+            if definition.config is None:
+                continue
+            for full in (False, True):
+                config = definition.config(**definition.kwargs(full))
+                assert config is not None, (experiment_id, full)
+
+    def test_full_overridden_is_consistent(self):
+        for experiment_id in FULL_OVERRIDDEN:
+            definition = EXPERIMENT_DEFS[experiment_id]
+            assert definition.full is not None
+        for experiment_id, definition in EXPERIMENT_DEFS.items():
+            if experiment_id not in FULL_OVERRIDDEN:
+                assert definition.full is None
+
+    def test_full_mode_reuses_fast_when_not_overridden(self):
+        definition = EXPERIMENT_DEFS["E7"]
+        assert definition.kwargs(True) == definition.kwargs(False)
+
+    def test_unknown_experiment_still_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_all(only=("E999",))
+
+    def test_full_overrides_are_supersets_in_spirit(self):
+        # Spot-check the sizes actually grow where an override exists.
+        e1 = EXPERIMENT_DEFS["E1"]
+        assert e1.config(**e1.kwargs(True)).n > e1.config(
+            **e1.kwargs(False)
+        ).n

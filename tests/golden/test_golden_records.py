@@ -1,0 +1,118 @@
+"""Golden-record regression corpus for the experiment drivers.
+
+Each case runs a small, fully deterministic configuration of one
+driver and pins its *entire* JSON output — rows, notes, metadata —
+byte-for-byte against a committed fixture.  Engine refactors, executor
+changes, and probe reworks must reproduce these numbers exactly;
+anything that drifts a published value fails loudly here.
+
+Refreshing after an **intentional** numbers change:
+
+    python -m pytest tests/golden --update-golden
+    git diff tests/golden/   # review every changed value!
+
+The fixtures deliberately exercise both suite-based drivers (E1-E4,
+which ride the repro.exec executor) and direct-Simulator drivers
+(E6, E12).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.experiments import (  # noqa: E402
+    LowerBoundConfig,
+    Table1Config,
+    Theorem23Config,
+    Theorem33Config,
+    run_cycle_sweep,
+    run_expander_sweep,
+    run_minimal_selfloop_sweep,
+    run_potential_monotonicity,
+    run_steady_state,
+    run_table1,
+)
+
+GOLDEN_DIR = Path(__file__).parent
+
+_THEOREM23 = dict(
+    expander_sizes=(32, 64),
+    expander_degree=4,
+    cycle_sizes=(9, 17),
+    tokens_per_node=16,
+)
+
+GOLDEN_CASES = {
+    "E1": lambda: run_table1(
+        Table1Config(n=32, degree=4, tokens_per_node=16)
+    ),
+    "E2": lambda: run_expander_sweep(Theorem23Config(**_THEOREM23)),
+    "E3": lambda: run_cycle_sweep(Theorem23Config(**_THEOREM23)),
+    "E4": lambda: run_minimal_selfloop_sweep(
+        Theorem23Config(**_THEOREM23)
+    ),
+    "E6": lambda: run_steady_state(LowerBoundConfig()),
+    "E12": lambda: run_potential_monotonicity(
+        Theorem33Config(n=32, degree=4, tokens_per_node=16),
+        rounds=120,
+    ),
+}
+
+
+def _canonical(result) -> dict:
+    # to_json is the driver's published machine-readable form; parsing
+    # it back normalizes python scalars exactly the way consumers see
+    # them.
+    return json.loads(result.to_json())
+
+
+@pytest.mark.parametrize("experiment_id", sorted(GOLDEN_CASES))
+def test_driver_output_matches_golden(experiment_id, request):
+    fixture = GOLDEN_DIR / f"{experiment_id}.json"
+    produced = _canonical(GOLDEN_CASES[experiment_id]())
+    if request.config.getoption("--update-golden"):
+        fixture.write_text(
+            json.dumps(produced, indent=2, sort_keys=True) + "\n"
+        )
+        return
+    assert fixture.exists(), (
+        f"missing golden fixture {fixture}; generate it with "
+        "`python -m pytest tests/golden --update-golden`"
+    )
+    expected = json.loads(fixture.read_text())
+    assert produced == expected, (
+        f"{experiment_id} driver output drifted from its golden "
+        f"fixture; if the change is intentional, refresh with "
+        "`python -m pytest tests/golden --update-golden` and review "
+        "the diff"
+    )
+
+
+def test_suite_driver_golden_survives_parallel_execution(tmp_path):
+    """E2 through the 2-worker executor + cache == its golden numbers.
+
+    The strongest drift guard: the same driver, fanned out over a
+    process pool with a result cache attached, must reproduce the
+    committed fixture byte-for-byte — twice (the second pass replays
+    entirely from the cache).
+    """
+    from repro.exec import configure
+
+    fixture = GOLDEN_DIR / "E2.json"
+    expected = json.loads(fixture.read_text())
+    with configure(workers=2, cache=tmp_path / "cache"):
+        assert _canonical(GOLDEN_CASES["E2"]()) == expected
+        assert _canonical(GOLDEN_CASES["E2"]()) == expected
+
+
+def test_golden_corpus_is_complete():
+    committed = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert committed == set(GOLDEN_CASES), (
+        "golden fixtures and GOLDEN_CASES disagree: "
+        f"fixtures={sorted(committed)}, cases={sorted(GOLDEN_CASES)}"
+    )
