@@ -109,7 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument(
         "--family",
         default="random_regular",
-        help="graph family (cycle, torus, hypercube, random_regular, ...)",
+        help=(
+            "graph family (cycle, torus, hypercube, random_regular, "
+            "fat_tree, leaf_spine, ...; see --list-families)"
+        ),
     )
     sim_parser.add_argument("--n", type=int, default=64)
     sim_parser.add_argument("--degree", type=int, default=4)
@@ -138,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-probes",
         action="store_true",
         help="list registered probe names and exit",
+    )
+    sim_parser.add_argument(
+        "--list-families",
+        action="store_true",
+        help="list registered graph-family names and exit",
     )
     sim_parser.add_argument(
         "--inject",
@@ -253,6 +261,23 @@ def graph_spec_from_cli(
         params = {"dimension": log2_ceil(n)}
     elif family == "torus":
         params = {"side": max(3, int(round(n ** 0.5))), "dimensions": 2}
+    elif family == "fat_tree":
+        # Smallest even k whose fabric hosts at least n nodes
+        # (k^3/4 hosts).
+        k = 2
+        while k ** 3 // 4 < n:
+            k += 2
+        params = {"k": k}
+    elif family == "leaf_spine":
+        # --n hosts hanging --degree per leaf; spines scale with
+        # the leaf count.
+        hosts_per_leaf = max(1, degree)
+        leaves = max(1, -(-n // hosts_per_leaf))
+        params = {
+            "leaves": leaves,
+            "spines": max(1, leaves // 2),
+            "hosts_per_leaf": hosts_per_leaf,
+        }
     else:
         params = {"n": n}
     if self_loops is not None:
@@ -280,6 +305,13 @@ def _run_simulate(args) -> int:
     if args.list_injectors:
         print("registered injectors:")
         for name in INJECTORS.names():
+            print(f"  {name}")
+        return 0
+    if args.list_families:
+        from repro.graphs import FAMILY_BUILDERS
+
+        print("registered graph families:")
+        for name in FAMILY_BUILDERS.names():
             print(f"  {name}")
         return 0
     if args.algorithm is None:

@@ -170,6 +170,64 @@ class LoadBoundsMonitor(Probe):
         return {"min_load": self.min_ever, "max_load": self.max_ever}
 
 
+@register_probe("tier_loads")
+class TierLoadProbe(Probe):
+    """Final-state load percentiles, overall and per fabric tier.
+
+    A loads-only probe (structured/batch fast paths stay live) whose
+    :meth:`summary` carries the serving metrics — peak and p99 node
+    load, plus per-tier mean/p99 when the graph exposes the
+    ``node_tiers`` metadata channel (fat-tree, leaf-spine).  Putting
+    the numbers in the summary (not the final vector) is what lets
+    cached/parallel replays report them: :class:`RecordedRun` ships
+    summaries but no load vectors.
+    """
+
+    needs = LOADS
+
+    def __init__(self, percentile: float = 99.0) -> None:
+        if not 0 <= percentile <= 100:
+            raise ValueError(
+                f"percentile must be in [0, 100], got {percentile}"
+            )
+        self.percentile = float(percentile)
+        self._last: np.ndarray | None = None
+        self._tiers: np.ndarray | None = None
+        self._tier_names: tuple[str, ...] | None = None
+
+    def start(self, graph, balancer, loads) -> None:
+        self._tiers = getattr(graph, "node_tiers", None)
+        names = getattr(graph, "tier_names", None)
+        self._tier_names = tuple(names) if names is not None else None
+        self._last = np.array(loads, dtype=np.int64, copy=True)
+
+    def observe_loads(self, t, loads) -> None:
+        np.copyto(self._last, loads)
+
+    def _stats(self, loads: np.ndarray) -> tuple[float, int]:
+        return (
+            round(float(np.percentile(loads, self.percentile)), 6),
+            int(loads.max()),
+        )
+
+    def summary(self) -> dict:
+        key = f"p{self.percentile:g}_load"
+        p_all, peak = self._stats(self._last)
+        out = {key: p_all, "peak_load": peak}
+        if self._tiers is not None:
+            for tier_id, name in enumerate(self._tier_names):
+                members = self._last[self._tiers == tier_id]
+                if members.size == 0:
+                    continue
+                p_tier, peak_tier = self._stats(members)
+                out[f"tier_{name}_mean_load"] = round(
+                    float(members.mean()), 6
+                )
+                out[f"tier_{name}_{key}"] = p_tier
+                out[f"tier_{name}_peak_load"] = peak_tier
+        return out
+
+
 class TrajectoryRecorder(SampledRecorder):
     """Records full load vectors on a sampling schedule (memory heavy).
 

@@ -8,7 +8,10 @@ negative) and the engines apply it before the balancing step.  See
 built-in injectors (``constant_rate``, ``batch_arrivals``,
 ``adversarial_peak``, ``random_churn``, ``scripted``) and
 :mod:`repro.dynamics.spec` for the declarative
-:class:`DynamicsSpec` used by scenario JSON and the CLI.
+:class:`DynamicsSpec` used by scenario JSON and the CLI.  The
+datacenter arrival processes (``poisson_arrivals``, ``pareto_flows``,
+``diurnal``, ``hotspot_shift``, ``correlated_burst``) live in
+:mod:`repro.traffic` and register here on import.
 """
 
 from repro.dynamics.injectors import (
@@ -37,3 +40,10 @@ __all__ = [
     "DynamicsSpec",
     "as_injector",
 ]
+
+# Registers the datacenter traffic generators in INJECTORS so any
+# importer of repro.dynamics (scenario runner, CLI, exec workers) sees
+# them without a separate import.  Plain ``import`` (not ``from``) is
+# deliberate: it tolerates partially initialized parents during
+# circular startup.
+import repro.traffic  # noqa: E402,F401

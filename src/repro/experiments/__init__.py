@@ -6,6 +6,10 @@ from repro.experiments.ablations import (
     run_selfloop_ablation,
 )
 from repro.experiments.base import ExperimentResult
+from repro.experiments.datacenter_serving import (
+    DatacenterServingConfig,
+    run_datacenter_serving,
+)
 from repro.experiments.deviation import DeviationConfig, run_deviation
 from repro.experiments.dynamic_steady_state import (
     DynamicSteadyStateConfig,
@@ -57,6 +61,8 @@ __all__ = [
     "run_deviation",
     "DynamicSteadyStateConfig",
     "run_dynamic_steady_state",
+    "DatacenterServingConfig",
+    "run_datacenter_serving",
     "TrajectoryConfig",
     "run_trajectories",
 ]

@@ -29,6 +29,10 @@ from repro.experiments.lower_bounds import (
     run_stateless,
     run_steady_state,
 )
+from repro.experiments.datacenter_serving import (
+    DatacenterServingConfig,
+    run_datacenter_serving,
+)
 from repro.experiments.deviation import DeviationConfig, run_deviation
 from repro.experiments.dynamic_steady_state import (
     DynamicSteadyStateConfig,
@@ -117,6 +121,32 @@ EXPERIMENT_DEFS: dict[str, ExperimentDef] = {
         DynamicSteadyStateConfig,
         fast={"n": 32, "rounds": 120, "tail_window": 30},
         full={"n": 256, "rounds": 400, "tail_window": 100},
+    ),
+    "E16": ExperimentDef(
+        run_datacenter_serving,
+        DatacenterServingConfig,
+        fast={
+            "rounds": 80,
+            "tail_window": 20,
+            "offered_loads": (1.0, 8.0),
+        },
+        full={
+            "fat_tree_k": 8,
+            "leaves": 16,
+            "spines": 8,
+            "hosts_per_leaf": 12,
+            "rounds": 400,
+            "tail_window": 100,
+            "offered_loads": (1.0, 4.0, 16.0, 64.0),
+            "traffic_models": (
+                "poisson_arrivals",
+                "pareto_flows",
+                "diurnal",
+                "hotspot_shift",
+                "correlated_burst",
+            ),
+            "replicas": 3,
+        },
     ),
     "F1": ExperimentDef(
         run_trajectories,

@@ -21,8 +21,10 @@ from repro.graphs.families import (
     ring_of_cliques,
     torus,
 )
+from repro.graphs.datacenter import fat_tree, leaf_spine
 from repro.graphs.irregular import (
     PaddedBalancingGraph,
+    from_edge_arrays,
     from_irregular_edges,
     from_networkx_irregular,
 )
@@ -66,6 +68,9 @@ __all__ = [
     "mixing_time_scale",
     "error_norm",
     "PaddedBalancingGraph",
+    "from_edge_arrays",
     "from_irregular_edges",
     "from_networkx_irregular",
+    "fat_tree",
+    "leaf_spine",
 ]

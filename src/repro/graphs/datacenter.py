@@ -1,0 +1,148 @@
+"""Multi-tier datacenter fabrics as registered graph families.
+
+The paper's deterministic schemes live on abstract regular graphs; the
+ROADMAP north-star is a serving system, so this module supplies the
+two canonical serving topologies — the k-ary fat-tree (Al-Fares et
+al., SIGCOMM 2008) and the two-tier leaf-spine (folded Clos) fabric —
+as :func:`~repro.graphs.families.register_family` entries usable from
+Scenario JSON and the CLI exactly like ``torus`` or ``hypercube``.
+
+Both fabrics are irregular (hosts have degree 1, switches degree k or
+more), so they route through the padding reduction in
+:mod:`repro.graphs.irregular`: every node is padded to ``d_max`` with
+structural self-loops, which keeps the walk doubly stochastic and all
+engine paths (dense and structured) valid without modification.
+
+Tier labels ride along as the ``node_tiers`` metadata channel so
+probes and experiments can report per-tier load; node ids are laid
+out hosts first, then switches, bottom tier to top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.errors import GraphConstructionError
+from repro.graphs.families import register_family
+from repro.graphs.irregular import (
+    PaddedBalancingGraph,
+    from_edge_arrays,
+)
+
+#: Tier layout of :func:`fat_tree` nodes, bottom to top.
+FAT_TREE_TIERS = ("host", "edge", "agg", "core")
+
+#: Tier layout of :func:`leaf_spine` nodes, bottom to top.
+LEAF_SPINE_TIERS = ("host", "leaf", "spine")
+
+
+@register_family("fat_tree")
+def fat_tree(
+    k: int, num_self_loops: int | None = None
+) -> PaddedBalancingGraph:
+    """k-ary fat-tree: ``k`` pods of edge/agg switches under a core.
+
+    Layout for even ``k >= 2``: ``k^3/4`` hosts, ``k^2/2`` edge
+    switches, ``k^2/2`` aggregation switches, ``(k/2)^2`` core
+    switches.  Each edge switch serves ``k/2`` hosts and uplinks to
+    every aggregation switch in its pod; aggregation switch ``j`` of
+    each pod uplinks to core group ``j`` (``k/2`` cores).  Every
+    switch has true degree ``k``; hosts have true degree 1 and are
+    padded to ``d_max = k``.
+    """
+    if k < 2 or k % 2:
+        raise GraphConstructionError(
+            f"fat_tree requires an even k >= 2, got {k}"
+        )
+    half = k // 2
+    num_hosts = half * half * k  # k^3 / 4
+    num_edge = num_agg = half * k  # k^2 / 2
+    num_core = half * half
+    edge0 = num_hosts
+    agg0 = edge0 + num_edge
+    core0 = agg0 + num_agg
+
+    hosts = np.arange(num_hosts)
+    host_up = edge0 + hosts // half
+
+    # Per-pod complete bipartite edge x agg: pod p, edge slot i, agg
+    # slot j for all (p, i, j).
+    pods = np.repeat(np.arange(k), half * half)
+    edge_slot = np.tile(np.repeat(np.arange(half), half), k)
+    agg_slot = np.tile(np.arange(half), k * half)
+    edge_sw = edge0 + pods * half + edge_slot
+    agg_sw = agg0 + pods * half + agg_slot
+
+    # Aggregation slot j of every pod reaches core group j.
+    agg_up = agg0 + pods * half + edge_slot
+    core_sw = core0 + edge_slot * half + agg_slot
+
+    sources = np.concatenate([hosts, edge_sw, agg_up])
+    targets = np.concatenate([host_up, agg_sw, core_sw])
+    n = core0 + num_core
+    tiers = np.empty(n, dtype=np.int64)
+    tiers[:edge0] = 0
+    tiers[edge0:agg0] = 1
+    tiers[agg0:core0] = 2
+    tiers[core0:] = 3
+    return from_edge_arrays(
+        n,
+        sources,
+        targets,
+        num_self_loops,
+        name=f"fat_tree(k={k})",
+        node_tiers=tiers,
+        tier_names=FAT_TREE_TIERS,
+    )
+
+
+@register_family("leaf_spine")
+def leaf_spine(
+    leaves: int,
+    spines: int,
+    hosts_per_leaf: int,
+    num_self_loops: int | None = None,
+) -> PaddedBalancingGraph:
+    """Two-tier folded-Clos fabric: every leaf uplinks to every spine.
+
+    ``leaves * hosts_per_leaf`` hosts (degree 1) hang off the leaves;
+    leaves have true degree ``hosts_per_leaf + spines`` and spines
+    ``leaves``.  All nodes are padded to the leaf degree (the maximum
+    whenever ``hosts_per_leaf >= 1``).
+    """
+    if leaves < 1 or spines < 1:
+        raise GraphConstructionError(
+            "leaf_spine requires leaves >= 1 and spines >= 1, got "
+            f"leaves={leaves}, spines={spines}"
+        )
+    if hosts_per_leaf < 0:
+        raise GraphConstructionError(
+            f"hosts_per_leaf must be >= 0, got {hosts_per_leaf}"
+        )
+    num_hosts = leaves * hosts_per_leaf
+    leaf0 = num_hosts
+    spine0 = leaf0 + leaves
+
+    hosts = np.arange(num_hosts)
+    host_up = leaf0 + (
+        hosts // hosts_per_leaf if hosts_per_leaf else hosts
+    )
+    leaf_sw = leaf0 + np.repeat(np.arange(leaves), spines)
+    spine_sw = spine0 + np.tile(np.arange(spines), leaves)
+
+    n = spine0 + spines
+    tiers = np.empty(n, dtype=np.int64)
+    tiers[:leaf0] = 0
+    tiers[leaf0:spine0] = 1
+    tiers[spine0:] = 2
+    return from_edge_arrays(
+        n,
+        np.concatenate([hosts, leaf_sw]),
+        np.concatenate([host_up, spine_sw]),
+        num_self_loops,
+        name=(
+            f"leaf_spine(l={leaves}, s={spines}, h={hosts_per_leaf})"
+        ),
+        node_tiers=tiers,
+        tier_names=LEAF_SPINE_TIERS,
+    )

@@ -1,0 +1,42 @@
+"""Datacenter workload generators on the dynamics Injector protocol.
+
+``repro.traffic`` layers realistic arrival processes — Poisson,
+heavy-tailed flows, diurnal curves, rotating hotspots, correlated
+bursts — on top of :mod:`repro.dynamics`.  Every generator registers
+in the shared injector registry, so scenario JSON reaches them through
+``DynamicsSpec(name, params)`` with the usual seeded replica-offset
+discipline, and suites using them stay shardable and cacheable under
+:mod:`repro.exec`.
+
+Importing this package is what registers the generators; user code
+normally gets it for free because :mod:`repro.dynamics` imports it at
+the end of its own init.
+"""
+
+from repro.traffic.generators import (
+    CorrelatedBurst,
+    Diurnal,
+    HotspotShift,
+    ParetoFlows,
+    PoissonArrivals,
+    host_rates,
+)
+
+#: Registry names contributed by this package.
+TRAFFIC_INJECTORS = (
+    "poisson_arrivals",
+    "pareto_flows",
+    "diurnal",
+    "hotspot_shift",
+    "correlated_burst",
+)
+
+__all__ = [
+    "PoissonArrivals",
+    "ParetoFlows",
+    "Diurnal",
+    "HotspotShift",
+    "CorrelatedBurst",
+    "host_rates",
+    "TRAFFIC_INJECTORS",
+]

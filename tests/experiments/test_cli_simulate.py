@@ -420,3 +420,57 @@ class TestSimulateDynamics:
         assert len(rows) == 2
         assert all(row["tokens_injected"] == 50 for row in rows)
         assert "batch_arrivals" in capsys.readouterr().out
+
+
+class TestSimulateDatacenter:
+    def test_list_families(self, capsys):
+        code = main(["simulate", "--list-families"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "registered graph families:" in out
+        for name in ("cycle", "torus", "fat_tree", "leaf_spine"):
+            assert name in out
+
+    def test_fat_tree_with_traffic_and_tier_probe(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "send_floor",
+                "--family",
+                "fat_tree",
+                "--n",
+                "16",
+                "--rounds",
+                "40",
+                "--probe",
+                "tier_loads",
+                "--inject",
+                'poisson_arrivals:{"rate": 0.5, "seed": 3}',
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fat_tree(k=4)" in out
+        assert "dynamics:   poisson_arrivals" in out
+        assert "p99_load" in out
+        assert "tier_host_mean_load" in out
+
+    def test_leaf_spine_with_hotspot_traffic(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "rotor_router",
+                "--family",
+                "leaf_spine",
+                "--n",
+                "12",
+                "--rounds",
+                "30",
+                "--inject",
+                'hotspot_shift:{"rate": 6, "shift_every": 5, "seed": 1}',
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "leaf_spine(" in out
+        assert "tokens_injected: 180" in out

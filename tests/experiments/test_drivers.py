@@ -229,3 +229,65 @@ class TestDynamicSteadyState:
                 and r["rate"] == row["rate"]
             )
             assert row["steady_state"] >= twin["steady_state"]
+
+
+class TestDatacenterServing:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import (
+            DatacenterServingConfig,
+            run_datacenter_serving,
+        )
+
+        return run_datacenter_serving(
+            DatacenterServingConfig(
+                fat_tree_k=4,
+                leaves=4,
+                spines=2,
+                hosts_per_leaf=3,
+                rounds=80,
+                tail_window=20,
+                offered_loads=(1.0, 8.0),
+                traffic_models=(
+                    "poisson_arrivals",
+                    "pareto_flows",
+                    "hotspot_shift",
+                ),
+                algorithms=("send_floor",),
+                replicas=2,
+            )
+        )
+
+    def test_grid_is_complete(self, result):
+        assert {row["fabric"] for row in result.rows} == {
+            "fat_tree",
+            "leaf_spine",
+        }
+        assert {row["traffic"] for row in result.rows} == {
+            "poisson_arrivals",
+            "pareto_flows",
+            "hotspot_shift",
+        }
+        assert len(result.rows) == 2 * 3 * 2  # fabrics x models x loads
+
+    def test_percentiles_are_ordered(self, result):
+        for row in result.rows:
+            assert 0 <= row["p99_load"] <= row["peak_load"]
+
+    def test_injection_grows_with_offered_load(self, result):
+        for fabric in ("fat_tree", "leaf_spine"):
+            for model in ("poisson_arrivals", "hotspot_shift"):
+                injected = {
+                    row["offered"]: row["tokens_injected_mean"]
+                    for row in result.rows
+                    if row["fabric"] == fabric
+                    and row["traffic"] == model
+                }
+                assert injected[8.0] > injected[1.0] > 0
+
+    def test_loads_only_grid_rides_the_batch_executor(self, result):
+        assert all(row["executor"] == "batch" for row in result.rows)
+
+    def test_renders(self, result):
+        assert "steady_state" in result.to_text()
+        assert '"experiment_id": "E16"' in result.to_json()

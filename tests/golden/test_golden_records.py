@@ -26,11 +26,13 @@ import pytest
 pytestmark = pytest.mark.slow
 
 from repro.experiments import (  # noqa: E402
+    DatacenterServingConfig,
     LowerBoundConfig,
     Table1Config,
     Theorem23Config,
     Theorem33Config,
     run_cycle_sweep,
+    run_datacenter_serving,
     run_expander_sweep,
     run_minimal_selfloop_sweep,
     run_potential_monotonicity,
@@ -60,6 +62,20 @@ GOLDEN_CASES = {
     "E12": lambda: run_potential_monotonicity(
         Theorem33Config(n=32, degree=4, tokens_per_node=16),
         rounds=120,
+    ),
+    "E16": lambda: run_datacenter_serving(
+        DatacenterServingConfig(
+            fat_tree_k=2,
+            leaves=3,
+            spines=2,
+            hosts_per_leaf=2,
+            rounds=60,
+            tail_window=15,
+            offered_loads=(1.0, 4.0),
+            traffic_models=("poisson_arrivals", "hotspot_shift"),
+            algorithms=("send_floor",),
+            replicas=2,
+        )
     ),
 }
 

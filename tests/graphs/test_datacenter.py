@@ -1,0 +1,281 @@
+"""Topology invariants for the datacenter fabrics.
+
+Property tests over a parameter grid: tier counts, per-tier true
+degrees, connectivity, reverse-port symmetry, equivalence of the
+vectorized edge-array construction with the reference loop builder,
+and spectral sanity (second eigenvalue strictly below 1) through both
+the dense and the sparse eigensolver paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import make
+from repro.core.engine import Simulator
+from repro.graphs import build
+from repro.graphs.datacenter import fat_tree, leaf_spine
+from repro.graphs.errors import (
+    GraphConstructionError,
+    GraphValidationError,
+)
+from repro.graphs.irregular import (
+    from_edge_arrays,
+    from_irregular_edges,
+)
+from repro.graphs.spectral import second_eigenvalue
+
+FAT_TREE_KS = (2, 4, 6)
+LEAF_SPINE_GRID = (
+    (2, 2, 2),
+    (4, 2, 3),
+    (6, 3, 4),
+    (3, 5, 1),
+    (2, 2, 0),
+)
+
+
+def _real_edges(graph):
+    """Undirected real edge set {(u, v), u < v} of a padded graph."""
+    edges = set()
+    for u in range(graph.num_nodes):
+        for v in graph.neighbors(u):
+            edges.add((min(u, v), max(u, v)))
+    return edges
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("k", FAT_TREE_KS)
+    def test_tier_counts(self, k):
+        graph = fat_tree(k)
+        half = k // 2
+        assert graph.tier_counts() == {
+            "host": half * half * k,
+            "edge": half * k,
+            "agg": half * k,
+            "core": half * half,
+        }
+        assert graph.num_nodes == sum(graph.tier_counts().values())
+
+    @pytest.mark.parametrize("k", FAT_TREE_KS)
+    def test_tier_degrees(self, k):
+        graph = fat_tree(k)
+        hosts = graph.node_tiers == 0
+        assert (graph.true_degrees[hosts] == 1).all()
+        assert (graph.true_degrees[~hosts] == k).all()
+        assert graph.degree == k  # d_max
+
+    @pytest.mark.parametrize("k", FAT_TREE_KS)
+    def test_connected_with_small_diameter(self, k):
+        graph = fat_tree(k)
+        dist = graph.distances_from(0)
+        assert (dist >= 0).all()
+        # host -> edge -> agg -> core -> agg -> edge -> host
+        assert dist.max() <= 6
+
+    @pytest.mark.parametrize("k", FAT_TREE_KS)
+    def test_reverse_port_symmetry(self, k):
+        graph = fat_tree(k)
+        adjacency = graph.adjacency
+        reverse = graph.reverse_port
+        for u in range(graph.num_nodes):
+            for p in range(int(graph.true_degrees[u])):
+                v = adjacency[u, p]
+                assert adjacency[v, reverse[u, p]] == u
+            for p in range(
+                int(graph.true_degrees[u]), graph.degree
+            ):
+                assert adjacency[u, p] == u
+                assert reverse[u, p] == p
+
+    def test_rejects_odd_or_tiny_k(self):
+        with pytest.raises(GraphConstructionError, match="even"):
+            fat_tree(3)
+        with pytest.raises(GraphConstructionError, match="even"):
+            fat_tree(0)
+
+    def test_registered_family(self):
+        graph = build("fat_tree", k=4)
+        assert graph.name == "fat_tree(k=4)"
+        assert build("fat_tree", k=4, num_self_loops=0).num_self_loops == 0
+
+
+class TestLeafSpine:
+    @pytest.mark.parametrize(
+        "leaves,spines,hosts_per_leaf", LEAF_SPINE_GRID
+    )
+    def test_tier_counts_and_degrees(
+        self, leaves, spines, hosts_per_leaf
+    ):
+        graph = leaf_spine(leaves, spines, hosts_per_leaf)
+        assert graph.tier_counts() == {
+            "host": leaves * hosts_per_leaf,
+            "leaf": leaves,
+            "spine": spines,
+        }
+        tiers = graph.node_tiers
+        degrees = graph.true_degrees
+        assert (degrees[tiers == 0] == 1).all()
+        assert (degrees[tiers == 1] == hosts_per_leaf + spines).all()
+        assert (degrees[tiers == 2] == leaves).all()
+
+    @pytest.mark.parametrize(
+        "leaves,spines,hosts_per_leaf", LEAF_SPINE_GRID
+    )
+    def test_connected_and_symmetric(
+        self, leaves, spines, hosts_per_leaf
+    ):
+        graph = leaf_spine(leaves, spines, hosts_per_leaf)
+        assert graph.is_connected()
+        adjacency, reverse = graph.adjacency, graph.reverse_port
+        for u in range(graph.num_nodes):
+            for p in range(int(graph.true_degrees[u])):
+                assert adjacency[adjacency[u, p], reverse[u, p]] == u
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(GraphConstructionError, match="leaves"):
+            leaf_spine(0, 2, 2)
+        with pytest.raises(GraphConstructionError, match="leaves"):
+            leaf_spine(2, 0, 2)
+        with pytest.raises(
+            GraphConstructionError, match="hosts_per_leaf"
+        ):
+            leaf_spine(2, 2, -1)
+
+    def test_registered_family(self):
+        graph = build(
+            "leaf_spine", leaves=3, spines=2, hosts_per_leaf=2
+        )
+        assert graph.tier_counts()["host"] == 6
+
+
+class TestEdgeArrayConstruction:
+    """from_edge_arrays == from_irregular_edges on the same edges."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: fat_tree(4),
+            lambda: leaf_spine(4, 2, 3),
+        ],
+        ids=["fat_tree", "leaf_spine"],
+    )
+    def test_matches_reference_builder(self, factory):
+        fabric = factory()
+        edges = sorted(_real_edges(fabric))
+        reference = from_irregular_edges(fabric.num_nodes, edges)
+        np.testing.assert_array_equal(
+            fabric.adjacency, reference.adjacency
+        )
+        np.testing.assert_array_equal(
+            fabric.reverse_port, reference.reverse_port
+        )
+        np.testing.assert_array_equal(
+            fabric.true_degrees, reference.true_degrees
+        )
+
+    def test_rejects_duplicates_self_loops_and_disconnection(self):
+        with pytest.raises(GraphValidationError, match="duplicate"):
+            from_edge_arrays(3, [0, 1, 1], [1, 2, 2])
+        with pytest.raises(GraphValidationError, match="self-loops"):
+            from_edge_arrays(2, [0, 1], [0, 1])
+        with pytest.raises(GraphValidationError, match="no edges"):
+            from_edge_arrays(3, [0], [1])
+        with pytest.raises(
+            GraphValidationError, match="disconnected"
+        ):
+            from_edge_arrays(4, [0, 2], [1, 3])
+        with pytest.raises(GraphValidationError, match="endpoints"):
+            from_edge_arrays(3, [0], [3])
+
+
+class TestTierMetadata:
+    def test_tiers_require_names(self):
+        with pytest.raises(GraphValidationError, match="together"):
+            from_edge_arrays(2, [0], [1], node_tiers=[0, 0])
+
+    def test_tier_length_must_match(self):
+        with pytest.raises(GraphValidationError, match="length"):
+            from_edge_arrays(
+                2, [0], [1], node_tiers=[0], tier_names=("a",)
+            )
+
+    def test_tier_ids_must_index_names(self):
+        with pytest.raises(GraphValidationError, match="index"):
+            from_edge_arrays(
+                2, [0], [1], node_tiers=[0, 5], tier_names=("a",)
+            )
+
+    def test_untier_graph_has_no_metadata(self):
+        graph = from_edge_arrays(2, [0], [1])
+        assert graph.node_tiers is None
+        assert graph.tier_names is None
+        assert graph.tier_counts() == {}
+        assert "tiers" not in graph.describe()
+
+
+class TestSpectral:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: fat_tree(4),
+            lambda: leaf_spine(6, 3, 4),
+        ],
+        ids=["fat_tree", "leaf_spine"],
+    )
+    def test_second_eigenvalue_below_one(self, factory):
+        graph = factory()
+        lam2 = second_eigenvalue(graph)
+        assert 0 < lam2 < 1
+
+    def test_sparse_matrix_matches_dense(self):
+        graph = fat_tree(4)
+        np.testing.assert_allclose(
+            graph.transition_matrix_sparse().toarray(),
+            graph.transition_matrix(),
+        )
+        row_sums = np.asarray(
+            graph.transition_matrix_sparse().sum(axis=1)
+        ).ravel()
+        np.testing.assert_allclose(row_sums, 1.0)
+
+    @pytest.mark.slow
+    def test_large_fabric_uses_sparse_path(self):
+        # 4176 nodes > the dense eigh limit, so second_eigenvalue
+        # must route through transition_matrix_sparse + eigsh.
+        graph = fat_tree(24)
+        assert graph.num_nodes > 3000
+        lam2 = second_eigenvalue(graph)
+        assert 0 < lam2 < 1
+
+
+class TestEngineCompatibility:
+    """Both engines run the fabrics and agree (structured support)."""
+
+    @pytest.mark.parametrize(
+        "algorithm", ["send_floor", "send_rounded", "rotor_router"]
+    )
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: fat_tree(4),
+            lambda: leaf_spine(4, 2, 3),
+        ],
+        ids=["fat_tree", "leaf_spine"],
+    )
+    def test_dense_equals_structured(self, algorithm, factory):
+        graph = factory()
+        rng = np.random.default_rng(7)
+        loads = rng.integers(0, 60, graph.num_nodes).astype(np.int64)
+        dense = Simulator(
+            graph, make(algorithm), loads, engine="dense"
+        ).run(40)
+        structured = Simulator(
+            graph, make(algorithm), loads, engine="structured"
+        ).run(40)
+        np.testing.assert_array_equal(
+            dense.final_loads, structured.final_loads
+        )
+        assert (
+            dense.discrepancy_history
+            == structured.discrepancy_history
+        )

@@ -45,12 +45,29 @@ LOAD_SPEC_PARAMS = {
 }
 
 #: Valid params for every registered injector, mirroring the above.
+#: The last five are the repro.traffic datacenter generators, pinned
+#: to the same seed/replica-offset discipline as the core injectors.
 INJECTOR_PARAMS = {
     "constant_rate": {"rate": 6, "seed": 5},
     "batch_arrivals": {"tokens": 20, "period": 3, "seed": 5},
     "adversarial_peak": {"rate": 4},
     "random_churn": {"rate": 10, "seed": 5},
     "scripted": {"events": [[2, 1, 9], [5, 0, 4]]},
+    "poisson_arrivals": {"rate": 1.5, "seed": 5},
+    "pareto_flows": {"rate": 2.0, "alpha": 1.4, "seed": 5},
+    "diurnal": {"rate": 2.0, "period": 6, "amplitude": 0.9, "seed": 5},
+    "hotspot_shift": {
+        "rate": 8,
+        "hotspots": 2,
+        "shift_every": 4,
+        "seed": 5,
+    },
+    "correlated_burst": {
+        "tokens": 6,
+        "nodes": 3,
+        "probability": 0.4,
+        "seed": 5,
+    },
 }
 
 

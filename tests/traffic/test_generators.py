@@ -1,0 +1,224 @@
+"""Unit tests for the repro.traffic arrival generators.
+
+Shape and determinism per generator; the seed/replica-offset and
+batch-size discipline is pinned centrally in
+``tests/scenarios/test_replica_offsets.py`` (which covers every
+registered injector, these included) and the executor-level
+bit-identity in ``tests/traffic/test_traffic_parity.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInjection
+from repro.dynamics import INJECTORS, DynamicsSpec
+from repro.graphs.datacenter import leaf_spine
+from repro.traffic import (
+    TRAFFIC_INJECTORS,
+    CorrelatedBurst,
+    Diurnal,
+    HotspotShift,
+    ParetoFlows,
+    PoissonArrivals,
+    host_rates,
+)
+
+N = 20
+
+
+def _stream(injector, rounds=12, n=N):
+    loads = np.full(n, 50, dtype=np.int64)
+    injector.start(None, loads)
+    return np.stack(
+        [injector.delta(t, loads).copy() for t in range(1, rounds + 1)]
+    )
+
+
+def test_all_traffic_injectors_registered():
+    assert set(TRAFFIC_INJECTORS) <= set(INJECTORS.names())
+
+
+@pytest.mark.parametrize("name", TRAFFIC_INJECTORS)
+def test_json_round_trip_builds_identical_stream(name):
+    params = {
+        "poisson_arrivals": {"rate": 1.5, "seed": 4},
+        "pareto_flows": {"rate": 2.0, "alpha": 1.3, "seed": 4},
+        "diurnal": {"rate": 2.0, "period": 6, "seed": 4},
+        "hotspot_shift": {"rate": 7, "hotspots": 2, "seed": 4},
+        "correlated_burst": {"tokens": 5, "probability": 0.5, "seed": 4},
+    }[name]
+    import json
+
+    spec = DynamicsSpec(name, params)
+    round_tripped = DynamicsSpec.from_dict(
+        json.loads(json.dumps(spec.to_dict()))
+    )
+    np.testing.assert_array_equal(
+        _stream(spec.build()), _stream(round_tripped.build())
+    )
+
+
+@pytest.mark.parametrize("name", TRAFFIC_INJECTORS)
+def test_start_resets_the_stream(name):
+    injector = DynamicsSpec(
+        name,
+        {
+            "poisson_arrivals": {"rate": 2.0, "seed": 9},
+            "pareto_flows": {"rate": 1.5, "seed": 9},
+            "diurnal": {"rate": 2.0, "seed": 9},
+            "hotspot_shift": {"rate": 6, "shift_every": 3, "seed": 9},
+            "correlated_burst": {"tokens": 4, "probability": 0.6, "seed": 9},
+        }[name],
+    ).build()
+    first = _stream(injector)
+    second = _stream(injector)  # same instance, fresh start()
+    np.testing.assert_array_equal(first, second)
+
+
+class TestPoissonArrivals:
+    def test_per_node_rates_respect_zero_nodes(self):
+        rates = [3.0] * 5 + [0.0] * (N - 5)
+        deltas = _stream(PoissonArrivals(rates, seed=2), rounds=30)
+        assert deltas[:, :5].sum() > 0
+        assert deltas[:, 5:].sum() == 0
+
+    def test_rate_vector_length_checked_at_start(self):
+        injector = PoissonArrivals([1.0, 2.0], seed=0)
+        with pytest.raises(InvalidInjection, match="nodes"):
+            injector.start(None, np.zeros(5, dtype=np.int64))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(InvalidInjection):
+            PoissonArrivals(-1.0)
+        with pytest.raises(InvalidInjection):
+            PoissonArrivals([1.0, -2.0])
+
+    def test_summary_counts_everything(self):
+        injector = PoissonArrivals(2.5, seed=1)
+        total = int(_stream(injector).sum())
+        assert injector.summary() == {"tokens_arrived": total}
+
+
+class TestParetoFlows:
+    def test_sizes_within_bounds(self):
+        injector = ParetoFlows(
+            rate=5.0, alpha=1.1, min_size=2, max_size=9, seed=3
+        )
+        loads = np.full(N, 50, dtype=np.int64)
+        injector.start(None, loads)
+        for t in range(1, 40):
+            delta = injector.delta(t, loads)
+            assert (delta >= 0).all()
+        summary = injector.summary()
+        assert summary["flows_arrived"] > 0
+        assert (
+            2 * summary["flows_arrived"]
+            <= summary["tokens_arrived"]
+            <= 9 * summary["flows_arrived"]
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidInjection, match="rate"):
+            ParetoFlows(rate=-1)
+        with pytest.raises(InvalidInjection, match="alpha"):
+            ParetoFlows(rate=1, alpha=0)
+        with pytest.raises(InvalidInjection, match="min_size"):
+            ParetoFlows(rate=1, min_size=5, max_size=2)
+
+
+class TestDiurnal:
+    def test_trough_of_full_swing_is_silent(self):
+        # amplitude=1, period=4: round t=4 sits at sin(3*pi/2) = -1,
+        # so the modulated rate is exactly 0.
+        injector = Diurnal(rate=50.0, period=4, amplitude=1.0, seed=0)
+        deltas = _stream(injector, rounds=8)
+        assert deltas[3].sum() == 0  # t = 4
+        assert deltas[7].sum() == 0  # t = 8
+        assert deltas[0].sum() > 0  # t = 1 runs at the base rate
+
+    def test_validation(self):
+        with pytest.raises(InvalidInjection, match="period"):
+            Diurnal(rate=1.0, period=0)
+        with pytest.raises(InvalidInjection, match="amplitude"):
+            Diurnal(rate=1.0, amplitude=1.5)
+
+
+class TestHotspotShift:
+    def test_concentrates_rate_on_hot_set(self):
+        injector = HotspotShift(
+            rate=10, hotspots=3, shift_every=4, seed=5
+        )
+        deltas = _stream(injector, rounds=12)
+        for delta in deltas:
+            assert delta.sum() == 10
+            assert (delta > 0).sum() <= 3
+
+    def test_hot_set_rotates_between_epochs(self):
+        injector = HotspotShift(
+            rate=6, hotspots=2, shift_every=2, seed=5
+        )
+        deltas = _stream(injector, rounds=20)
+        supports = {
+            tuple(np.nonzero(delta)[0]) for delta in deltas
+        }
+        assert len(supports) > 1
+
+    def test_stream_is_independent_of_call_history(self):
+        # Epoch randomness is keyed on (seed, epoch), so computing
+        # round 9 cold equals computing it after rounds 1..8.
+        loads = np.full(N, 50, dtype=np.int64)
+        sequential = HotspotShift(rate=8, shift_every=3, seed=2)
+        sequential.start(None, loads)
+        expected = None
+        for t in range(1, 10):
+            expected = sequential.delta(t, loads).copy()
+        cold = HotspotShift(rate=8, shift_every=3, seed=2)
+        cold.start(None, loads)
+        np.testing.assert_array_equal(cold.delta(9, loads), expected)
+
+    def test_validation(self):
+        with pytest.raises(InvalidInjection, match="hotspots"):
+            HotspotShift(rate=1, hotspots=0)
+        with pytest.raises(InvalidInjection, match="shift_every"):
+            HotspotShift(rate=1, shift_every=0)
+
+
+class TestCorrelatedBurst:
+    def test_bursts_hit_distinct_nodes_simultaneously(self):
+        injector = CorrelatedBurst(
+            tokens=7, nodes=3, probability=0.5, seed=6
+        )
+        deltas = _stream(injector, rounds=40)
+        burst_rounds = [d for d in deltas if d.sum()]
+        assert burst_rounds
+        for delta in burst_rounds:
+            hit = delta[delta > 0]
+            assert hit.shape[0] == 3
+            assert (hit == 7).all()
+        assert injector.summary()["bursts_fired"] == len(burst_rounds)
+
+    def test_validation(self):
+        with pytest.raises(InvalidInjection, match="probability"):
+            CorrelatedBurst(tokens=1, probability=2.0)
+        with pytest.raises(InvalidInjection, match="nodes"):
+            CorrelatedBurst(tokens=1, nodes=0)
+
+
+class TestHostRates:
+    def test_builds_tier_concentrated_vector(self):
+        graph = leaf_spine(3, 2, 2)
+        rates = host_rates(graph, 1.75)
+        assert rates == [1.75] * 6 + [0.0] * 5
+        assert host_rates(graph, 2.0, tier="spine") == (
+            [0.0] * 9 + [2.0] * 2
+        )
+
+    def test_requires_tiered_graph(self):
+        from repro.graphs import families
+
+        with pytest.raises(InvalidInjection, match="node_tiers"):
+            host_rates(families.cycle(6), 1.0)
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(InvalidInjection, match="unknown tier"):
+            host_rates(leaf_spine(2, 2, 1), 1.0, tier="rack")

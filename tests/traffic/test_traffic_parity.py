@@ -1,0 +1,119 @@
+"""Executor parity for the datacenter traffic generators.
+
+Every repro.traffic injector, on both fabrics, must be bit-identical
+across the serial runner, the 2-worker sharded runner, and a cached
+replay — the same acceptance bar the core injectors pass in
+``tests/exec/test_parallel_parity.py``.  Records are compared on their
+canonical JSON, so replica indices, probe scalars (including the
+tier_loads percentiles) and injection summaries are all pinned.
+"""
+
+import pytest
+
+from repro.exec import ResultCache, run_suite
+from repro.scenarios import (
+    AlgorithmSpec,
+    DynamicsSpec,
+    GraphSpec,
+    LoadSpec,
+    ProbeSpec,
+    Scenario,
+    ScenarioSuite,
+    StopRule,
+)
+from repro.traffic import TRAFFIC_INJECTORS
+
+from tests.exec.factories import canonical_records
+
+pytestmark = pytest.mark.slow
+
+FABRICS = (
+    GraphSpec("fat_tree", {"k": 4}),
+    GraphSpec("leaf_spine", {"leaves": 4, "spines": 2, "hosts_per_leaf": 3}),
+)
+
+TRAFFIC_SPECS = {
+    "poisson_arrivals": {"rate": 0.5, "seed": 3},
+    "pareto_flows": {"rate": 1.0, "alpha": 1.4, "max_size": 50, "seed": 3},
+    "diurnal": {"rate": 1.0, "period": 12, "amplitude": 0.8, "seed": 3},
+    "hotspot_shift": {"rate": 12, "hotspots": 3, "shift_every": 8, "seed": 3},
+    "correlated_burst": {
+        "tokens": 10,
+        "nodes": 4,
+        "probability": 0.2,
+        "seed": 3,
+    },
+}
+
+
+def make_traffic_suite() -> ScenarioSuite:
+    return ScenarioSuite(
+        tuple(
+            Scenario(
+                graph=fabric,
+                algorithm=AlgorithmSpec("send_floor", seed=1),
+                loads=LoadSpec("balanced", {"per_node": 6}),
+                stop=StopRule.fixed(30),
+                replicas=2,
+                probes=(
+                    ProbeSpec("tier_loads", {"percentile": 99.0}),
+                    ProbeSpec("discrepancy"),
+                ),
+                dynamics=DynamicsSpec(model, dict(params)),
+            )
+            for fabric in FABRICS
+            for model, params in sorted(TRAFFIC_SPECS.items())
+        ),
+        name="traffic-parity",
+    )
+
+
+def test_every_traffic_injector_is_exercised():
+    assert set(TRAFFIC_SPECS) == set(TRAFFIC_INJECTORS)
+
+
+class TestTrafficExecutorParity:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return make_traffic_suite()
+
+    @pytest.fixture(scope="class")
+    def serial_records(self, suite):
+        return canonical_records(suite.run())
+
+    def test_two_workers_bit_identical(self, suite, serial_records):
+        report = run_suite(suite, workers=2)
+        assert canonical_records(report.outcomes) == serial_records
+
+    def test_replica_split_bit_identical(self, suite, serial_records):
+        report = run_suite(suite, workers=2, max_replicas_per_shard=1)
+        assert len(report.shards) == sum(s.replicas for s in suite)
+        assert canonical_records(report.outcomes) == serial_records
+
+    def test_cached_replay_bit_identical(
+        self, suite, serial_records, tmp_path
+    ):
+        cache = ResultCache(tmp_path)
+        first = run_suite(suite, cache=cache)
+        assert canonical_records(first.outcomes) == serial_records
+        replay = run_suite(suite, cache=cache)
+        assert replay.computed == 0
+        assert replay.cached == len(replay.shards)
+        assert canonical_records(replay.outcomes) == serial_records
+
+    def test_tier_summaries_survive_the_wire(self, suite):
+        # tier_loads scalars come back through worker serialization
+        # with the same keys and values as the in-process run.
+        serial = [
+            outcome.replica_summary(replica)
+            for outcome in suite.run()
+            for replica in range(len(outcome))
+        ]
+        report = run_suite(suite, workers=2)
+        parallel = [
+            outcome.replica_summary(replica)
+            for outcome in report.outcomes
+            for replica in range(len(outcome))
+        ]
+        assert parallel == serial
+        assert any("tier_host_mean_load" in row for row in serial)
