@@ -164,6 +164,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered injector names and exit",
     )
     sim_parser.add_argument(
+        "--faults",
+        metavar="NAME[:JSON]",
+        help=(
+            "fault schedule: a registered schedule applied every "
+            "round, e.g. --faults 'link_failures:{\"rate\": 0.05, "
+            "\"seed\": 1}' or --faults 'node_crashes:{\"rate\": "
+            "0.01, \"downtime\": 5}' (faults ride the structured "
+            "fast path; dropped tokens are tracked in the summary)"
+        ),
+    )
+    sim_parser.add_argument(
+        "--list-faults",
+        action="store_true",
+        help="list registered fault-schedule names and exit",
+    )
+    sim_parser.add_argument(
         "--trace-csv",
         metavar="PATH",
         help="dump replica 0's columnar trace (probe columns) as CSV",
@@ -241,6 +257,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also dump every RunRecord (summary + trace) as JSON lines",
     )
+    scenario_parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "attempt each shard up to N times: transient failures "
+            "(timeouts, worker crashes, I/O errors) are retried with "
+            "exponential backoff, bad specs still fail fast"
+        ),
+    )
+    scenario_parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-shard wall-clock budget; a shard over budget has its "
+            "worker process killed (and is retried under --retries)"
+        ),
+    )
+    scenario_parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help=(
+            "graceful degradation: report failed shards and exit 0 "
+            "with the completed results instead of failing the run; "
+            "completed shards stay cached, so a later --resume only "
+            "recomputes the holes"
+        ),
+    )
     return parser
 
 
@@ -289,6 +336,7 @@ def _run_simulate(args) -> int:
     from repro.analysis.convergence import horizon_for
     from repro.core.probes import PROBES, ProbeSpec
     from repro.dynamics import INJECTORS, DynamicsSpec
+    from repro.faults import FAULTS, FaultSpec
     from repro.graphs.spectral import eigenvalue_gap
     from repro.scenarios import (
         AlgorithmSpec,
@@ -307,6 +355,11 @@ def _run_simulate(args) -> int:
         for name in INJECTORS.names():
             print(f"  {name}")
         return 0
+    if args.list_faults:
+        print("registered fault schedules:")
+        for name in FAULTS.names():
+            print(f"  {name}")
+        return 0
     if args.list_families:
         from repro.graphs import FAMILY_BUILDERS
 
@@ -320,6 +373,7 @@ def _run_simulate(args) -> int:
     dynamics = (
         DynamicsSpec.parse(args.inject) if args.inject else None
     )
+    faults = FaultSpec.parse(args.faults) if args.faults else None
     graph_spec = graph_spec_from_cli(
         args.family, args.n, args.degree, args.seed, args.self_loops
     )
@@ -341,6 +395,7 @@ def _run_simulate(args) -> int:
         replicas=args.replicas,
         probes=probes,
         dynamics=dynamics,
+        faults=faults,
     )
     outcome = scenario.run(graph=graph)
     result = outcome.replica(0)
@@ -349,6 +404,8 @@ def _run_simulate(args) -> int:
     print(f"rounds:     {result.rounds_executed}")
     if dynamics is not None:
         print(f"dynamics:   {dynamics.name}")
+    if faults is not None:
+        print(f"faults:     {faults.name}")
     print(f"discrepancy {result.initial_discrepancy} -> "
           f"{result.final_discrepancy}")
     if args.replicas > 1:
@@ -358,7 +415,9 @@ def _run_simulate(args) -> int:
             f"final discrepancy {min(finals)}..{max(finals)}"
         )
     record = outcome.record(0)
-    if (probes or dynamics is not None) and record is not None:
+    if (
+        probes or dynamics is not None or faults is not None
+    ) and record is not None:
         for key, value in record.summary.items():
             if key in ("initial_discrepancy", "final_discrepancy"):
                 continue
@@ -396,12 +455,19 @@ def _run_scenario(args) -> int:
     if args.resume and not args.cache:
         raise SystemExit("scenario: --resume requires the cache "
                          "(drop --no-cache)")
+    if args.retries is not None and args.retries < 1:
+        raise SystemExit("scenario: --retries must be >= 1")
     cache = ResultCache(args.cache_dir) if args.cache else None
     runner = SuiteExecutor(
         workers=args.workers or args.global_workers or 1,
         cache=cache,
         executor=args.executor,
         max_replicas_per_shard=args.max_replicas_per_shard,
+        retry=args.retries,
+        timeout=args.shard_timeout,
+        on_shard_failure=(
+            "partial" if args.allow_partial else "raise"
+        ),
     )
     try:
         report = runner.run(suite)
@@ -410,7 +476,30 @@ def _run_scenario(args) -> int:
         for failure in exc.failures:
             print(f"--- {failure.label} ---", file=sys.stderr)
             print(failure.traceback, file=sys.stderr)
+        if args.cache:
+            print(
+                f"resume with: repro-lb scenario {args.path} --resume"
+                + (
+                    f" --cache-dir {args.cache_dir}"
+                    if args.cache_dir != ".repro-cache"
+                    else ""
+                ),
+                file=sys.stderr,
+            )
         return 1
+    if report.failures:
+        # --allow-partial: completed results below, holes on stderr.
+        print(
+            f"warning: {len(report.failures)} shards failed "
+            "(--allow-partial; completed shards are cached)",
+            file=sys.stderr,
+        )
+        for failure in report.failures:
+            print(
+                f"  [{failure.shard.scenario_index}] {failure.label}: "
+                f"{failure.error}",
+                file=sys.stderr,
+            )
     rows = []
     for outcome in report.outcomes:
         label = outcome.scenario.name or outcome.scenario.label()

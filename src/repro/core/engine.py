@@ -46,6 +46,12 @@ from repro.core.errors import (
 )
 from repro.core.loads import validate_delta, validate_loads
 from repro.core.metrics import discrepancy
+from repro.faults.schedules import (
+    apply_round_faults,
+    dense_port_values,
+    structured_port_values,
+    validate_round_faults,
+)
 from repro.core.probes import LOADS, Probe, build_probes, dense_required
 from repro.core.trace import RunRecord, build_record
 
@@ -133,6 +139,14 @@ class Simulator:
             total is adjusted accordingly, so conservation of the
             balancing step itself stays fully checked.  Injection is a
             vector add and rides every engine unchanged.
+        faults: optional network-fault schedule — a
+            :class:`~repro.faults.schedules.FaultSchedule` instance or
+            a :class:`~repro.faults.spec.FaultSpec`.  Each round opens
+            with its crash/recover epochs (before injection); the
+            balancing step then runs over the live topology: sends on
+            dead links bounce back to the sender and dropped sends
+            vanish from the running total in a tracked way, so the
+            conservation check stays an exact equality.
         record_history: keep the per-round discrepancy trajectory.
         validate_every_round: full structural validation of each sends
             matrix (or compact round description).  Cheap (vectorized)
@@ -152,6 +166,7 @@ class Simulator:
         monitors: Iterable = (),
         probes: Iterable = (),
         dynamics=None,
+        faults=None,
         record_history: bool = True,
         validate_every_round: bool = True,
         engine: str = "auto",
@@ -211,11 +226,21 @@ class Simulator:
 
             dynamics = as_injector(dynamics)
         self._injector = dynamics
+        if faults is not None:
+            from repro.faults.spec import as_fault_schedule
+
+            faults = as_fault_schedule(faults)
+        self._faults = faults
+        self._round_faults = None
+        self._tokens_injected = 0
+        self._tokens_dropped = 0
         self.total_tokens = int(initial_loads.sum())
         self.round = 1  # the paper's convention: x_1 is the initial vector
         self.discrepancy_history: list[int | float] = (
             [discrepancy(initial_loads)] if record_history else []
         )
+        if self._faults is not None:
+            self._faults.start(graph, self._loads)
         if self._injector is not None:
             self._injector.start(graph, self._loads)
         for probe in self._probes:
@@ -278,10 +303,36 @@ class Simulator:
             delta, self._loads, self._injector.name, self.round
         )
         np.add(self._loads, delta, out=self._loads)
-        self.total_tokens += int(delta.sum())
+        moved = int(delta.sum())
+        self.total_tokens += moved
+        self._tokens_injected += moved
+
+    def _apply_fault_events(self) -> None:
+        """Open the round with the fault schedule's epoch events.
+
+        Crash/recover load movement lands *before* injection; the
+        round's dead/dropped port sets are stashed for the balancing
+        step to correct against.
+        """
+        faults = self._faults.round_state(self.round, self._loads)
+        if faults is not None:
+            if self.validate_every_round and not faults.trusted:
+                validate_round_faults(faults, self.graph)
+            if faults.load_delta is not None:
+                delta = validate_delta(
+                    faults.load_delta,
+                    self._loads,
+                    self._faults.name,
+                    self.round,
+                )
+                np.add(self._loads, delta, out=self._loads)
+                self.total_tokens += int(delta.sum())
+        self._round_faults = faults
 
     def step(self) -> np.ndarray:
         """Execute one synchronous round; returns the new load vector."""
+        if self._faults is not None:
+            self._apply_fault_events()
         if self._injector is not None:
             self._apply_injection()
         if self.engine == "structured":
@@ -305,6 +356,15 @@ class Simulator:
         incoming = sends[graph.adjacency, graph.reverse_port].sum(axis=1)
         kept = sends[:, graph.degree:].sum(axis=1)
         new_loads = remainder + incoming + kept
+        if self._round_faults is not None:
+            dropped = apply_round_faults(
+                new_loads,
+                graph,
+                self._round_faults,
+                lambda pairs: dense_port_values(sends, pairs),
+            )
+            self.total_tokens -= dropped
+            self._tokens_dropped += dropped
         if new_loads.sum() != self.total_tokens:
             raise ConservationError(
                 f"round {self.round}: token count changed from "
@@ -342,6 +402,17 @@ class Simulator:
                     "negative load)"
                 )
         new_loads = compact.apply(graph, loads)
+        if self._round_faults is not None:
+            dropped = apply_round_faults(
+                new_loads,
+                graph,
+                self._round_faults,
+                lambda pairs: structured_port_values(
+                    compact, graph, pairs
+                ),
+            )
+            self.total_tokens -= dropped
+            self._tokens_dropped += dropped
         if new_loads.sum() != self.total_tokens:
             raise ConservationError(
                 f"round {self.round}: token count changed from "
@@ -421,10 +492,12 @@ class Simulator:
             "final_discrepancy": discrepancy(self._loads),
         }
         if self._injector is not None:
-            engine_summary["tokens_injected"] = self.total_tokens - int(
-                self.initial_loads.sum()
-            )
+            engine_summary["tokens_injected"] = self._tokens_injected
             engine_summary.update(self._injector.summary())
+        if self._faults is not None:
+            engine_summary["fault_schedule"] = self._faults.name
+            engine_summary["tokens_dropped"] = self._tokens_dropped
+            engine_summary.update(self._faults.summary())
         return build_record(
             replica=replica,
             rounds_executed=self.round - 1,
@@ -465,6 +538,7 @@ def simulate(
     monitors: Iterable = (),
     probes: Iterable = (),
     dynamics=None,
+    faults=None,
     record_history: bool = True,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
@@ -475,6 +549,7 @@ def simulate(
         monitors=monitors,
         probes=probes,
         dynamics=dynamics,
+        faults=faults,
         record_history=record_history,
     )
     return simulator.run(rounds)

@@ -7,10 +7,15 @@ The pieces:
   optional replica-axis splitting) and content-addressed shard keys;
 * :mod:`repro.exec.cache` — the crash-safe JSONL
   :class:`~repro.exec.cache.ResultCache` under ``.repro-cache/``;
-* :mod:`repro.exec.runner` — :class:`SuiteExecutor`:
-  ``ProcessPoolExecutor`` fan-out, cache-hit skip, per-shard failure
-  capture, ordered reassembly, crash resume — bit-identical to the
-  serial path;
+* :mod:`repro.exec.runner` — :class:`SuiteExecutor`: killable
+  worker-pool fan-out, cache-hit skip, per-shard failure capture,
+  ordered reassembly, crash resume — bit-identical to the serial
+  path;
+* :mod:`repro.exec.retry` — :class:`RetryPolicy` (transient-vs-
+  poisoned failure classification, deterministic exponential
+  backoff) plus the :class:`ShardTimeoutError` /
+  :class:`WorkerCrashError` failure kinds the fault-tolerant pool
+  reports;
 * :mod:`repro.exec.context` — the ambient :func:`configure` settings
   that ``ScenarioSuite.run`` (and therefore every suite-based
   experiment driver) resolves its defaults from.
@@ -27,7 +32,15 @@ Quick use::
 from repro.exec.cache import CacheEntry, CacheStats, ResultCache, as_cache
 from repro.exec.context import ExecConfig, configure, current
 from repro.exec.records import RecordedRun
+from repro.exec.retry import (
+    RETRYABLE_ERROR_TYPES,
+    RetryPolicy,
+    ShardTimeoutError,
+    WorkerCrashError,
+    as_retry_policy,
+)
 from repro.exec.runner import (
+    PartialSuiteResult,
     ShardFailure,
     SuiteExecutionError,
     SuiteExecutor,
@@ -54,6 +67,12 @@ __all__ = [
     "plan_shards",
     "shard_key",
     "source_fingerprint",
+    "RETRYABLE_ERROR_TYPES",
+    "RetryPolicy",
+    "ShardTimeoutError",
+    "WorkerCrashError",
+    "as_retry_policy",
+    "PartialSuiteResult",
     "ShardFailure",
     "SuiteExecutionError",
     "SuiteExecutor",

@@ -21,6 +21,7 @@ data is never trusted.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -39,6 +40,7 @@ class CacheStats:
     misses: int = 0
     corrupt: int = 0
     writes: int = 0
+    write_errors: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -46,6 +48,7 @@ class CacheStats:
             "misses": self.misses,
             "corrupt": self.corrupt,
             "writes": self.writes,
+            "write_errors": self.write_errors,
         }
 
 
@@ -120,10 +123,19 @@ class ResultCache:
 
     def put(
         self, key: str, records: list[RunRecord], meta: dict | None = None
-    ) -> Path:
-        """Atomically persist ``records`` under ``key``."""
+    ) -> Path | None:
+        """Atomically persist ``records`` under ``key``.
+
+        The cache is an accelerator, never a correctness dependency:
+        an ``OSError`` anywhere in the write path (disk full, read-only
+        mount, permission change mid-run) is logged, counted in
+        ``stats.write_errors``, and swallowed — the entry simply stays
+        a miss to be recomputed next run, and returns ``None`` instead
+        of the entry path.  Atomicity (temp file + ``os.replace``)
+        guarantees a failed write never leaves a readable-but-torn
+        entry behind.
+        """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         header = {
             "format": ENTRY_FORMAT,
             "key": key,
@@ -132,13 +144,24 @@ class ResultCache:
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
-            write_jsonl(
-                [header, *(record.to_dict() for record in records)], tmp
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                write_jsonl(
+                    [header, *(record.to_dict() for record in records)],
+                    tmp,
+                )
+                os.replace(tmp, path)
+            finally:
+                if tmp.exists():
+                    tmp.unlink()
+        except OSError as exc:
+            self.stats.write_errors += 1
+            logging.getLogger(__name__).warning(
+                "cache write failed for %s (%s); entry stays a miss",
+                path,
+                exc,
             )
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():  # pragma: no cover - only on write failure
-                tmp.unlink()
+            return None
         self.stats.writes += 1
         return path
 

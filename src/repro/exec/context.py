@@ -20,6 +20,7 @@ from contextvars import ContextVar
 from dataclasses import dataclass, replace
 
 from repro.exec.cache import ResultCache, as_cache
+from repro.exec.retry import RetryPolicy, as_retry_policy
 
 
 @dataclass(frozen=True)
@@ -33,11 +34,21 @@ class ExecConfig:
             shards of at most this many replicas (None = one shard per
             scenario; replica splitting never changes results, only
             work-unit granularity).
+        retry: shard retry policy, or None (single attempt per shard).
+        timeout: per-shard wall-clock budget in seconds, or None
+            (unbounded).  A timeout forces the killable worker pool
+            even at ``workers=1``.
+        on_shard_failure: ``"raise"`` (fail the suite after all shards
+            settle) or ``"partial"`` (graceful degradation: return the
+            completed outcomes, report the holes).
     """
 
     workers: int = 1
     cache: ResultCache | None = None
     max_replicas_per_shard: int | None = None
+    retry: RetryPolicy | None = None
+    timeout: float | None = None
+    on_shard_failure: str = "raise"
 
 
 _ROOT = ExecConfig()
@@ -60,6 +71,9 @@ def configure(
     workers: int | None = None,
     cache=None,
     max_replicas_per_shard: int | None = None,
+    retry=None,
+    timeout: float | None = None,
+    on_shard_failure: str | None = None,
 ):
     """Override the ambient executor settings within a ``with`` block.
 
@@ -68,7 +82,12 @@ def configure(
     with an inner ``configure(workers=4)`` runs parallel *and* cached.
     ``cache`` accepts a :class:`~repro.exec.cache.ResultCache`, a
     directory path, or ``False`` to explicitly disable an inherited
-    cache.  Scoping is per thread / async context.
+    cache.  ``retry`` accepts a
+    :class:`~repro.exec.retry.RetryPolicy`, an attempt count, or
+    ``False`` to disable inherited retries; ``timeout`` (seconds,
+    ``False`` disables) and ``on_shard_failure``
+    (``"raise"``/``"partial"``) follow the same inherit-unless-set
+    rule.  Scoping is per thread / async context.
     """
     base = current()
     overrides: dict = {}
@@ -82,6 +101,25 @@ def configure(
         overrides["cache"] = as_cache(cache)
     if max_replicas_per_shard is not None:
         overrides["max_replicas_per_shard"] = max_replicas_per_shard
+    if retry is False:
+        overrides["retry"] = None
+    elif retry is not None:
+        overrides["retry"] = as_retry_policy(retry)
+    if timeout is False:
+        overrides["timeout"] = None
+    elif timeout is not None:
+        if timeout <= 0:
+            raise ValueError(
+                f"timeout must be positive, got {timeout}"
+            )
+        overrides["timeout"] = timeout
+    if on_shard_failure is not None:
+        if on_shard_failure not in ("raise", "partial"):
+            raise ValueError(
+                "on_shard_failure must be 'raise' or 'partial', "
+                f"got {on_shard_failure!r}"
+            )
+        overrides["on_shard_failure"] = on_shard_failure
     config = replace(base, **overrides)
     token = _current.set(config)
     try:

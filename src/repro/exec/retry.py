@@ -1,0 +1,139 @@
+"""Retry policy + fault classification for shard execution.
+
+A shard can fail for two very different reasons: the *environment*
+misbehaved (a worker was OOM-killed, a pipe broke, a timeout fired) or
+the *work itself* is broken (an invalid scenario raises ``ValueError``
+on every attempt).  :class:`RetryPolicy` separates the two — transient
+environment failures are retried with exponential backoff, poisoned
+shards fail fast on the first attempt so a bad spec never burns
+``max_attempts`` × ``timeout`` of wall clock.
+
+Classification is by exception *type name* rather than type object:
+worker failures cross a process boundary as ``(type_name, message,
+traceback)`` strings (the original exception object may not even be
+picklable), so names are the only representation both the serial and
+the pool path share.
+
+Backoff jitter is deterministic — a SHA-256 hash of the shard key and
+attempt number, not a clock or a global RNG — so a retried suite run is
+as reproducible as everything else in this repository.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+class ShardTimeoutError(RuntimeError):
+    """A shard exceeded its per-shard timeout and its worker was killed."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died without reporting a result.
+
+    Raised (recorded) when the worker's pipe hits EOF before any
+    ``("ok", ...)`` / ``("err", ...)`` message arrived — the process
+    was SIGKILL'd, segfaulted, or was torn down by the OOM killer.
+    """
+
+
+#: Exception type *names* treated as transient by default.  Everything
+#: else — ``ValueError`` from a bad spec, ``InvalidFault`` from a broken
+#: schedule, arbitrary assertion failures — is poisoned: retrying cannot
+#: help, so the shard fails on its first attempt.
+RETRYABLE_ERROR_TYPES: frozenset[str] = frozenset(
+    {
+        "ShardTimeoutError",
+        "WorkerCrashError",
+        "TimeoutError",
+        "OSError",
+        "IOError",
+        "EOFError",
+        "ConnectionError",
+        "ConnectionResetError",
+        "BrokenPipeError",
+        "MemoryError",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to attempt a shard, and how to space the attempts.
+
+    Attributes:
+        max_attempts: total attempts per shard (1 = no retries).
+        backoff: base delay in seconds before attempt 2; doubles each
+            further attempt (exponential backoff).
+        max_backoff: cap on the exponential delay.
+        retryable: exception type names eligible for retry; any failure
+            whose type is not listed is *poisoned* and fails
+            immediately.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.5
+    max_backoff: float = 30.0
+    retryable: frozenset = field(default=RETRYABLE_ERROR_TYPES)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff delays must be nonnegative")
+        object.__setattr__(
+            self, "retryable", frozenset(self.retryable)
+        )
+
+    def is_retryable(self, error_type: str) -> bool:
+        """Whether a failure of this exception type name may be retried."""
+        return error_type in self.retryable
+
+    def should_retry(self, error_type: str, attempt: int) -> bool:
+        """Whether to re-attempt after ``attempt`` (1-based) failed."""
+        return attempt < self.max_attempts and self.is_retryable(
+            error_type
+        )
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait after ``attempt`` (1-based) failed.
+
+        Exponential backoff with deterministic jitter in [1.0, 1.5):
+        the jitter decorrelates shards retrying in lockstep (they all
+        failed together when a machine hiccuped) without introducing a
+        nondeterministic clock or RNG dependence.
+        """
+        base = min(
+            self.backoff * (2.0 ** (attempt - 1)), self.max_backoff
+        )
+        digest = hashlib.sha256(
+            f"{key}:{attempt}".encode()
+        ).hexdigest()
+        jitter = int(digest[:8], 16) / 2**32 / 2  # [0, 0.5)
+        return base * (1.0 + jitter)
+
+
+def as_retry_policy(value) -> RetryPolicy | None:
+    """Coerce a user-facing retry setting into a policy.
+
+    ``None`` → no retries (single attempt), an ``int`` → that many
+    total attempts with default backoff, a :class:`RetryPolicy` passes
+    through.
+    """
+    if value is None:
+        return None
+    if isinstance(value, RetryPolicy):
+        return value
+    if isinstance(value, bool):  # bool is an int; reject explicitly
+        raise TypeError(
+            "retry must be a RetryPolicy, an attempt count, or None"
+        )
+    if isinstance(value, int):
+        return RetryPolicy(max_attempts=value)
+    raise TypeError(
+        "retry must be a RetryPolicy, an attempt count, or None; "
+        f"got {value!r}"
+    )

@@ -4,9 +4,9 @@
 ScenarioSuite` into a deterministic shard plan (see
 :mod:`repro.exec.sharding`), satisfies shards from the content-
 addressed :class:`~repro.exec.cache.ResultCache` where possible,
-computes the rest either in-process (``workers=1``) or on a
-``ProcessPoolExecutor`` (``workers>1``), and reassembles per-scenario
-outcomes in suite order regardless of completion order.
+computes the rest either in-process (``workers=1``, no timeout) or on
+a managed worker-process pool, and reassembles per-scenario outcomes
+in suite order regardless of completion order.
 
 Guarantees:
 
@@ -17,7 +17,17 @@ Guarantees:
   tested in ``tests/exec/``.
 * **Per-shard failure capture.**  A failing shard never takes down the
   others: every completed shard is still cached, and the failures are
-  raised together afterwards as :class:`SuiteExecutionError`.
+  raised together afterwards as :class:`SuiteExecutionError` (or
+  reported on the :class:`SuiteReport` under
+  ``on_shard_failure="partial"``).
+* **Fault-tolerant execution.**  A :class:`~repro.exec.retry.\
+RetryPolicy` re-attempts shards whose failures look transient
+  (timeouts, worker crashes, I/O errors) with deterministic
+  exponential backoff; poisoned shards (bad specs) fail fast.  A
+  per-shard ``timeout`` kills hung or wedged workers — the pool is
+  a hand-rolled ``multiprocessing`` fan-out precisely because
+  ``ProcessPoolExecutor`` cannot cancel a running task: a SIGKILL'd
+  or sleeping worker must not wedge the whole suite.
 * **Crash resume.**  Each shard's records hit the cache the moment the
   shard completes, so re-running an interrupted suite recomputes only
   the missing shards.
@@ -25,13 +35,22 @@ Guarantees:
 
 from __future__ import annotations
 
+import heapq
+import multiprocessing
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 
 from repro.core.trace import RunRecord
 from repro.exec.cache import ResultCache, as_cache
 from repro.exec.records import RecordedRun
+from repro.exec.retry import (
+    RetryPolicy,
+    ShardTimeoutError,
+    WorkerCrashError,
+    as_retry_policy,
+)
 from repro.exec.sharding import Shard, plan_shards, shard_key
 from repro.scenarios.spec import (
     GraphSpec,
@@ -40,19 +59,39 @@ from repro.scenarios.spec import (
     ScenarioSuite,
 )
 
+ON_SHARD_FAILURE = ("raise", "partial")
+
 
 @dataclass(frozen=True)
 class ShardFailure:
-    """One shard's captured failure (error + full worker traceback)."""
+    """One shard's captured failure (error + full worker traceback).
+
+    Attributes:
+        shard: the failed work unit.
+        label: human-readable scenario + replica-range label.
+        error: ``"TypeName: message"`` of the final failure.
+        traceback: full traceback text from the failing attempt.
+        content_hash: the failed scenario's content hash — pin it in a
+            bug report and anyone can rebuild the exact failing spec.
+        attempts: how many attempts were made (1 = failed first try).
+    """
 
     shard: Shard
     label: str
     error: str
     traceback: str
+    content_hash: str = ""
+    attempts: int = 1
 
 
 class SuiteExecutionError(RuntimeError):
     """One or more shards failed; the rest completed.
+
+    The message carries everything needed to act on the failure
+    without re-running the suite: each failed shard's scenario
+    content hash and replica range, plus a copy-pasteable
+    ``repro-lb scenario ... --resume`` command (completed shards are
+    cached, so the resume run recomputes only the holes).
 
     Attributes:
         failures: per-shard failure details.
@@ -65,6 +104,7 @@ class SuiteExecutionError(RuntimeError):
         failures: list[ShardFailure],
         report: "SuiteReport",
         cache_attached: bool = False,
+        cache_root: str | None = None,
     ) -> None:
         self.failures = failures
         self.report = report
@@ -78,10 +118,24 @@ class SuiteExecutionError(RuntimeError):
             f"{len(failures)} of {len(report.shards)} shards failed "
             f"({hint}):"
         ]
-        lines += [
-            f"  [{f.shard.scenario_index}] {f.label}: {f.error}"
-            for f in failures
-        ]
+        for f in failures:
+            detail = (
+                f"replicas {f.shard.replica_start}:"
+                f"{f.shard.replica_stop}"
+            )
+            if f.content_hash:
+                detail += f", scenario {f.content_hash[:12]}"
+            if f.attempts > 1:
+                detail += f", {f.attempts} attempts"
+            lines.append(
+                f"  [{f.shard.scenario_index}] {f.label} "
+                f"({detail}): {f.error}"
+            )
+        if cache_attached:
+            command = "repro-lb scenario <suite.json> --resume"
+            if cache_root is not None and cache_root != ".repro-cache":
+                command += f" --cache-dir {cache_root}"
+            lines.append(f"resume with: {command}")
         super().__init__("\n".join(lines))
 
 
@@ -120,6 +174,34 @@ class SuiteReport:
         )
 
 
+class PartialSuiteResult(list):
+    """Completed scenario outcomes plus the failures that were tolerated.
+
+    Returned by ``ScenarioSuite.run(..., on_shard_failure="partial")``.
+    A plain ``list`` subclass, so analysis code that iterates scenario
+    outcomes works unchanged — check :attr:`complete` / :attr:`failures`
+    to find the holes.  Completed shards were cached (when a cache is
+    attached), so a later ``--resume`` run fills only the holes.
+    """
+
+    def __init__(
+        self, outcomes: list[ScenarioResult], report: SuiteReport
+    ) -> None:
+        super().__init__(outcomes)
+        self.report = report
+        self.failures = report.failures
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+    def summary_line(self) -> str:
+        line = self.report.summary_line()
+        if self.failures:
+            line += f", {len(self.failures)} failed"
+        return line
+
+
 def _shard_task(payload: dict) -> dict:
     """Worker-side execution of one shard (top level: picklable).
 
@@ -140,11 +222,60 @@ def _shard_task(payload: dict) -> dict:
     }
 
 
+def _proc_main(conn, payload: dict) -> None:
+    """Worker-process entry: run one shard, ship the outcome back.
+
+    The protocol is one message per worker: ``("ok", outcome)`` or
+    ``("err", type_name, message, traceback)``.  A worker that dies
+    before sending anything (SIGKILL, segfault, OOM kill) leaves the
+    pipe at EOF, which the parent reports as
+    :class:`~repro.exec.retry.WorkerCrashError`.
+    """
+    try:
+        outcome = _shard_task(payload)
+        message = ("ok", outcome)
+    except BaseException as exc:
+        message = (
+            "err",
+            type(exc).__name__,
+            str(exc),
+            traceback.format_exc(),
+        )
+    try:
+        conn.send(message)
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    """Fork when the platform offers it, else the platform default.
+
+    Forked workers inherit the parent's loaded modules (no re-import
+    cost per shard) and its in-process state — which is also what lets
+    the chaos tests monkeypatch fault injection into workers.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+@dataclass
+class _RunningShard:
+    """Parent-side bookkeeping for one in-flight worker process."""
+
+    index: int
+    attempt: int
+    proc: object
+    deadline: float | None
+
+
 class SuiteExecutor:
-    """Sharded (optionally parallel, optionally cached) suite runner.
+    """Sharded (optionally parallel, cached, fault-tolerant) runner.
 
     Args:
-        workers: process fan-out; 1 executes shards in-process.
+        workers: process fan-out; 1 executes shards in-process
+            (unless a ``timeout`` forces the killable worker pool).
         cache: a :class:`ResultCache`, a directory path, or None.
         executor: per-replica execution strategy forwarded to
             :meth:`Scenario.run` (``"auto"``/``"loop"``/``"batch"``).
@@ -152,6 +283,21 @@ class SuiteExecutor:
             reuses entries recorded under another one.
         max_replicas_per_shard: split scenario replica axes into
             chunks of at most this size (None = shard per scenario).
+        retry: a :class:`~repro.exec.retry.RetryPolicy`, an attempt
+            count, or None (single attempt).  Transient failures are
+            re-attempted with deterministic backoff; poisoned shards
+            fail fast.
+        timeout: per-shard wall-clock budget in seconds.  A shard
+            over budget has its worker killed and is recorded (or
+            retried) as :class:`~repro.exec.retry.ShardTimeoutError`.
+            Requires process isolation, so ``timeout`` routes even
+            ``workers=1`` runs through the worker pool.
+        on_shard_failure: ``"raise"`` (default) raises
+            :class:`SuiteExecutionError` after all shards settle;
+            ``"partial"`` returns the report with
+            :attr:`SuiteReport.failures` populated — graceful
+            degradation for long sweeps where a lost shard should not
+            discard the other results.
     """
 
     def __init__(
@@ -160,15 +306,30 @@ class SuiteExecutor:
         cache: ResultCache | str | None = None,
         executor: str = "auto",
         max_replicas_per_shard: int | None = None,
+        retry: RetryPolicy | int | None = None,
+        timeout: float | None = None,
+        on_shard_failure: str = "raise",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if executor not in ("auto", "loop", "batch"):
             raise ValueError(f"unknown executor {executor!r}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(
+                f"timeout must be positive, got {timeout}"
+            )
+        if on_shard_failure not in ON_SHARD_FAILURE:
+            raise ValueError(
+                f"on_shard_failure must be one of {ON_SHARD_FAILURE}, "
+                f"got {on_shard_failure!r}"
+            )
         self.workers = workers
         self.cache = as_cache(cache)
         self.executor = executor
         self.max_replicas_per_shard = max_replicas_per_shard
+        self.retry = as_retry_policy(retry)
+        self.timeout = timeout
+        self.on_shard_failure = on_shard_failure
 
     # ------------------------------------------------------------------
 
@@ -198,7 +359,8 @@ class SuiteExecutor:
         # reads (a stored spec-built result is not an answer about the
         # override) and no writes (see _compute_serial).
         cache = self.cache if graph is None else None
-        payloads = self._payloads(scenarios, shards, cache)
+        use_pool = self.workers > 1 or self.timeout is not None
+        payloads = self._payloads(scenarios, shards, cache, use_pool)
         keys = None
         if cache is not None:
             try:
@@ -237,7 +399,7 @@ class SuiteExecutor:
             )
 
         if pending:
-            if self.workers > 1:
+            if use_pool:
                 self._compute_pool(
                     pending, shards, scenarios, payloads, keys, parts,
                     failures,
@@ -258,9 +420,14 @@ class SuiteExecutor:
             failures=failures,
             workers=self.workers,
         )
-        if failures:
+        if failures and self.on_shard_failure == "raise":
             raise SuiteExecutionError(
-                failures, report, cache_attached=cache is not None
+                failures,
+                report,
+                cache_attached=cache is not None,
+                cache_root=(
+                    str(cache.root) if cache is not None else None
+                ),
             )
         return report
 
@@ -271,6 +438,7 @@ class SuiteExecutor:
         scenarios: list[Scenario],
         shards: list[Shard],
         cache: ResultCache | None,
+        use_pool: bool,
     ) -> list[dict] | None:
         """Serialized shard payloads (None when staying in-process).
 
@@ -280,7 +448,7 @@ class SuiteExecutor:
         *effective* cache (after any graph-override bypass), so a
         serial override run is not asked to serialize anything.
         """
-        if cache is None and self.workers <= 1:
+        if cache is None and not use_pool:
             return None
         dicts: dict[int, dict] = {}
         for index, scenario in enumerate(scenarios):
@@ -323,6 +491,34 @@ class SuiteExecutor:
             },
         )
 
+    def _retry_key(self, keys: list[str] | None, index: int) -> str:
+        """Stable per-shard key for deterministic backoff jitter."""
+        return keys[index] if keys is not None else f"shard:{index}"
+
+    def _record_failure(
+        self,
+        failures: list[ShardFailure],
+        shards: list[Shard],
+        scenarios: list[Scenario],
+        index: int,
+        attempt: int,
+        error_type: str,
+        error_message: str,
+        error_traceback: str,
+    ) -> None:
+        shard = shards[index]
+        scenario = scenarios[shard.scenario_index]
+        failures.append(
+            ShardFailure(
+                shard=shard,
+                label=shard.label(scenario),
+                error=f"{error_type}: {error_message}",
+                traceback=error_traceback,
+                content_hash=scenario.content_hash(),
+                attempts=attempt,
+            )
+        )
+
     def _compute_serial(
         self, pending, shards, scenarios, keys, parts, failures, graph
     ) -> None:
@@ -344,21 +540,34 @@ class SuiteExecutor:
                         graph_cache[scenario.graph] = shard_graph
                 except TypeError:  # unhashable custom param value
                     shard_graph = None
-            try:
-                result = scenario.run(
-                    executor=self.executor,
-                    graph=shard_graph,
-                    replica_range=shard.replica_range,
-                )
-            except Exception as exc:
-                failures.append(
-                    ShardFailure(
-                        shard=shard,
-                        label=shard.label(scenario),
-                        error=f"{type(exc).__name__}: {exc}",
-                        traceback=traceback.format_exc(),
+            result = None
+            attempt = 1
+            while True:
+                try:
+                    result = scenario.run(
+                        executor=self.executor,
+                        graph=shard_graph,
+                        replica_range=shard.replica_range,
                     )
-                )
+                    break
+                except Exception as exc:
+                    name = type(exc).__name__
+                    if self.retry is not None and (
+                        self.retry.should_retry(name, attempt)
+                    ):
+                        time.sleep(
+                            self.retry.delay(
+                                self._retry_key(keys, index), attempt
+                            )
+                        )
+                        attempt += 1
+                        continue
+                    self._record_failure(
+                        failures, shards, scenarios, index, attempt,
+                        name, str(exc), traceback.format_exc(),
+                    )
+                    break
+            if result is None:
                 continue
             parts[index] = result
             # Records computed on a caller-supplied prebuilt graph are
@@ -375,41 +584,153 @@ class SuiteExecutor:
     def _compute_pool(
         self, pending, shards, scenarios, payloads, keys, parts, failures
     ) -> None:
+        """Fan shards out over killable worker processes.
+
+        Hand-rolled on ``multiprocessing.Pipe`` + ``connection.wait``
+        rather than ``ProcessPoolExecutor`` because the pool must be
+        able to *cancel a running shard*: a hung or SIGKILL'd worker is
+        detected (deadline expiry / pipe EOF), killed if needed, and
+        its shard retried or recorded — the rest of the plan keeps
+        flowing on fresh workers either way.
+        """
+        ctx = _mp_context()
         max_workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                pool.submit(_shard_task, payloads[index]): index
-                for index in pending
-            }
-            for future in as_completed(futures):
-                index = futures[future]
-                shard = shards[index]
-                scenario = scenarios[shard.scenario_index]
-                exc = future.exception()
-                if exc is not None:
-                    failures.append(
-                        ShardFailure(
-                            shard=shard,
-                            label=shard.label(scenario),
-                            error=f"{type(exc).__name__}: {exc}",
-                            traceback="".join(
-                                traceback.format_exception(exc)
-                            ),
-                        )
+        queue: list[tuple[int, int]] = [(i, 1) for i in pending]
+        queue.reverse()  # pop() serves shards in plan order
+        delayed: list[tuple[float, int, int]] = []  # (ready_at, idx, att)
+        running: dict[object, _RunningShard] = {}
+
+        def _requeue_or_record(
+            index: int, attempt: int, name: str, message: str, tb: str
+        ) -> None:
+            if self.retry is not None and (
+                self.retry.should_retry(name, attempt)
+            ):
+                ready_at = time.monotonic() + self.retry.delay(
+                    self._retry_key(keys, index), attempt
+                )
+                heapq.heappush(
+                    delayed, (ready_at, index, attempt + 1)
+                )
+                return
+            self._record_failure(
+                failures, shards, scenarios, index, attempt,
+                name, message, tb,
+            )
+
+        def _settle(conn, job: _RunningShard, message) -> None:
+            job.proc.join()
+            conn.close()
+            if message is None:
+                _requeue_or_record(
+                    job.index, job.attempt, WorkerCrashError.__name__,
+                    "worker process died before reporting a result "
+                    "(killed or crashed)",
+                    "WorkerCrashError: worker process died before "
+                    "reporting a result\n",
+                )
+                return
+            if message[0] == "err":
+                _, name, text, tb = message
+                _requeue_or_record(job.index, job.attempt, name, text, tb)
+                return
+            outcome = message[1]
+            index = job.index
+            shard = shards[index]
+            scenario = scenarios[shard.scenario_index]
+            records = [
+                RunRecord.from_dict(data)
+                for data in outcome["records"]
+            ]
+            parts[index] = _result_from_records(
+                scenario, records, outcome["executor"]
+            )
+            self._store(
+                keys, index, shard, scenario, records,
+                outcome["executor"],
+            )
+
+        try:
+            while queue or delayed or running:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, index, attempt = heapq.heappop(delayed)
+                    queue.append((index, attempt))
+                while queue and len(running) < max_workers:
+                    index, attempt = queue.pop()
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_proc_main,
+                        args=(child_conn, payloads[index]),
+                        daemon=True,
                     )
+                    proc.start()
+                    child_conn.close()
+                    deadline = (
+                        time.monotonic() + self.timeout
+                        if self.timeout is not None
+                        else None
+                    )
+                    running[parent_conn] = _RunningShard(
+                        index=index, attempt=attempt, proc=proc,
+                        deadline=deadline,
+                    )
+                if not running:
+                    # Only backoff-delayed retries remain.
+                    if delayed:
+                        pause = delayed[0][0] - time.monotonic()
+                        if pause > 0:
+                            time.sleep(pause)
                     continue
-                outcome = future.result()
-                records = [
-                    RunRecord.from_dict(data)
-                    for data in outcome["records"]
+                waits = [
+                    job.deadline
+                    for job in running.values()
+                    if job.deadline is not None
                 ]
-                parts[index] = _result_from_records(
-                    scenario, records, outcome["executor"]
+                if delayed:
+                    waits.append(delayed[0][0])
+                wait_timeout = None
+                if waits:
+                    wait_timeout = max(
+                        0.0, min(waits) - time.monotonic()
+                    )
+                ready = mp_connection.wait(
+                    list(running), timeout=wait_timeout
                 )
-                self._store(
-                    keys, index, shard, scenario, records,
-                    outcome["executor"],
-                )
+                for conn in ready:
+                    job = running.pop(conn)
+                    try:
+                        message = conn.recv()
+                    except EOFError:
+                        message = None  # died without reporting
+                    _settle(conn, job, message)
+                # Deadline sweep: kill anything over budget.  A worker
+                # that raced its result in just before the deadline is
+                # still collected on the next wait() pass.
+                now = time.monotonic()
+                for conn in [
+                    c
+                    for c, job in running.items()
+                    if job.deadline is not None and now >= job.deadline
+                ]:
+                    job = running.pop(conn)
+                    job.proc.kill()
+                    job.proc.join()
+                    conn.close()
+                    _requeue_or_record(
+                        job.index, job.attempt,
+                        ShardTimeoutError.__name__,
+                        f"shard exceeded the {self.timeout}s per-shard "
+                        "timeout; worker killed",
+                        "ShardTimeoutError: shard exceeded the "
+                        f"{self.timeout}s per-shard timeout\n",
+                    )
+        finally:
+            # Never leak workers, even if the parent errors mid-plan.
+            for conn, job in running.items():
+                job.proc.kill()
+                job.proc.join()
+                conn.close()
 
     @staticmethod
     def _reassemble(
@@ -480,6 +801,9 @@ def run_suite(
     cache: ResultCache | str | None = None,
     executor: str = "auto",
     max_replicas_per_shard: int | None = None,
+    retry: RetryPolicy | int | None = None,
+    timeout: float | None = None,
+    on_shard_failure: str = "raise",
 ) -> SuiteReport:
     """One-shot convenience wrapper around :class:`SuiteExecutor`."""
     return SuiteExecutor(
@@ -487,4 +811,7 @@ def run_suite(
         cache=cache,
         executor=executor,
         max_replicas_per_shard=max_replicas_per_shard,
+        retry=retry,
+        timeout=timeout,
+        on_shard_failure=on_shard_failure,
     ).run(suite)

@@ -15,6 +15,10 @@ from repro.experiments.dynamic_steady_state import (
     DynamicSteadyStateConfig,
     run_dynamic_steady_state,
 )
+from repro.experiments.fault_recovery import (
+    FaultRecoveryConfig,
+    run_fault_recovery,
+)
 from repro.experiments.figures import TrajectoryConfig, run_trajectories
 from repro.experiments.lower_bounds import (
     LowerBoundConfig,
@@ -63,6 +67,8 @@ __all__ = [
     "run_dynamic_steady_state",
     "DatacenterServingConfig",
     "run_datacenter_serving",
+    "FaultRecoveryConfig",
+    "run_fault_recovery",
     "TrajectoryConfig",
     "run_trajectories",
 ]

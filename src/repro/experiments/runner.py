@@ -38,6 +38,10 @@ from repro.experiments.dynamic_steady_state import (
     DynamicSteadyStateConfig,
     run_dynamic_steady_state,
 )
+from repro.experiments.fault_recovery import (
+    FaultRecoveryConfig,
+    run_fault_recovery,
+)
 from repro.experiments.figures import TrajectoryConfig, run_trajectories
 from repro.experiments.table1 import Table1Config, run_table1
 from repro.experiments.theorem23 import (
@@ -146,6 +150,29 @@ EXPERIMENT_DEFS: dict[str, ExperimentDef] = {
                 "correlated_burst",
             ),
             "replicas": 3,
+        },
+    ),
+    "E17": ExperimentDef(
+        run_fault_recovery,
+        FaultRecoveryConfig,
+        fast={
+            "n": 32,
+            "rounds": 120,
+            "tail_window": 30,
+            "leaves": 4,
+            "spines": 2,
+            "hosts_per_leaf": 3,
+            "replicas": 2,
+        },
+        full={
+            "n": 256,
+            "fat_tree_k": 8,
+            "leaves": 16,
+            "spines": 8,
+            "hosts_per_leaf": 12,
+            "rounds": 400,
+            "tail_window": 100,
+            "fail_rates": (0.02, 0.05, 0.1, 0.2, 0.4),
         },
     ),
     "F1": ExperimentDef(

@@ -10,6 +10,7 @@ See :mod:`repro.scenarios.spec` for the data model and
 from repro.core.probes import ProbeSpec
 from repro.core.trace import RunRecord, SamplingSchedule, Trace
 from repro.dynamics.spec import DynamicsSpec
+from repro.faults.spec import FaultSpec
 from repro.scenarios.batch import BatchResult, BatchRunner
 from repro.scenarios.spec import (
     STOP_KINDS,
@@ -34,6 +35,7 @@ __all__ = [
     "STOP_KINDS",
     "ProbeSpec",
     "DynamicsSpec",
+    "FaultSpec",
     "SamplingSchedule",
     "Trace",
     "RunRecord",

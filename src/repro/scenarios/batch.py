@@ -39,6 +39,12 @@ from repro.core.errors import (
 )
 from repro.core.loads import validate_delta, validate_load_matrix
 from repro.core.probes import Probe, build_probes, loads_only
+from repro.faults.schedules import (
+    apply_round_faults,
+    dense_port_values,
+    structured_port_values,
+    validate_round_faults,
+)
 from repro.core.trace import RunRecord, build_record
 from repro.graphs.balancing import BalancingGraph
 
@@ -116,6 +122,16 @@ class BatchRunner:
             :class:`~repro.dynamics.injectors.Injector` instances.
             Deltas apply at the beginning of each round, before the
             balancing step, exactly as in the looped engine.
+        faults: optional network-fault schedule.  A
+            :class:`~repro.faults.spec.FaultSpec` builds one fresh
+            schedule per replica (seeded specs offset ``seed + r``, so
+            replica ``r``'s fault history is independent of the batch
+            size); alternatively a sequence of ``replicas`` ready
+            :class:`~repro.faults.schedules.FaultSchedule` instances.
+            Each round opens with crash/recover epochs (before
+            injection); the balancing step is then corrected for dead
+            links (bounce-back) and dropped sends (tracked loss),
+            exactly as in the looped engine.
         record_history: keep per-replica discrepancy trajectories.
         validate_every_round: structural validation of each batch of
             sends matrices or compact rounds (vectorized; cheap).
@@ -131,6 +147,7 @@ class BatchRunner:
         *,
         probes: Sequence[Sequence] | None = None,
         dynamics=None,
+        faults=None,
         record_history: bool = True,
         validate_every_round: bool = True,
         engine: str = "auto",
@@ -195,6 +212,15 @@ class BatchRunner:
         self._rounds_executed = np.zeros(replicas, dtype=np.int64)
         self._stopped_early = np.zeros(replicas, dtype=bool)
         self._injectors = self._build_injectors(dynamics, replicas)
+        self._tokens_injected = np.zeros(replicas, dtype=np.int64)
+        self._fault_schedules = self._build_fault_schedules(
+            faults, replicas
+        )
+        self._round_faults: list = [None] * replicas
+        self._tokens_dropped = np.zeros(replicas, dtype=np.int64)
+        if self._fault_schedules is not None:
+            for replica, schedule in enumerate(self._fault_schedules):
+                schedule.start(graph, self.initial_loads[replica])
         if self._injectors is not None:
             for replica, injector in enumerate(self._injectors):
                 injector.start(graph, self.initial_loads[replica])
@@ -269,6 +295,57 @@ class BatchRunner:
             )
         return injectors
 
+    @staticmethod
+    def _build_fault_schedules(faults, replicas: int):
+        """One fresh fault schedule per replica (or None when fault-free)."""
+        if faults is None:
+            return None
+        from repro.faults.schedules import FaultSchedule
+        from repro.faults.spec import FaultSpec
+
+        if isinstance(faults, FaultSpec):
+            return [faults.build(replica) for replica in range(replicas)]
+        if isinstance(faults, FaultSchedule):
+            if replicas != 1:
+                raise ValueError(
+                    "a single FaultSchedule instance cannot be shared "
+                    f"across {replicas} replicas (its state would be "
+                    "corrupted); pass a FaultSpec or one instance per "
+                    "replica"
+                )
+            return [faults]
+        schedules = list(faults)
+        if len(schedules) != replicas:
+            raise ValueError(
+                f"got {len(schedules)} fault schedules for "
+                f"{replicas} replicas"
+            )
+        return schedules
+
+    def _apply_fault_events(self) -> None:
+        """Open the round with each replica's fault-schedule epochs.
+
+        Mirrors the looped engine exactly: crash/recover load movement
+        lands before injection (frozen ``run_until`` replicas stop
+        seeing fault events, just as a stopped Simulator stops
+        stepping), and the round's dead/dropped port sets are stashed
+        for the balancing step to correct against.
+        """
+        for replica in np.flatnonzero(self._active).tolist():
+            schedule = self._fault_schedules[replica]
+            row = self._loads[replica]
+            faults = schedule.round_state(self.round, row)
+            if faults is not None:
+                if self.validate_every_round and not faults.trusted:
+                    validate_round_faults(faults, self.graph)
+                if faults.load_delta is not None:
+                    delta = validate_delta(
+                        faults.load_delta, row, schedule.name, self.round
+                    )
+                    row += delta
+                    self.totals[replica] += int(delta.sum())
+            self._round_faults[replica] = faults
+
     def _apply_injection(self) -> None:
         """Apply this round's load events to every active replica.
 
@@ -287,7 +364,9 @@ class BatchRunner:
                 self.round,
             )
             row += delta  # in place: the runner owns the load stack
-            self.totals[replica] += int(delta.sum())
+            moved = int(delta.sum())
+            self.totals[replica] += moved
+            self._tokens_injected[replica] += moved
 
     @property
     def _incoming_flat(self) -> np.ndarray:
@@ -306,6 +385,8 @@ class BatchRunner:
 
     def step(self) -> np.ndarray:
         """Execute one synchronous round for every active replica."""
+        if self._fault_schedules is not None:
+            self._apply_fault_events()
         if self._injectors is not None:
             self._apply_injection()
         all_active = bool(self._active.all())
@@ -381,7 +462,30 @@ class BatchRunner:
         )
         new_loads = loads - edge_out
         new_loads += incoming
+        if self._fault_schedules is not None:
+            for row, replica in enumerate(active.tolist()):
+                faults = self._round_faults[replica]
+                if faults is None:
+                    continue
+                self._settle_faults(
+                    new_loads[row],
+                    replica,
+                    faults,
+                    lambda pairs, s=sends[row]: dense_port_values(
+                        s, pairs
+                    ),
+                )
         return new_loads
+
+    def _settle_faults(
+        self, new_row: np.ndarray, replica: int, faults, port_values
+    ) -> None:
+        """Apply one replica's round corrections and track the loss."""
+        dropped = apply_round_faults(
+            new_row, self.graph, faults, port_values
+        )
+        self.totals[replica] -= dropped
+        self._tokens_dropped[replica] += dropped
 
     def _round_structured(
         self, loads: np.ndarray, active: np.ndarray
@@ -405,7 +509,21 @@ class BatchRunner:
                     self._raise_structured_overdraw(
                         remainder, active, balancer
                     )
-            return compact.apply(graph, loads)
+            new_loads = compact.apply(graph, loads)
+            if self._fault_schedules is not None:
+                for row, replica in enumerate(active.tolist()):
+                    faults = self._round_faults[replica]
+                    if faults is None:
+                        continue
+                    self._settle_faults(
+                        new_loads[row],
+                        replica,
+                        faults,
+                        lambda pairs, r=row: structured_port_values(
+                            compact, graph, pairs, replica=r
+                        ),
+                    )
+            return new_loads
         new_loads = np.empty_like(loads)
         for row, replica in enumerate(active):
             balancer = self._balancer_for(int(replica))
@@ -420,6 +538,17 @@ class BatchRunner:
                         remainder[None, :], active[row:], balancer
                     )
             new_loads[row] = compact.apply(graph, replica_loads)
+            if self._fault_schedules is not None:
+                faults = self._round_faults[int(replica)]
+                if faults is not None:
+                    self._settle_faults(
+                        new_loads[row],
+                        int(replica),
+                        faults,
+                        lambda pairs, c=compact: structured_port_values(
+                            c, graph, pairs
+                        ),
+                    )
         return new_loads
 
     def _raise_structured_overdraw(
@@ -438,8 +567,17 @@ class BatchRunner:
         )
 
     def run(self, rounds: int) -> BatchResult:
-        """Execute ``rounds`` rounds for every replica."""
-        if self._vectorized and self._active.all():
+        """Execute ``rounds`` rounds for every replica.
+
+        Fault schedules take the per-step path: their corrections are
+        per-replica scatter updates, which is exactly the bookkeeping
+        the tight vectorized loop exists to avoid.
+        """
+        if (
+            self._vectorized
+            and self._active.all()
+            and self._fault_schedules is None
+        ):
             self._run_vectorized(rounds)
         else:
             for _ in range(rounds):
@@ -541,7 +679,9 @@ class BatchRunner:
                 self.round,
             )
             row += delta
-            self.totals[replica] += int(delta.sum())
+            moved = int(delta.sum())
+            self.totals[replica] += moved
+            self._tokens_injected[replica] += moved
         return loads
 
     def run_until(
@@ -626,10 +766,16 @@ class BatchRunner:
         }
         if self._injectors is not None:
             summary["tokens_injected"] = int(
-                self.totals[replica]
-                - self.initial_loads[replica].sum()
+                self._tokens_injected[replica]
             )
             summary.update(self._injectors[replica].summary())
+        if self._fault_schedules is not None:
+            schedule = self._fault_schedules[replica]
+            summary["fault_schedule"] = schedule.name
+            summary["tokens_dropped"] = int(
+                self._tokens_dropped[replica]
+            )
+            summary.update(schedule.summary())
         return summary
 
     def _result(self) -> BatchResult:

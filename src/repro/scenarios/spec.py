@@ -53,6 +53,7 @@ from repro.core.monitors import LoadBoundsMonitor, Monitor
 from repro.core.probes import Probe, ProbeSpec, build_probes, loads_only
 from repro.core.trace import RunRecord
 from repro.dynamics.spec import DynamicsSpec, as_injector
+from repro.faults.spec import FaultSpec, as_fault_schedule
 from repro.graphs import families
 from repro.graphs.balancing import BalancingGraph
 from repro.registry import freeze_params as _freeze
@@ -400,6 +401,15 @@ class Scenario:
             a ready :class:`~repro.dynamics.injectors.Injector`.
             Injection is a vector add, so dynamic scenarios keep every
             fast path (structured engine, batch executor).
+        faults: optional network-fault schedule — a
+            :class:`~repro.faults.spec.FaultSpec` (serializes with the
+            scenario; replica ``r`` gets a fresh schedule built with
+            ``seed + r``) or, for single-replica programmatic use, a
+            ready :class:`~repro.faults.schedules.FaultSchedule`.
+            Fault corrections are sparse ``O(faults)`` fix-ups after
+            the fault-free round, so faulty scenarios keep the
+            structured engine and the batch executor (only the
+            batch executor's fully-vectorized inner loop is bypassed).
         monitors: legacy per-replica monitor *factories*.  Monitors
             force the looped executor and the dense engine and are not
             serialized — prefer ``probes``.
@@ -415,6 +425,7 @@ class Scenario:
     replicas: int = 1
     probes: tuple = ()
     dynamics: DynamicsSpec | None = None
+    faults: FaultSpec | None = None
     monitors: tuple[Callable[[], Monitor], ...] = ()
     record_history: bool = True
     validate_every_round: bool = True
@@ -432,6 +443,16 @@ class Scenario:
                 "multi-replica scenarios need fresh injectors per "
                 "replica; pass a DynamicsSpec instead of an instance "
                 f"({type(self.dynamics).__name__})"
+            )
+        if (
+            self.faults is not None
+            and not isinstance(self.faults, FaultSpec)
+            and self.replicas > 1
+        ):
+            raise ValueError(
+                "multi-replica scenarios need fresh fault schedules "
+                "per replica; pass a FaultSpec instead of an instance "
+                f"({type(self.faults).__name__})"
             )
         if self.replicas > 1:
             # Anything that is not a spec or a factory is a ready
@@ -464,6 +485,8 @@ class Scenario:
         label = f"{self.algorithm.name} @ {graph} / {self.loads.name}"
         if self.dynamics is not None:
             label += f" + {self.dynamics.name}"
+        if self.faults is not None:
+            label += f" ! {self.faults.name}"
         return label
 
     def build_graph(self) -> BalancingGraph:
@@ -510,6 +533,13 @@ class Scenario:
                 "registered DynamicsSpec "
                 "(repro.dynamics.register_injector)"
             )
+        if self.faults is not None and not isinstance(
+            self.faults, FaultSpec
+        ):
+            raise ValueError(
+                "fault-schedule instances cannot be serialized; use a "
+                "registered FaultSpec (repro.faults.register_fault)"
+            )
         data = {
             "graph": self.graph.to_dict(),
             "algorithm": self.algorithm.to_dict(),
@@ -524,6 +554,8 @@ class Scenario:
             data["probes"] = [spec.to_dict() for spec in self.probes]
         if self.dynamics is not None:
             data["dynamics"] = self.dynamics.to_dict()
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
         return data
 
     def canonical_json(self) -> str:
@@ -553,6 +585,11 @@ class Scenario:
             dynamics=(
                 DynamicsSpec.from_dict(data["dynamics"])
                 if data.get("dynamics") is not None
+                else None
+            ),
+            faults=(
+                FaultSpec.from_dict(data["faults"])
+                if data.get("faults") is not None
                 else None
             ),
             record_history=bool(data.get("record_history", True)),
@@ -644,6 +681,7 @@ class Scenario:
                 monitors=monitors,
                 probes=probe_set,
                 dynamics=as_injector(self.dynamics, replica),
+                faults=as_fault_schedule(self.faults, replica),
                 record_history=self.record_history,
                 validate_every_round=self.validate_every_round,
             )
@@ -694,12 +732,18 @@ class Scenario:
             if self.probes
             else None
         )
-        # Injectors are built here with *absolute* replica indices so a
-        # replica sub-range sees the same seed offsets as a full run.
+        # Injectors and fault schedules are built here with *absolute*
+        # replica indices so a replica sub-range sees the same seed
+        # offsets as a full run.
         dynamics = self.dynamics
         if isinstance(dynamics, DynamicsSpec):
             dynamics = [
                 dynamics.build(replica) for replica in replica_range
+            ]
+        faults = self.faults
+        if isinstance(faults, FaultSpec):
+            faults = [
+                faults.build(replica) for replica in replica_range
             ]
         runner = BatchRunner(
             graph,
@@ -707,6 +751,7 @@ class Scenario:
             initial,
             probes=probe_sets,
             dynamics=dynamics,
+            faults=faults,
             record_history=self.record_history,
             validate_every_round=self.validate_every_round,
         )
@@ -770,6 +815,7 @@ class ScenarioSuite:
         replicas: int = 1,
         probes: tuple = (),
         dynamics: DynamicsSpec | None = None,
+        faults: FaultSpec | None = None,
         monitors: tuple[Callable[[], Monitor], ...] = (),
         record_history: bool = True,
         validate_every_round: bool = True,
@@ -789,6 +835,7 @@ class ScenarioSuite:
                 replicas=replicas,
                 probes=probes,
                 dynamics=dynamics,
+                faults=faults,
                 monitors=monitors,
                 record_history=record_history,
                 validate_every_round=validate_every_round,
@@ -817,6 +864,9 @@ class ScenarioSuite:
         *,
         workers: int | None = None,
         cache=None,
+        retry=None,
+        timeout: float | None = None,
+        on_shard_failure: str | None = None,
     ) -> list[ScenarioResult]:
         """Run every scenario in order; see :meth:`Scenario.run`.
 
@@ -842,8 +892,22 @@ class ScenarioSuite:
         on ``ScenarioSuite.run`` therefore inherit parallelism and
         caching without any config plumbing, and results are
         bit-identical to the serial path in every mode.
+
+        ``retry``, ``timeout``, and ``on_shard_failure`` make the run
+        fault tolerant (see :mod:`repro.exec.retry`): ``retry`` (a
+        policy or attempt count) re-attempts transiently failing
+        shards, ``timeout`` kills shards over a per-shard wall-clock
+        budget, and ``on_shard_failure="partial"`` degrades gracefully
+        — instead of raising :class:`~repro.exec.SuiteExecutionError`,
+        the run returns a :class:`~repro.exec.PartialSuiteResult` (a
+        list of the completed outcomes carrying ``.failures``), with
+        healthy shards still cached so a later run only fills the
+        holes.  All three default to the ambient configuration; pass
+        ``retry=False`` / ``timeout=False`` to opt out of inherited
+        settings.
         """
         from repro.exec.context import current as current_exec_config
+        from repro.exec.retry import as_retry_policy
 
         config = current_exec_config()
         if workers is None:
@@ -852,15 +916,41 @@ class ScenarioSuite:
             cache = None
         elif cache is None:
             cache = config.cache
-        if workers > 1 or cache is not None:
-            from repro.exec.runner import SuiteExecutor
+        if retry is False:
+            retry = None
+        elif retry is None:
+            retry = config.retry
+        else:
+            retry = as_retry_policy(retry)
+        if timeout is False:
+            timeout = None
+        elif timeout is None:
+            timeout = config.timeout
+        if on_shard_failure is None:
+            on_shard_failure = config.on_shard_failure
+        if (
+            workers > 1
+            or cache is not None
+            or retry is not None
+            or timeout is not None
+            or on_shard_failure != "raise"
+        ):
+            from repro.exec.runner import (
+                PartialSuiteResult,
+                SuiteExecutor,
+            )
 
             report = SuiteExecutor(
                 workers=workers,
                 cache=cache,
                 executor=executor,
                 max_replicas_per_shard=config.max_replicas_per_shard,
+                retry=retry,
+                timeout=timeout,
+                on_shard_failure=on_shard_failure,
             ).run(self, graph=graph)
+            if on_shard_failure == "partial":
+                return PartialSuiteResult(report.outcomes, report)
             return report.outcomes
         if graph is not None and self.scenarios:
             first = self.scenarios[0].graph

@@ -1,0 +1,127 @@
+"""A deliberately naive reference implementation of *faulty* rounds.
+
+The production engines execute network faults as sparse ``O(faults)``
+corrections applied after the fault-free round (see
+:mod:`repro.faults.schedules` for the model).  This module is the
+differential-testing anchor for all of them: one faulty round is
+executed with per-node, per-port Python loops and explicit phase
+ordering —
+
+1. the fault adversary moves first: ``round_state`` fires (crash /
+   recover epoch events), and any crash-handoff ``load_delta`` is added
+   node by node (asserting no node goes negative);
+2. dynamics injection (optional) is added node by node;
+3. the balancer's fault-free sends are applied one port at a time —
+   except that a send over a *dead* directed port stays at the sender
+   and a *dropped* send vanishes (tracked as lost);
+4. conservation is asserted exactly: the balancing phase changes the
+   total by precisely ``-lost``.
+
+The reference owns its own :class:`~repro.faults.schedules.\
+FaultSchedule` instance built from the same spec as the engine under
+test.  Because ``round_state`` is called exactly once per round with
+the same round numbers, both instances consume identical RNG streams
+and produce identical fault histories.
+
+Nothing here is clever, which is the point: correctness is obvious by
+inspection, so any divergence from the fast engines is a fast-engine
+bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.balancer import Balancer
+from repro.core.errors import NegativeLoadError
+from repro.graphs.balancing import BalancingGraph
+
+
+class ReferenceFaultySimulator:
+    """Slow, obviously-correct faulty-round execution (tests only)."""
+
+    def __init__(
+        self,
+        graph: BalancingGraph,
+        balancer: Balancer,
+        initial_loads: np.ndarray,
+        faults,
+        injector=None,
+    ) -> None:
+        self.graph = graph
+        self.balancer = balancer.bind(graph)
+        self.faults = faults
+        self.injector = injector
+        self.loads = [int(v) for v in initial_loads]
+        self.round = 1
+        self.tokens_dropped = 0
+        faults.start(graph, np.asarray(initial_loads, dtype=np.int64))
+        if injector is not None:
+            injector.start(
+                graph, np.asarray(initial_loads, dtype=np.int64)
+            )
+
+    def step(self) -> list[int]:
+        graph = self.graph
+        # Phase 1: fault epoch events (crash handoffs, recoveries).
+        round_faults = self.faults.round_state(
+            self.round, np.array(self.loads, dtype=np.int64)
+        )
+        dead: set[tuple[int, int]] = set()
+        dropped: set[tuple[int, int]] = set()
+        if round_faults is not None:
+            if round_faults.load_delta is not None:
+                for node in range(graph.num_nodes):
+                    self.loads[node] += int(round_faults.load_delta[node])
+                    assert self.loads[node] >= 0, (
+                        f"fault schedule drained node {node} below zero "
+                        "in the reference engine"
+                    )
+            dead = {(int(u), int(p)) for u, p in round_faults.dead}
+            dropped = {(int(u), int(p)) for u, p in round_faults.dropped}
+        # Phase 2: dynamics injection.
+        if self.injector is not None:
+            delta = self.injector.delta(
+                self.round, np.array(self.loads, dtype=np.int64)
+            )
+            for node in range(graph.num_nodes):
+                self.loads[node] += int(delta[node])
+                assert self.loads[node] >= 0
+        total_before_balancing = sum(self.loads)
+        # Phase 3: fault-free sends, corrected one port at a time.
+        loads_array = np.array(self.loads, dtype=np.int64)
+        sends = self.balancer.sends(loads_array, self.round)
+        new_loads = [0] * graph.num_nodes
+        lost = 0
+        for node in range(graph.num_nodes):
+            outgoing = int(sends[node].sum())
+            remainder = self.loads[node] - outgoing
+            if remainder < 0 and not self.balancer.allows_negative:
+                raise NegativeLoadError(
+                    f"node {node} overdrew in reference engine"
+                )
+            new_loads[node] += remainder
+        for node in range(graph.num_nodes):
+            for port in range(graph.total_degree):
+                value = int(sends[node, port])
+                if (node, port) in dead:
+                    # The link is down: the send bounces back.
+                    new_loads[node] += value
+                elif (node, port) in dropped:
+                    # The message vanishes in flight.
+                    lost += value
+                else:
+                    target = graph.port_target(node, port)
+                    new_loads[target] += value
+        assert sum(new_loads) == total_before_balancing - lost, (
+            "faulty balancing must conserve tokens up to tracked drops"
+        )
+        self.tokens_dropped += lost
+        self.loads = new_loads
+        self.round += 1
+        return new_loads
+
+    def run(self, rounds: int) -> list[int]:
+        for _ in range(rounds):
+            self.step()
+        return self.loads

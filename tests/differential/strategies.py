@@ -13,6 +13,7 @@ from __future__ import annotations
 from hypothesis import strategies as st
 
 from repro.dynamics import DynamicsSpec
+from repro.faults import FaultSpec
 
 
 @st.composite
@@ -90,3 +91,51 @@ def dynamics_specs(draw, n: int, max_rounds: int):
     return DynamicsSpec(
         "scripted", {"events": draw(event_streams(n, max_rounds))}
     )
+
+
+@st.composite
+def fault_specs(draw, n: int, max_rounds: int):
+    """A random spec over every registered built-in fault schedule."""
+    kind = draw(
+        st.sampled_from(
+            ["link_failures", "node_crashes", "message_drop"]
+        )
+    )
+    seed = draw(st.integers(0, 1000))
+    until = draw(
+        st.one_of(st.none(), st.integers(1, max_rounds))
+    )
+    if kind == "link_failures":
+        mode = draw(st.sampled_from(["random", "cut"]))
+        params = {"mode": mode, "seed": seed}
+        if mode == "random":
+            params["rate"] = draw(st.floats(0.0, 0.6))
+        else:
+            period = draw(st.integers(2, 8))
+            params["period"] = period
+            params["down"] = draw(st.integers(1, min(4, period)))
+        if until is not None:
+            params["until"] = until
+        return FaultSpec(kind, params)
+    if kind == "node_crashes":
+        params = {
+            "rate": draw(st.floats(0.0, 0.25)),
+            "downtime": draw(st.integers(1, 6)),
+            "handoff": draw(st.sampled_from(["neighbors", "lost"])),
+            "seed": seed,
+        }
+        if draw(st.booleans()):
+            params["events"] = [
+                [
+                    draw(st.integers(1, max_rounds)),
+                    draw(st.integers(0, n - 1)),
+                ]
+                for _ in range(draw(st.integers(0, 3)))
+            ]
+        if until is not None:
+            params["until"] = until
+        return FaultSpec(kind, params)
+    params = {"rate": draw(st.floats(0.0, 0.4)), "seed": seed}
+    if until is not None:
+        params["until"] = until
+    return FaultSpec("message_drop", params)

@@ -279,3 +279,60 @@ class TestExecutorNeverTrustsDamage:
         third = SuiteExecutor(cache=cache).run(suite)
         assert third.computed == 0
         assert canonical_records(third.outcomes) == expected
+
+
+class TestCacheWriteFailureIsANoOp:
+    """A failing disk degrades the cache to a miss, never the run."""
+
+    def _records(self):
+        suite = ScenarioSuite((_base_scenario(),))
+        report = run_suite(suite)
+        return report.outcomes[0].records
+
+    def test_put_oserror_is_logged_not_raised(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        import repro.exec.cache as cache_module
+
+        records = self._records()
+        cache = ResultCache(tmp_path)
+
+        def broken_write(rows, path):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache_module, "write_jsonl", broken_write)
+        with caplog.at_level("WARNING", logger="repro.exec.cache"):
+            assert cache.put("ab" * 32, records) is None
+        assert cache.stats.write_errors == 1
+        assert cache.stats.writes == 0
+        assert "cache write failed" in caplog.text
+        # The failed write left nothing behind — not even a temp file.
+        assert list(tmp_path.rglob("*")) in ([], [tmp_path / "ab"])
+        assert cache.get("ab" * 32) is None
+
+    def test_executor_survives_a_read_only_cache(
+        self, tmp_path, monkeypatch, serial_records
+    ):
+        import repro.exec.cache as cache_module
+
+        suite = make_suite()
+        cache = ResultCache(tmp_path / "cache")
+
+        def broken_write(rows, path):
+            raise OSError(30, "Read-only file system")
+
+        monkeypatch.setattr(cache_module, "write_jsonl", broken_write)
+        report = SuiteExecutor(cache=cache).run(suite)
+        assert canonical_records(report.outcomes) == serial_records
+        assert report.computed == len(report.shards)
+        assert cache.stats.write_errors == len(report.shards)
+
+        # Once the disk heals, the next run recomputes and persists.
+        monkeypatch.undo()
+        again = SuiteExecutor(cache=cache).run(suite)
+        assert again.cached == 0
+        assert again.computed == len(again.shards)
+        assert len(cache) == len(again.shards)
+        third = SuiteExecutor(cache=cache).run(suite)
+        assert third.computed == 0
+        assert canonical_records(third.outcomes) == serial_records

@@ -1,0 +1,136 @@
+"""RetryPolicy semantics: classification, backoff, determinism, plumbing."""
+
+import pytest
+
+from repro.exec import (
+    RETRYABLE_ERROR_TYPES,
+    ExecConfig,
+    RetryPolicy,
+    as_retry_policy,
+    configure,
+    current,
+)
+
+
+class TestPolicyValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            RetryPolicy(backoff=-1.0)
+
+    def test_retryable_is_coerced_to_frozenset(self):
+        policy = RetryPolicy(retryable=["OSError"])
+        assert policy.retryable == frozenset({"OSError"})
+
+
+class TestClassification:
+    def test_default_retryable_types(self):
+        policy = RetryPolicy()
+        for name in (
+            "ShardTimeoutError",
+            "WorkerCrashError",
+            "OSError",
+            "MemoryError",
+        ):
+            assert policy.is_retryable(name), name
+
+    def test_poisoned_types_fail_fast(self):
+        policy = RetryPolicy(max_attempts=5)
+        for name in ("ValueError", "InvalidFault", "AssertionError",
+                     "KeyError"):
+            assert not policy.is_retryable(name), name
+            assert not policy.should_retry(name, 1)
+
+    def test_should_retry_respects_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry("OSError", 1)
+        assert policy.should_retry("OSError", 2)
+        assert not policy.should_retry("OSError", 3)
+
+    def test_custom_retryable_set(self):
+        policy = RetryPolicy(retryable=frozenset({"KeyError"}))
+        assert policy.should_retry("KeyError", 1)
+        assert not policy.should_retry("OSError", 1)
+
+
+class TestBackoff:
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy(backoff=0.5)
+        assert policy.delay("key", 1) == policy.delay("key", 1)
+
+    def test_delay_varies_with_key_and_attempt(self):
+        policy = RetryPolicy(backoff=0.5, max_backoff=1000.0)
+        delays = {
+            policy.delay(key, attempt)
+            for key in ("a", "b", "c")
+            for attempt in (1, 2, 3)
+        }
+        assert len(delays) == 9, "jitter must decorrelate shards"
+
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(backoff=1.0, max_backoff=4.0)
+        # base doubles 1, 2, 4 then caps; jitter multiplies [1, 1.5)
+        assert 1.0 <= policy.delay("k", 1) < 1.5
+        assert 2.0 <= policy.delay("k", 2) < 3.0
+        assert 4.0 <= policy.delay("k", 3) < 6.0
+        assert 4.0 <= policy.delay("k", 10) < 6.0
+
+    def test_zero_backoff_means_immediate_retry(self):
+        policy = RetryPolicy(backoff=0.0)
+        assert policy.delay("k", 1) == 0.0
+
+
+class TestCoercion:
+    def test_none_passes_through(self):
+        assert as_retry_policy(None) is None
+
+    def test_policy_passes_through(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert as_retry_policy(policy) is policy
+
+    def test_int_becomes_attempt_count(self):
+        policy = as_retry_policy(4)
+        assert policy.max_attempts == 4
+        assert policy.retryable == RETRYABLE_ERROR_TYPES
+
+    def test_bool_and_junk_are_rejected(self):
+        with pytest.raises(TypeError):
+            as_retry_policy(True)
+        with pytest.raises(TypeError):
+            as_retry_policy("thrice")
+
+
+class TestAmbientConfig:
+    def test_defaults_are_fault_intolerant(self):
+        config = ExecConfig()
+        assert config.retry is None
+        assert config.timeout is None
+        assert config.on_shard_failure == "raise"
+
+    def test_configure_sets_and_restores(self):
+        with configure(retry=3, timeout=2.5, on_shard_failure="partial"):
+            config = current()
+            assert config.retry.max_attempts == 3
+            assert config.timeout == 2.5
+            assert config.on_shard_failure == "partial"
+            # False disables an inherited setting within a nested scope.
+            with configure(retry=False, timeout=False):
+                inner = current()
+                assert inner.retry is None
+                assert inner.timeout is None
+                assert inner.on_shard_failure == "partial"
+        after = current()
+        assert after.retry is None
+        assert after.timeout is None
+        assert after.on_shard_failure == "raise"
+
+    def test_configure_validates_inputs(self):
+        with pytest.raises(ValueError, match="timeout"):
+            with configure(timeout=-1.0):
+                pass
+        with pytest.raises(ValueError, match="on_shard_failure"):
+            with configure(on_shard_failure="ignore"):
+                pass

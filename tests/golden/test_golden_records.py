@@ -27,6 +27,7 @@ pytestmark = pytest.mark.slow
 
 from repro.experiments import (  # noqa: E402
     DatacenterServingConfig,
+    FaultRecoveryConfig,
     LowerBoundConfig,
     Table1Config,
     Theorem23Config,
@@ -34,6 +35,7 @@ from repro.experiments import (  # noqa: E402
     run_cycle_sweep,
     run_datacenter_serving,
     run_expander_sweep,
+    run_fault_recovery,
     run_minimal_selfloop_sweep,
     run_potential_monotonicity,
     run_steady_state,
@@ -73,6 +75,20 @@ GOLDEN_CASES = {
             tail_window=15,
             offered_loads=(1.0, 4.0),
             traffic_models=("poisson_arrivals", "hotspot_shift"),
+            algorithms=("send_floor",),
+            replicas=2,
+        )
+    ),
+    "E17": lambda: run_fault_recovery(
+        FaultRecoveryConfig(
+            n=16,
+            fat_tree_k=2,
+            leaves=3,
+            spines=2,
+            hosts_per_leaf=2,
+            rounds=60,
+            tail_window=15,
+            fail_rates=(0.1,),
             algorithms=("send_floor",),
             replicas=2,
         )

@@ -16,6 +16,7 @@ from repro.algorithms.registry import make
 from repro.core.engine import Simulator
 from repro.core.loads import LOAD_SPECS
 from repro.dynamics import INJECTORS, DynamicsSpec
+from repro.faults import FAULTS, FaultSpec
 from repro.graphs import families
 from repro.scenarios import (
     AlgorithmSpec,
@@ -68,6 +69,16 @@ INJECTOR_PARAMS = {
         "probability": 0.4,
         "seed": 5,
     },
+}
+
+
+#: Valid params for every registered fault schedule, mirroring the
+#: injector table: seeded schedules must offset per replica, and
+#: replica ``r``'s fault history must not depend on batch size.
+FAULT_PARAMS = {
+    "link_failures": {"rate": 0.3, "seed": 5},
+    "node_crashes": {"rate": 0.12, "downtime": 3, "seed": 5},
+    "message_drop": {"rate": 0.2, "seed": 5},
 }
 
 
@@ -169,3 +180,94 @@ def test_seeded_replicas_actually_differ():
     deltas_a = np.stack([a.delta(t, loads).copy() for t in range(1, 6)])
     deltas_b = np.stack([b.delta(t, loads).copy() for t in range(1, 6)])
     assert not np.array_equal(deltas_a, deltas_b)
+
+
+def test_every_registered_fault_schedule_is_covered():
+    assert set(FAULT_PARAMS) == set(FAULTS.names())
+
+
+def _fault_history(schedule, graph, loads, rounds=12):
+    """The (dead, dropped, delta) sequence a schedule emits."""
+    schedule.start(graph, loads)
+    history = []
+    for t in range(1, rounds):
+        faults = schedule.round_state(t, loads)
+        history.append(
+            None
+            if faults is None
+            else (
+                faults.dead.tolist(),
+                faults.dropped.tolist(),
+                None
+                if faults.load_delta is None
+                else faults.load_delta.tolist(),
+            )
+        )
+    return history
+
+
+@pytest.mark.parametrize("name", sorted(FAULT_PARAMS))
+def test_fault_schedule_replica_offset(name):
+    """FaultSpec.build(r) emits the explicit seed+r fault history."""
+    params = FAULT_PARAMS[name]
+    spec = FaultSpec(name, params)
+    graph = families.cycle(N)
+    loads = np.full(N, 30, dtype=np.int64)
+    for replica in (0, 2):
+        offset = spec.build(replica)
+        explicit = FaultSpec(
+            name, {**params, "seed": params["seed"] + replica}
+        ).build()
+        assert _fault_history(offset, graph, loads) == _fault_history(
+            explicit, graph, loads
+        )
+
+
+@pytest.mark.parametrize("name", sorted(FAULT_PARAMS))
+def test_fault_replica_independent_of_batch_size(name):
+    """Replica r's faulty trajectory is the same in any batch size."""
+    graph = families.cycle(N)
+    loads = LoadSpec("uniform_random", {"total_tokens": 320, "seed": 5})
+    faults = FaultSpec(name, FAULT_PARAMS[name])
+
+    def scenario(replicas):
+        return Scenario(
+            graph=GraphSpec("cycle", {"n": N}),
+            algorithm=AlgorithmSpec("send_floor"),
+            loads=loads,
+            stop=StopRule.fixed(20),
+            replicas=replicas,
+            faults=faults,
+        )
+
+    small = scenario(2).run(executor="batch")
+    large = scenario(4).run(executor="batch")
+    for replica in range(2):
+        np.testing.assert_array_equal(
+            small.replica(replica).final_loads,
+            large.replica(replica).final_loads,
+        )
+    for replica in range(4):
+        solo = Simulator(
+            graph,
+            make("send_floor"),
+            loads.build(N, replica),
+            faults=faults.build(replica),
+        ).run(20)
+        np.testing.assert_array_equal(
+            large.replica(replica).final_loads, solo.final_loads
+        )
+        assert (
+            large.replica(replica).discrepancy_history
+            == solo.discrepancy_history
+        )
+
+
+def test_seeded_fault_replicas_actually_differ():
+    """The fault-seed offset produces distinct histories (not a no-op)."""
+    graph = families.cycle(N)
+    loads = np.full(N, 30, dtype=np.int64)
+    spec = FaultSpec("link_failures", {"rate": 0.3, "seed": 1})
+    assert _fault_history(spec.build(0), graph, loads) != _fault_history(
+        spec.build(1), graph, loads
+    )
