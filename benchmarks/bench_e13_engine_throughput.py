@@ -12,9 +12,11 @@ both engines on cycles (``d+ = 2d``) from small ``n`` up to a million
 nodes, verifies bit-identical final loads wherever both engines ran,
 and emits ``BENCH_e13.json`` so the perf trajectory is recorded.  Each
 rung also carries a probe-overhead row, a **dynamics row** (structured
-engine under ``constant_rate`` injection), and a **faults row**
-(structured engine under a sparse ``link_failures`` schedule), all
-gated at 1.2x over the bare structured run by ``--check``.  ``--suite-bench``
+engine under ``constant_rate`` injection), a **faults row**
+(structured engine under a sparse ``link_failures`` schedule), both
+gated at 1.2x over the bare structured run by ``--check``, and a
+**topology row** (structured engine under a scripted every-round
+edge toggle) gated at 1.3x.  ``--suite-bench``
 adds the **workers axis**: serial vs ``--suite-workers`` parallel
 execution of a multi-scenario grid through :mod:`repro.exec`, verified
 bit-identical and gated at ``--suite-speedup-limit`` (default 1.5x)
@@ -208,15 +210,16 @@ def _time_run(
     probes=None,
     dynamics=None,
     faults=None,
+    topology=None,
 ):
     """Best-of-``repeats`` wall time.
 
     Returns ``(seconds, final_loads, engine_used)`` — the engine the
     simulator actually selected, so probe rows can verify that a
     loads-only probe did not knock ``engine="auto"`` off the
-    structured path.  ``probes``, ``dynamics``, and ``faults`` are
-    factories called per repeat (fresh observer/injector/schedule
-    state each run).
+    structured path.  ``probes``, ``dynamics``, ``faults``, and
+    ``topology`` are factories called per repeat (fresh
+    observer/injector/schedule state each run).
     """
     from repro.core.engine import Simulator as _Simulator
 
@@ -233,6 +236,7 @@ def _time_run(
             probes=probes() if probes is not None else (),
             dynamics=dynamics() if dynamics is not None else None,
             faults=faults() if faults is not None else None,
+            topology=topology() if topology is not None else None,
         )
         engine_used = simulator.engine
         start = time.perf_counter()
@@ -276,12 +280,26 @@ def run_ladder(
     also stay under the gated 1.2x, and at small ``n`` the faulty run
     is cross-checked bit-identical against the dense engine with the
     same failure stream.
+
+    The **topology row** measures an *active* topology schedule: a
+    scripted stream that drops edge ``(0, 1)`` on odd rounds and
+    restores it on even rounds, so every single round walks the full
+    churn path — event validation (scripted streams are untrusted),
+    in-place graph mutation, dirty-set consumption, incremental
+    balancer refresh.  Like the dynamics row's zero-variance arrival
+    stream, the toggle keeps the wiring (and hence the balancing work)
+    essentially equal to the bare run, so ``topology_overhead``
+    isolates the churn *mechanism* rather than load-trajectory drift;
+    it is gated at 1.3x, and at small ``n`` the churned run is
+    cross-checked bit-identical against the dense engine with the
+    same event stream.
     """
     from repro.core.loads import adversarial_split
     from repro.core.monitors import LoadBoundsMonitor
     from repro.dynamics import DynamicsSpec
     from repro.faults import FaultSpec
     from repro.graphs.families import cycle
+    from repro.topology import ScriptedTopology
 
     # Round-robin placement: the zero-variance arrival stream — the
     # row measures the injection *mechanism*, not RNG call overhead.
@@ -322,13 +340,24 @@ def run_ladder(
             # (b) the timed window is stretched until it is long enough
             # to measure a ~1.1x effect reliably.
             overhead_rounds = rounds * max(1, 131_072 // n)
+            toggle_events = [
+                ["drop" if t % 2 else "add", t, 0, 1]
+                for t in range(1, overhead_rounds + 1)
+            ]
+
+            def toggle():
+                return ScriptedTopology(toggle_events)
+
             bare_seconds = float("inf")
             dynamics_seconds = float("inf")
             faults_seconds = float("inf")
+            topology_seconds = float("inf")
             dynamics_overhead = float("inf")
             faults_overhead = float("inf")
+            topology_overhead = float("inf")
             dynamics_finals = None
             faults_finals = None
+            topology_finals = None
             for _ in range(max(repeats, 5)):
                 bare, _, _ = _time_run(
                     graph,
@@ -356,9 +385,19 @@ def run_ladder(
                     1,
                     faults=failures.build,
                 )
+                churned, topology_finals, _ = _time_run(
+                    graph,
+                    algorithm,
+                    loads,
+                    overhead_rounds,
+                    "structured",
+                    1,
+                    topology=toggle,
+                )
                 bare_seconds = min(bare_seconds, bare)
                 dynamics_seconds = min(dynamics_seconds, injected)
                 faults_seconds = min(faults_seconds, faulted)
+                topology_seconds = min(topology_seconds, churned)
                 # Overheads are paired per iteration — each ratio
                 # compares runs taken back-to-back under the same clock
                 # conditions, so frequency drift between iterations
@@ -367,6 +406,9 @@ def run_ladder(
                     dynamics_overhead, injected / bare
                 )
                 faults_overhead = min(faults_overhead, faulted / bare)
+                topology_overhead = min(
+                    topology_overhead, churned / bare
+                )
             # A noise spike inside one window still inflates a paired
             # ratio, so cross-check against the best-of-all-iterations
             # quotient and keep the smaller (both are standard
@@ -376,6 +418,9 @@ def run_ladder(
             )
             faults_overhead = min(
                 faults_overhead, faults_seconds / bare_seconds
+            )
+            topology_overhead = min(
+                topology_overhead, topology_seconds / bare_seconds
             )
             if n <= min(dense_cap, 16_384):
                 _, dense_dynamics_finals, _ = _time_run(
@@ -410,6 +455,22 @@ def run_ladder(
                         f"faulty run diverged across engines at "
                         f"n={n}, {algorithm}"
                     )
+                _, dense_topology_finals, _ = _time_run(
+                    graph,
+                    algorithm,
+                    loads,
+                    overhead_rounds,
+                    "dense",
+                    1,
+                    topology=toggle,
+                )
+                if not np.array_equal(
+                    dense_topology_finals, topology_finals
+                ):
+                    raise AssertionError(
+                        f"churned run diverged across engines at "
+                        f"n={n}, {algorithm}"
+                    )
             entry = {
                 "n": n,
                 "d_plus": graph.total_degree,
@@ -431,6 +492,9 @@ def run_ladder(
                 "faults_rounds": overhead_rounds,
                 "faults_seconds": round(faults_seconds, 4),
                 "faults_overhead": round(faults_overhead, 3),
+                "topology_rounds": overhead_rounds,
+                "topology_seconds": round(topology_seconds, 4),
+                "topology_overhead": round(topology_overhead, 3),
             }
             if n <= dense_cap:
                 dense_seconds, dense_finals, _ = _time_run(
@@ -454,6 +518,7 @@ def run_ladder(
                 f" ({probe_engine})"
                 f"  +inject {entry['dynamics_overhead']:5.2f}x"
                 f"  +faults {entry['faults_overhead']:5.2f}x"
+                f"  +churn {entry['topology_overhead']:5.2f}x"
                 + (
                     f"  dense {entry['dense_seconds']:8.3f}s"
                     f"  speedup {entry['speedup']:5.2f}x"
@@ -631,8 +696,9 @@ def main(argv=None):
         "--check",
         action="store_true",
         help="exit nonzero if structured is slower than dense, a "
-        "loads-only probe forces the dense path, or probe/injection "
-        "overhead exceeds its limit at any n >= 4096",
+        "loads-only probe forces the dense path, or "
+        "probe/injection/fault/topology overhead exceeds its limit "
+        "at any n >= 4096",
     )
     parser.add_argument(
         "--probe-overhead-limit",
@@ -654,6 +720,15 @@ def main(argv=None):
         default=1.2,
         help="max allowed structured+faults / structured-bare ratio "
         "at n >= 4096 (default 1.2)",
+    )
+    parser.add_argument(
+        "--topology-overhead-limit",
+        type=float,
+        default=1.3,
+        help="max allowed structured+topology-schedule / "
+        "structured-bare ratio at n >= 4096 (default 1.3; churn "
+        "rounds pay per-event python work the vectorized rows do "
+        "not, hence the slightly looser gate)",
     )
     args = parser.parse_args(argv)
 
@@ -738,6 +813,18 @@ def main(argv=None):
                     f"n={entry['n']} ({entry['algorithm']})",
                     file=sys.stderr,
                 )
+            if (
+                entry["topology_overhead"]
+                > args.topology_overhead_limit
+            ):
+                failed = True
+                print(
+                    f"FAIL: topology-schedule overhead "
+                    f"{entry['topology_overhead']}x exceeds "
+                    f"{args.topology_overhead_limit}x at "
+                    f"n={entry['n']} ({entry['algorithm']})",
+                    file=sys.stderr,
+                )
         suite_entry = report.get("suite_throughput")
         if suite_entry is not None and suite_entry["n"] >= 4096:
             cpus = suite_entry["cpu_count"] or 1
@@ -766,9 +853,10 @@ def main(argv=None):
             "check passed: structured >= dense, probe overhead "
             f"<= {args.probe_overhead_limit}x (structured engine "
             f"kept), injection overhead <= "
-            f"{args.dynamics_overhead_limit}x, and fault-schedule "
-            f"overhead <= {args.faults_overhead_limit}x at every "
-            "n >= 4096"
+            f"{args.dynamics_overhead_limit}x, fault-schedule "
+            f"overhead <= {args.faults_overhead_limit}x, and "
+            f"topology-schedule overhead <= "
+            f"{args.topology_overhead_limit}x at every n >= 4096"
             + (
                 f"; {suite_entry['workers']}-worker suite speedup "
                 f"{suite_entry['speedup']}x"

@@ -75,6 +75,9 @@ class RotorRouter(Balancer):
         self._custom_rotors = initial_rotors
         self._orders: np.ndarray | None = None
         self._rotors: np.ndarray | None = None
+        self._reverse_flat: np.ndarray | None = None
+        self.refresh_rows = 0
+        self.refresh_full = 0
 
     def _validate_graph(self, graph: BalancingGraph) -> None:
         d_plus = graph.total_degree
@@ -120,6 +123,31 @@ class RotorRouter(Balancer):
         self._reverse_flat = (
             graph.adjacency * graph.degree + graph.reverse_port
         ).ravel()
+
+    def refresh_topology(self, graph: BalancingGraph, dirty=None) -> None:
+        """Repair ``reverse_flat`` for the mutated rows only.
+
+        ``_orders``/``_positions``/``_position_window`` depend only on
+        ``(n, d+)`` — unchanged under in-place churn — and the rotors
+        deliberately keep their positions, so the receiver-side gather
+        index is the only structure that goes stale.  Repair cost is
+        O(|dirty| * d), independent of ``n``; the counters back the
+        incrementality regression test.
+        """
+        self._graph = graph
+        if dirty is None or self._reverse_flat is None:
+            self._on_bind(graph)
+            self.refresh_full += 1
+            return
+        rows = np.asarray(dirty, dtype=np.int64)
+        if rows.size == 0:
+            return
+        d = graph.degree
+        view = self._reverse_flat.reshape(-1, d)
+        view[rows] = (
+            graph.adjacency[rows] * d + graph.reverse_port[rows]
+        )
+        self.refresh_rows += int(rows.size)
 
     def reset(self) -> None:
         graph = self.graph

@@ -180,6 +180,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered fault-schedule names and exit",
     )
     sim_parser.add_argument(
+        "--topology",
+        metavar="NAME[:JSON]",
+        help=(
+            "dynamic-topology schedule: a registered schedule applied "
+            "at the top of every round, e.g. --topology "
+            "'edge_churn:{\"rate\": 0.05, \"seed\": 1}' or --topology "
+            "'expander_rewire:{\"swaps\": 2}' (the graph churns in "
+            "place; incompatible with --faults)"
+        ),
+    )
+    sim_parser.add_argument(
+        "--list-topologies",
+        action="store_true",
+        help="list registered topology-schedule names and exit",
+    )
+    sim_parser.add_argument(
         "--trace-csv",
         metavar="PATH",
         help="dump replica 0's columnar trace (probe columns) as CSV",
@@ -337,6 +353,7 @@ def _run_simulate(args) -> int:
     from repro.core.probes import PROBES, ProbeSpec
     from repro.dynamics import INJECTORS, DynamicsSpec
     from repro.faults import FAULTS, FaultSpec
+    from repro.topology import TOPOLOGIES, TopologySpec
     from repro.graphs.spectral import eigenvalue_gap
     from repro.scenarios import (
         AlgorithmSpec,
@@ -360,6 +377,11 @@ def _run_simulate(args) -> int:
         for name in FAULTS.names():
             print(f"  {name}")
         return 0
+    if args.list_topologies:
+        print("registered topology schedules:")
+        for name in TOPOLOGIES.names():
+            print(f"  {name}")
+        return 0
     if args.list_families:
         from repro.graphs import FAMILY_BUILDERS
 
@@ -374,6 +396,9 @@ def _run_simulate(args) -> int:
         DynamicsSpec.parse(args.inject) if args.inject else None
     )
     faults = FaultSpec.parse(args.faults) if args.faults else None
+    topology = (
+        TopologySpec.parse(args.topology) if args.topology else None
+    )
     graph_spec = graph_spec_from_cli(
         args.family, args.n, args.degree, args.seed, args.self_loops
     )
@@ -396,6 +421,7 @@ def _run_simulate(args) -> int:
         probes=probes,
         dynamics=dynamics,
         faults=faults,
+        topology=topology,
     )
     outcome = scenario.run(graph=graph)
     result = outcome.replica(0)
@@ -406,6 +432,8 @@ def _run_simulate(args) -> int:
         print(f"dynamics:   {dynamics.name}")
     if faults is not None:
         print(f"faults:     {faults.name}")
+    if topology is not None:
+        print(f"topology:   {topology.name}")
     print(f"discrepancy {result.initial_discrepancy} -> "
           f"{result.final_discrepancy}")
     if args.replicas > 1:
@@ -416,7 +444,10 @@ def _run_simulate(args) -> int:
         )
     record = outcome.record(0)
     if (
-        probes or dynamics is not None or faults is not None
+        probes
+        or dynamics is not None
+        or faults is not None
+        or topology is not None
     ) and record is not None:
         for key, value in record.summary.items():
             if key in ("initial_discrepancy", "final_discrepancy"):

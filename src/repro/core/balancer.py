@@ -114,6 +114,26 @@ class Balancer(ABC):
     def reset(self) -> None:
         """Restore initial mutable state (rotors, RNG streams, caches)."""
 
+    def refresh_topology(self, graph: BalancingGraph, dirty=None) -> None:
+        """Re-sync per-graph structures after an in-place topology change.
+
+        Called by the engines after applying a round's
+        :class:`~repro.topology.schedules.TopologyEvents` to the
+        (mutable) bound graph.  Unlike :meth:`bind` this must NOT
+        reset mutable algorithm state — rotors keep their positions
+        across churn; only graph-derived index structures are redone.
+
+        Args:
+            graph: the mutated graph (usually the already-bound
+                instance, mutated in place).
+            dirty: optional sorted ``int64`` array of node indices
+                whose port layout changed this round.  Implementations
+                may use it to repair incrementally; the default redoes
+                the full :meth:`_on_bind` precompute.
+        """
+        self._graph = graph
+        self._on_bind(graph)
+
     def _validate_graph(self, graph: BalancingGraph) -> None:
         """Hook: raise :class:`BindingError` on incompatible graphs."""
 

@@ -54,6 +54,10 @@ from repro.faults.schedules import (
 )
 from repro.core.probes import LOADS, Probe, build_probes, dense_required
 from repro.core.trace import RunRecord, build_record
+from repro.topology.schedules import (
+    apply_topology_events,
+    validate_topology_events,
+)
 
 
 class _AttachGuard(tuple):
@@ -147,6 +151,20 @@ class Simulator:
             dead links bounce back to the sender and dropped sends
             vanish from the running total in a tracked way, so the
             conservation check stays an exact equality.
+        topology: optional dynamic-topology schedule — a
+            :class:`~repro.topology.schedules.TopologySchedule`
+            instance or a :class:`~repro.topology.spec.TopologySpec`.
+            Each round opens with its churn events (before everything
+            else): the engine copies the input graph into a
+            :class:`~repro.graphs.mutable.MutableBalancingGraph` and
+            mutates it in place, then hands the dirty node set to the
+            balancer's ``refresh_topology`` — per-round cost scales
+            with the number of mutated edges, not ``n``.  Leaving
+            nodes hand their load to surviving neighbors, so topology
+            changes conserve tokens and the conservation check stays
+            exact.  Mutually exclusive with ``faults`` (fault
+            schedules precompute canonical port maps that churn would
+            silently invalidate).
         record_history: keep the per-round discrepancy trajectory.
         validate_every_round: full structural validation of each sends
             matrix (or compact round description).  Cheap (vectorized)
@@ -167,6 +185,7 @@ class Simulator:
         probes: Iterable = (),
         dynamics=None,
         faults=None,
+        topology=None,
         record_history: bool = True,
         validate_every_round: bool = True,
         engine: str = "auto",
@@ -177,6 +196,21 @@ class Simulator:
                 f"load vector has {initial_loads.shape[0]} entries for a "
                 f"graph with {graph.num_nodes} nodes"
             )
+        if topology is not None:
+            if faults is not None:
+                raise ValueError(
+                    "faults and topology cannot be combined: fault "
+                    "schedules precompute canonical port maps from the "
+                    "initial graph, which topology churn invalidates"
+                )
+            from repro.graphs.mutable import MutableBalancingGraph
+            from repro.topology.spec import as_topology_schedule
+
+            topology = as_topology_schedule(topology)
+            # Private mutable copy: churn must never leak into the
+            # caller's (possibly shared/prebuilt) graph instance.
+            graph = MutableBalancingGraph.from_graph(graph)
+        self._topology = topology
         self.graph = graph
         self.balancer = balancer.bind(graph)
         self.initial_loads = initial_loads.copy()
@@ -234,11 +268,14 @@ class Simulator:
         self._round_faults = None
         self._tokens_injected = 0
         self._tokens_dropped = 0
+        self._topology_rounds = 0
         self.total_tokens = int(initial_loads.sum())
         self.round = 1  # the paper's convention: x_1 is the initial vector
         self.discrepancy_history: list[int | float] = (
             [discrepancy(initial_loads)] if record_history else []
         )
+        if self._topology is not None:
+            self._topology.start(graph, self._loads)
         if self._faults is not None:
             self._faults.start(graph, self._loads)
         if self._injector is not None:
@@ -329,8 +366,28 @@ class Simulator:
                 self.total_tokens += int(delta.sum())
         self._round_faults = faults
 
+    def _apply_topology_events(self) -> None:
+        """Open the round with the topology schedule's churn events.
+
+        The graph is mutated in place (the engine owns its private
+        mutable copy); load handoff from leaving nodes lands before
+        fault epochs and injection; the balancer then repairs its
+        graph-derived structures from the dirty node set only.
+        """
+        events = self._topology.round_events(self.round, self._loads)
+        if events is None or events.is_empty():
+            return
+        if self.validate_every_round and not events.trusted:
+            validate_topology_events(events, self.graph)
+        apply_topology_events(self.graph, events, self._loads)
+        dirty = self.graph.consume_dirty()
+        self.balancer.refresh_topology(self.graph, dirty)
+        self._topology_rounds += 1
+
     def step(self) -> np.ndarray:
         """Execute one synchronous round; returns the new load vector."""
+        if self._topology is not None:
+            self._apply_topology_events()
         if self._faults is not None:
             self._apply_fault_events()
         if self._injector is not None:
@@ -498,6 +555,10 @@ class Simulator:
             engine_summary["fault_schedule"] = self._faults.name
             engine_summary["tokens_dropped"] = self._tokens_dropped
             engine_summary.update(self._faults.summary())
+        if self._topology is not None:
+            engine_summary["topology_schedule"] = self._topology.name
+            engine_summary["topology_rounds"] = self._topology_rounds
+            engine_summary.update(self._topology.summary())
         return build_record(
             replica=replica,
             rounds_executed=self.round - 1,
@@ -539,6 +600,7 @@ def simulate(
     probes: Iterable = (),
     dynamics=None,
     faults=None,
+    topology=None,
     record_history: bool = True,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
@@ -550,6 +612,7 @@ def simulate(
         probes=probes,
         dynamics=dynamics,
         faults=faults,
+        topology=topology,
         record_history=record_history,
     )
     return simulator.run(rounds)

@@ -7,53 +7,22 @@ files, ``repro-lb simulate --inject``) and building fresh
 :class:`~repro.dynamics.injectors.Injector` instances per replica.  If
 the params include a ``seed``, replica ``r`` is built with ``seed + r``
 so replicas see independent — and batch-size-independent — event
-streams, exactly like seeded load specs.
+streams, exactly like seeded load specs.  The shared machinery lives in
+:class:`repro.specs.RegistrySpec`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.dynamics.injectors import INJECTORS, Injector
-from repro.registry import freeze_params, parse_spec_shorthand
+from repro.specs import RegistrySpec, coerce_spec
 
 
-@dataclass(frozen=True)
-class DynamicsSpec:
+class DynamicsSpec(RegistrySpec):
     """A registered injector by name plus construction parameters."""
 
-    name: str
-    params: dict = field(default_factory=dict)
-
-    def __hash__(self) -> int:
-        return hash((self.name, freeze_params(self.params)))
-
-    def build(self, replica: int = 0) -> Injector:
-        params = dict(self.params)
-        if replica and "seed" in params:
-            params["seed"] += replica
-        injector = INJECTORS.create(self.name, **params)
-        if not isinstance(injector, Injector):
-            raise TypeError(
-                f"injector factory {self.name!r} returned "
-                f"{type(injector).__name__}, expected an Injector"
-            )
-        return injector
-
-    def to_dict(self) -> dict:
-        data: dict = {"name": self.name}
-        if self.params:
-            data["params"] = dict(self.params)
-        return data
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "DynamicsSpec":
-        return cls(data["name"], dict(data.get("params", {})))
-
-    @classmethod
-    def parse(cls, text: str) -> "DynamicsSpec":
-        """Parse CLI shorthand: ``name`` or ``name:{json params}``."""
-        return cls(*parse_spec_shorthand(text, "injector"))
+    registry = INJECTORS
+    instance_type = Injector
+    kind = "injector"
 
 
 def as_injector(dynamics, replica: int = 0) -> Injector | None:
@@ -64,13 +33,4 @@ def as_injector(dynamics, replica: int = 0) -> Injector | None:
     :class:`Injector` instance passes through as-is (the caller owns
     its state).
     """
-    if dynamics is None:
-        return None
-    if isinstance(dynamics, DynamicsSpec):
-        return dynamics.build(replica)
-    if isinstance(dynamics, Injector):
-        return dynamics
-    raise TypeError(
-        f"cannot interpret {dynamics!r} as dynamics: expected None, a "
-        "DynamicsSpec, or an Injector instance"
-    )
+    return coerce_spec(dynamics, DynamicsSpec, replica)

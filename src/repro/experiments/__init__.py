@@ -39,6 +39,10 @@ from repro.experiments.theorem33 import (
     run_good_balancers,
     run_potential_monotonicity,
 )
+from repro.experiments.topology_churn import (
+    TopologyChurnConfig,
+    run_topology_churn,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -69,6 +73,8 @@ __all__ = [
     "run_datacenter_serving",
     "FaultRecoveryConfig",
     "run_fault_recovery",
+    "TopologyChurnConfig",
+    "run_topology_churn",
     "TrajectoryConfig",
     "run_trajectories",
 ]

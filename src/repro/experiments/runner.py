@@ -55,6 +55,10 @@ from repro.experiments.theorem33 import (
     run_good_balancers,
     run_potential_monotonicity,
 )
+from repro.experiments.topology_churn import (
+    TopologyChurnConfig,
+    run_topology_churn,
+)
 
 
 @dataclass(frozen=True)
@@ -173,6 +177,29 @@ EXPERIMENT_DEFS: dict[str, ExperimentDef] = {
             "rounds": 400,
             "tail_window": 100,
             "fail_rates": (0.02, 0.05, 0.1, 0.2, 0.4),
+        },
+    ),
+    "E18": ExperimentDef(
+        run_topology_churn,
+        TopologyChurnConfig,
+        fast={
+            "n": 32,
+            "rounds": 120,
+            "tail_window": 30,
+            "leaves": 4,
+            "spines": 2,
+            "hosts_per_leaf": 3,
+            "replicas": 2,
+        },
+        full={
+            "n": 256,
+            "fat_tree_k": 8,
+            "leaves": 16,
+            "spines": 8,
+            "hosts_per_leaf": 12,
+            "rounds": 400,
+            "tail_window": 100,
+            "churn_rates": (0.01, 0.02, 0.05, 0.1, 0.2),
         },
     ),
     "F1": ExperimentDef(

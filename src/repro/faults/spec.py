@@ -7,53 +7,22 @@ by name plus construction parameters, round-tripping through JSON
 :class:`~repro.faults.schedules.FaultSchedule` instances per replica.
 If the params include a ``seed``, replica ``r`` is built with
 ``seed + r`` so replicas see independent — and batch-size-independent —
-fault histories, exactly like seeded load specs and injectors.
+fault histories, exactly like seeded load specs and injectors.  The
+shared machinery lives in :class:`repro.specs.RegistrySpec`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.faults.schedules import FAULTS, FaultSchedule
-from repro.registry import freeze_params, parse_spec_shorthand
+from repro.specs import RegistrySpec, coerce_spec
 
 
-@dataclass(frozen=True)
-class FaultSpec:
+class FaultSpec(RegistrySpec):
     """A registered fault schedule by name plus construction params."""
 
-    name: str
-    params: dict = field(default_factory=dict)
-
-    def __hash__(self) -> int:
-        return hash((self.name, freeze_params(self.params)))
-
-    def build(self, replica: int = 0) -> FaultSchedule:
-        params = dict(self.params)
-        if replica and "seed" in params:
-            params["seed"] += replica
-        schedule = FAULTS.create(self.name, **params)
-        if not isinstance(schedule, FaultSchedule):
-            raise TypeError(
-                f"fault factory {self.name!r} returned "
-                f"{type(schedule).__name__}, expected a FaultSchedule"
-            )
-        return schedule
-
-    def to_dict(self) -> dict:
-        data: dict = {"name": self.name}
-        if self.params:
-            data["params"] = dict(self.params)
-        return data
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "FaultSpec":
-        return cls(data["name"], dict(data.get("params", {})))
-
-    @classmethod
-    def parse(cls, text: str) -> "FaultSpec":
-        """Parse CLI shorthand: ``name`` or ``name:{json params}``."""
-        return cls(*parse_spec_shorthand(text, "fault"))
+    registry = FAULTS
+    instance_type = FaultSchedule
+    kind = "fault"
 
 
 def as_fault_schedule(faults, replica: int = 0) -> FaultSchedule | None:
@@ -64,13 +33,4 @@ def as_fault_schedule(faults, replica: int = 0) -> FaultSchedule | None:
     :class:`FaultSchedule` instance passes through as-is (the caller
     owns its state).
     """
-    if faults is None:
-        return None
-    if isinstance(faults, FaultSpec):
-        return faults.build(replica)
-    if isinstance(faults, FaultSchedule):
-        return faults
-    raise TypeError(
-        f"cannot interpret {faults!r} as faults: expected None, a "
-        "FaultSpec, or a FaultSchedule instance"
-    )
+    return coerce_spec(faults, FaultSpec, replica)

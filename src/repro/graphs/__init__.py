@@ -28,6 +28,7 @@ from repro.graphs.irregular import (
     from_irregular_edges,
     from_networkx_irregular,
 )
+from repro.graphs.mutable import MutableBalancingGraph
 from repro.graphs.spectral import (
     SpectralProfile,
     continuous_balancing_time,
@@ -68,6 +69,7 @@ __all__ = [
     "mixing_time_scale",
     "error_norm",
     "PaddedBalancingGraph",
+    "MutableBalancingGraph",
     "from_edge_arrays",
     "from_irregular_edges",
     "from_networkx_irregular",

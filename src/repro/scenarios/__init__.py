@@ -11,6 +11,7 @@ from repro.core.probes import ProbeSpec
 from repro.core.trace import RunRecord, SamplingSchedule, Trace
 from repro.dynamics.spec import DynamicsSpec
 from repro.faults.spec import FaultSpec
+from repro.topology.spec import TopologySpec
 from repro.scenarios.batch import BatchResult, BatchRunner
 from repro.scenarios.spec import (
     STOP_KINDS,
@@ -36,6 +37,7 @@ __all__ = [
     "ProbeSpec",
     "DynamicsSpec",
     "FaultSpec",
+    "TopologySpec",
     "SamplingSchedule",
     "Trace",
     "RunRecord",

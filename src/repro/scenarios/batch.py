@@ -47,6 +47,10 @@ from repro.faults.schedules import (
 )
 from repro.core.trace import RunRecord, build_record
 from repro.graphs.balancing import BalancingGraph
+from repro.topology.schedules import (
+    apply_topology_events,
+    validate_topology_events,
+)
 
 
 @dataclass
@@ -132,6 +136,18 @@ class BatchRunner:
             injection); the balancing step is then corrected for dead
             links (bounce-back) and dropped sends (tracked loss),
             exactly as in the looped engine.
+        topology: optional dynamic-topology schedule.  A
+            :class:`~repro.topology.spec.TopologySpec` builds one
+            fresh schedule per replica (seeded specs offset
+            ``seed + r``); alternatively a sequence of ``replicas``
+            ready :class:`~repro.topology.schedules.TopologySchedule`
+            instances.  Each replica gets its own private
+            :class:`~repro.graphs.mutable.MutableBalancingGraph` copy
+            (graphs diverge under churn) and its own balancer — the
+            shared-balancer shortcut is incompatible with topology
+            churn.  Events apply at the top of each round, before
+            injection, exactly as in the looped engine.  Mutually
+            exclusive with ``faults``.
         record_history: keep per-replica discrepancy trajectories.
         validate_every_round: structural validation of each batch of
             sends matrices or compact rounds (vectorized; cheap).
@@ -148,6 +164,7 @@ class BatchRunner:
         probes: Sequence[Sequence] | None = None,
         dynamics=None,
         faults=None,
+        topology=None,
         record_history: bool = True,
         validate_every_round: bool = True,
         engine: str = "auto",
@@ -161,7 +178,37 @@ class BatchRunner:
         replicas = initial_loads.shape[0]
         if isinstance(balancers, Balancer):
             balancers = [balancers]
-        balancers = [b.bind(graph) for b in balancers]
+        self._topology_schedules = self._build_topology_schedules(
+            topology, replicas
+        )
+        if self._topology_schedules is not None:
+            if faults is not None:
+                raise ValueError(
+                    "faults and topology cannot be combined: fault "
+                    "schedules precompute canonical port maps that "
+                    "topology churn invalidates"
+                )
+            if len(balancers) != replicas:
+                raise ValueError(
+                    "topology churn diverges the graphs per replica, "
+                    "so the shared-balancer shortcut is unavailable; "
+                    f"pass one balancer per replica (got "
+                    f"{len(balancers)} for {replicas})"
+                )
+            from repro.graphs.mutable import MutableBalancingGraph
+
+            # Each replica churns its own private copy; the caller's
+            # (possibly shared/prebuilt) graph is never mutated.
+            self._graphs: list | None = [
+                MutableBalancingGraph.from_graph(graph)
+                for _ in range(replicas)
+            ]
+            balancers = [
+                b.bind(g) for b, g in zip(balancers, self._graphs)
+            ]
+        else:
+            self._graphs = None
+            balancers = [b.bind(graph) for b in balancers]
         if len(balancers) == 1 and replicas > 1:
             shared = balancers[0]
             if not (
@@ -180,7 +227,12 @@ class BatchRunner:
         self.graph = graph
         self.balancers = balancers
         self._vectorized = (
-            len(balancers) == 1 and balancers[0].supports_batched_sends
+            len(balancers) == 1
+            and balancers[0].supports_batched_sends
+            # Under churn every replica owns a divergent graph; the
+            # shared-stack shortcut would evaluate them all against
+            # the static base topology.
+            and self._topology_schedules is None
         )
         if engine not in ("auto", "dense", "structured"):
             raise ValueError(f"unknown engine {engine!r}")
@@ -218,6 +270,14 @@ class BatchRunner:
         )
         self._round_faults: list = [None] * replicas
         self._tokens_dropped = np.zeros(replicas, dtype=np.int64)
+        self._topology_rounds = np.zeros(replicas, dtype=np.int64)
+        if self._topology_schedules is not None:
+            for replica, schedule in enumerate(
+                self._topology_schedules
+            ):
+                schedule.start(
+                    self._graphs[replica], self.initial_loads[replica]
+                )
         if self._fault_schedules is not None:
             for replica, schedule in enumerate(self._fault_schedules):
                 schedule.start(graph, self.initial_loads[replica])
@@ -270,6 +330,12 @@ class BatchRunner:
     def _balancer_for(self, replica: int) -> Balancer:
         return self.balancers[0 if len(self.balancers) == 1 else replica]
 
+    def _graph_for(self, replica: int):
+        """Replica ``replica``'s graph (private copy under churn)."""
+        if self._graphs is not None:
+            return self._graphs[replica]
+        return self.graph
+
     @staticmethod
     def _build_injectors(dynamics, replicas: int):
         """One fresh injector per replica (or None for static runs)."""
@@ -321,6 +387,58 @@ class BatchRunner:
                 f"{replicas} replicas"
             )
         return schedules
+
+    @staticmethod
+    def _build_topology_schedules(topology, replicas: int):
+        """One fresh topology schedule per replica (or None if static)."""
+        if topology is None:
+            return None
+        from repro.topology.schedules import TopologySchedule
+        from repro.topology.spec import TopologySpec
+
+        if isinstance(topology, TopologySpec):
+            return [
+                topology.build(replica) for replica in range(replicas)
+            ]
+        if isinstance(topology, TopologySchedule):
+            if replicas != 1:
+                raise ValueError(
+                    "a single TopologySchedule instance cannot be "
+                    f"shared across {replicas} replicas (its state "
+                    "would be corrupted); pass a TopologySpec or one "
+                    "instance per replica"
+                )
+            return [topology]
+        schedules = list(topology)
+        if len(schedules) != replicas:
+            raise ValueError(
+                f"got {len(schedules)} topology schedules for "
+                f"{replicas} replicas"
+            )
+        return schedules
+
+    def _apply_topology_events(self) -> None:
+        """Open the round with each replica's topology churn events.
+
+        Mirrors the looped engine exactly: each replica's schedule
+        mutates that replica's private graph copy in place (frozen
+        ``run_until`` replicas stop churning, just as a stopped
+        Simulator stops stepping) and its balancer repairs its
+        graph-derived structures from the dirty node set only.
+        """
+        for replica in np.flatnonzero(self._active).tolist():
+            schedule = self._topology_schedules[replica]
+            graph = self._graphs[replica]
+            row = self._loads[replica]
+            events = schedule.round_events(self.round, row)
+            if events is None or events.is_empty():
+                continue
+            if self.validate_every_round and not events.trusted:
+                validate_topology_events(events, graph)
+            apply_topology_events(graph, events, row)
+            dirty = graph.consume_dirty()
+            self._balancer_for(replica).refresh_topology(graph, dirty)
+            self._topology_rounds[replica] += 1
 
     def _apply_fault_events(self) -> None:
         """Open the round with each replica's fault-schedule epochs.
@@ -385,6 +503,8 @@ class BatchRunner:
 
     def step(self) -> np.ndarray:
         """Execute one synchronous round for every active replica."""
+        if self._topology_schedules is not None:
+            self._apply_topology_events()
         if self._fault_schedules is not None:
             self._apply_fault_events()
         if self._injectors is not None:
@@ -435,6 +555,8 @@ class BatchRunner:
         self, loads: np.ndarray, active: np.ndarray
     ) -> np.ndarray:
         """One round's new loads from full ``(batch, n, d+)`` sends."""
+        if self._graphs is not None:
+            return self._round_dense_churned(loads, active)
         graph = self.graph
         if self._vectorized:
             sends = self.balancers[0].sends_batch(loads, self.round)
@@ -475,6 +597,38 @@ class BatchRunner:
                         s, pairs
                     ),
                 )
+        return new_loads
+
+    def _round_dense_churned(
+        self, loads: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        """Dense rounds under churn: one gather per replica's graph.
+
+        The stacked flat-gather shortcut assumes one shared reverse-
+        port map; under topology churn each replica's map differs, so
+        the round mirrors the looped engine replica by replica.
+        """
+        new_loads = np.empty_like(loads)
+        for row, replica in enumerate(active.tolist()):
+            graph = self._graphs[replica]
+            replica_loads = self._loads[replica]
+            sends = self._balancer_for(replica).sends(
+                replica_loads, self.round
+            )
+            if self.validate_every_round:
+                self._validate_sends(sends[None], 1)
+            degree = graph.degree
+            edge_out = sends[:, :degree].sum(axis=1)
+            kept = sends[:, degree:].sum(axis=1)
+            self._check_overdraw(
+                (replica_loads - edge_out - kept)[None, :],
+                np.asarray([replica]),
+            )
+            incoming = sends[graph.adjacency, graph.reverse_port].sum(
+                axis=1
+            )
+            new_loads[row] = replica_loads - edge_out
+            new_loads[row] += incoming
         return new_loads
 
     def _settle_faults(
@@ -527,6 +681,7 @@ class BatchRunner:
         new_loads = np.empty_like(loads)
         for row, replica in enumerate(active):
             balancer = self._balancer_for(int(replica))
+            graph = self._graph_for(int(replica))
             replica_loads = self._loads[int(replica)]
             compact = balancer.sends_structured(replica_loads, self.round)
             if self.validate_every_round:
@@ -577,6 +732,7 @@ class BatchRunner:
             self._vectorized
             and self._active.all()
             and self._fault_schedules is None
+            and self._topology_schedules is None
         ):
             self._run_vectorized(rounds)
         else:
@@ -774,6 +930,13 @@ class BatchRunner:
             summary["fault_schedule"] = schedule.name
             summary["tokens_dropped"] = int(
                 self._tokens_dropped[replica]
+            )
+            summary.update(schedule.summary())
+        if self._topology_schedules is not None:
+            schedule = self._topology_schedules[replica]
+            summary["topology_schedule"] = schedule.name
+            summary["topology_rounds"] = int(
+                self._topology_rounds[replica]
             )
             summary.update(schedule.summary())
         return summary

@@ -54,6 +54,7 @@ from repro.core.probes import Probe, ProbeSpec, build_probes, loads_only
 from repro.core.trace import RunRecord
 from repro.dynamics.spec import DynamicsSpec, as_injector
 from repro.faults.spec import FaultSpec, as_fault_schedule
+from repro.topology.spec import TopologySpec, as_topology_schedule
 from repro.graphs import families
 from repro.graphs.balancing import BalancingGraph
 from repro.registry import freeze_params as _freeze
@@ -410,6 +411,18 @@ class Scenario:
             the fault-free round, so faulty scenarios keep the
             structured engine and the batch executor (only the
             batch executor's fully-vectorized inner loop is bypassed).
+        topology: optional dynamic-topology schedule — a
+            :class:`~repro.topology.spec.TopologySpec` (serializes with
+            the scenario; replica ``r`` gets a fresh schedule built
+            with ``seed + r``) or, for single-replica programmatic
+            use, a ready
+            :class:`~repro.topology.schedules.TopologySchedule`.  Each
+            replica churns its own private mutable graph copy; the
+            engines apply events incrementally, so churny scenarios
+            keep the structured engine and the batch executor (graphs
+            diverge per replica, so the batch executor's
+            fully-vectorized inner loop is bypassed).  Mutually
+            exclusive with ``faults``.
         monitors: legacy per-replica monitor *factories*.  Monitors
             force the looped executor and the dense engine and are not
             serialized — prefer ``probes``.
@@ -426,6 +439,7 @@ class Scenario:
     probes: tuple = ()
     dynamics: DynamicsSpec | None = None
     faults: FaultSpec | None = None
+    topology: TopologySpec | None = None
     monitors: tuple[Callable[[], Monitor], ...] = ()
     record_history: bool = True
     validate_every_round: bool = True
@@ -453,6 +467,22 @@ class Scenario:
                 "multi-replica scenarios need fresh fault schedules "
                 "per replica; pass a FaultSpec instead of an instance "
                 f"({type(self.faults).__name__})"
+            )
+        if self.faults is not None and self.topology is not None:
+            raise ValueError(
+                "faults and topology cannot be combined in one "
+                "scenario (fault schedules precompute canonical port "
+                "maps that topology churn invalidates)"
+            )
+        if (
+            self.topology is not None
+            and not isinstance(self.topology, TopologySpec)
+            and self.replicas > 1
+        ):
+            raise ValueError(
+                "multi-replica scenarios need fresh topology schedules "
+                "per replica; pass a TopologySpec instead of an "
+                f"instance ({type(self.topology).__name__})"
             )
         if self.replicas > 1:
             # Anything that is not a spec or a factory is a ready
@@ -487,6 +517,8 @@ class Scenario:
             label += f" + {self.dynamics.name}"
         if self.faults is not None:
             label += f" ! {self.faults.name}"
+        if self.topology is not None:
+            label += f" ~ {self.topology.name}"
         return label
 
     def build_graph(self) -> BalancingGraph:
@@ -540,6 +572,14 @@ class Scenario:
                 "fault-schedule instances cannot be serialized; use a "
                 "registered FaultSpec (repro.faults.register_fault)"
             )
+        if self.topology is not None and not isinstance(
+            self.topology, TopologySpec
+        ):
+            raise ValueError(
+                "topology-schedule instances cannot be serialized; use "
+                "a registered TopologySpec "
+                "(repro.topology.register_topology)"
+            )
         data = {
             "graph": self.graph.to_dict(),
             "algorithm": self.algorithm.to_dict(),
@@ -556,6 +596,8 @@ class Scenario:
             data["dynamics"] = self.dynamics.to_dict()
         if self.faults is not None:
             data["faults"] = self.faults.to_dict()
+        if self.topology is not None:
+            data["topology"] = self.topology.to_dict()
         return data
 
     def canonical_json(self) -> str:
@@ -590,6 +632,11 @@ class Scenario:
             faults=(
                 FaultSpec.from_dict(data["faults"])
                 if data.get("faults") is not None
+                else None
+            ),
+            topology=(
+                TopologySpec.from_dict(data["topology"])
+                if data.get("topology") is not None
                 else None
             ),
             record_history=bool(data.get("record_history", True)),
@@ -682,6 +729,7 @@ class Scenario:
                 probes=probe_set,
                 dynamics=as_injector(self.dynamics, replica),
                 faults=as_fault_schedule(self.faults, replica),
+                topology=as_topology_schedule(self.topology, replica),
                 record_history=self.record_history,
                 validate_every_round=self.validate_every_round,
             )
@@ -714,6 +762,10 @@ class Scenario:
             first.supports_batched_sends
             and first.properties.stateless
             and first.properties.deterministic
+            # Under topology churn every replica's graph diverges, so
+            # even stateless balancers need one instance per replica
+            # (each bound to its own mutating graph copy).
+            and self.topology is None
         ):
             balancers: list[Balancer] = [first]
         else:
@@ -745,6 +797,11 @@ class Scenario:
             faults = [
                 faults.build(replica) for replica in replica_range
             ]
+        topology = self.topology
+        if isinstance(topology, TopologySpec):
+            topology = [
+                topology.build(replica) for replica in replica_range
+            ]
         runner = BatchRunner(
             graph,
             balancers,
@@ -752,6 +809,7 @@ class Scenario:
             probes=probe_sets,
             dynamics=dynamics,
             faults=faults,
+            topology=topology,
             record_history=self.record_history,
             validate_every_round=self.validate_every_round,
         )
@@ -816,6 +874,7 @@ class ScenarioSuite:
         probes: tuple = (),
         dynamics: DynamicsSpec | None = None,
         faults: FaultSpec | None = None,
+        topology: TopologySpec | None = None,
         monitors: tuple[Callable[[], Monitor], ...] = (),
         record_history: bool = True,
         validate_every_round: bool = True,
@@ -836,6 +895,7 @@ class ScenarioSuite:
                 probes=probes,
                 dynamics=dynamics,
                 faults=faults,
+                topology=topology,
                 monitors=monitors,
                 record_history=record_history,
                 validate_every_round=validate_every_round,

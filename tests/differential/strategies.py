@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 
 from repro.dynamics import DynamicsSpec
 from repro.faults import FaultSpec
+from repro.topology import TopologySpec
 
 
 @st.composite
@@ -139,3 +140,70 @@ def fault_specs(draw, n: int, max_rounds: int):
     if until is not None:
         params["until"] = until
     return FaultSpec("message_drop", params)
+
+
+@st.composite
+def topology_specs(draw, n: int, max_rounds: int):
+    """A random spec over every registered topology schedule.
+
+    Scripted streams are restricted to leave/rejoin pairs on distinct
+    nodes — random scripted edge events would need knowledge of the
+    concrete edge set to stay valid, and the deterministic suites
+    cover those explicitly per family instead.
+    """
+    kind = draw(
+        st.sampled_from(
+            [
+                "edge_churn",
+                "node_join_leave",
+                "expander_rewire",
+                "scripted",
+            ]
+        )
+    )
+    seed = draw(st.integers(0, 1000))
+    until = draw(st.one_of(st.none(), st.integers(1, max_rounds)))
+    if kind == "edge_churn":
+        mode = draw(st.sampled_from(["random", "cut"]))
+        params = {"mode": mode, "seed": seed}
+        if mode == "random":
+            params["rate"] = draw(st.floats(0.0, 0.5))
+            params["downtime"] = draw(st.integers(1, 6))
+        else:
+            period = draw(st.integers(1, 8))
+            params["period"] = period
+            params["down"] = draw(st.integers(0, period))
+        if until is not None:
+            params["until"] = until
+        return TopologySpec(kind, params)
+    if kind == "node_join_leave":
+        params = {
+            "rate": draw(st.floats(0.0, 0.3)),
+            "rejoin_after": draw(st.integers(1, 6)),
+            "seed": seed,
+        }
+        if until is not None:
+            params["until"] = until
+        return TopologySpec(kind, params)
+    if kind == "expander_rewire":
+        params = {"swaps": draw(st.integers(0, 3)), "seed": seed}
+        if until is not None:
+            params["until"] = until
+        return TopologySpec(kind, params)
+    nodes = draw(
+        st.lists(
+            st.integers(0, n - 1),
+            max_size=min(3, n),
+            unique=True,
+        )
+    )
+    events = []
+    for node in nodes:
+        gone = draw(st.integers(1, max_rounds))
+        events.append(["leave", gone, node])
+        if draw(st.booleans()) and gone < max_rounds:
+            # Rejoin isolated: wiring back to original neighbors would
+            # need the edge set, but an empty join is always legal.
+            back = draw(st.integers(gone + 1, max_rounds))
+            events.append(["join", back, node, []])
+    return TopologySpec("scripted", {"events": events})

@@ -23,6 +23,7 @@ from repro.scenarios import (
     Scenario,
     ScenarioSuite,
     StopRule,
+    TopologySpec,
 )
 
 from tests.exec.factories import canonical_records, make_suite
@@ -97,6 +98,26 @@ class TestKeySensitivity:
             base, dynamics=DynamicsSpec("constant_rate", {"rate": 3})
         )
         assert _key(other_rate) != _key(injected)
+
+    def test_topology_spec_changes_key(self):
+        base = _base_scenario()
+        churned = replace(
+            base, topology=TopologySpec("edge_churn", {"rate": 0.1})
+        )
+        assert _key(churned) != _key(base)
+        other_rate = replace(
+            base, topology=TopologySpec("edge_churn", {"rate": 0.2})
+        )
+        assert _key(other_rate) != _key(churned)
+        other_seed = replace(
+            base,
+            topology=TopologySpec("edge_churn", {"rate": 0.1, "seed": 9}),
+        )
+        assert _key(other_seed) != _key(churned)
+        other_schedule = replace(
+            base, topology=TopologySpec("expander_rewire", {"swaps": 1})
+        )
+        assert _key(other_schedule) != _key(churned)
 
     def test_executor_choice_changes_key(self):
         scenario = _base_scenario()

@@ -32,6 +32,7 @@ from repro.experiments import (  # noqa: E402
     Table1Config,
     Theorem23Config,
     Theorem33Config,
+    TopologyChurnConfig,
     run_cycle_sweep,
     run_datacenter_serving,
     run_expander_sweep,
@@ -40,6 +41,7 @@ from repro.experiments import (  # noqa: E402
     run_potential_monotonicity,
     run_steady_state,
     run_table1,
+    run_topology_churn,
 )
 
 GOLDEN_DIR = Path(__file__).parent
@@ -90,6 +92,21 @@ GOLDEN_CASES = {
             tail_window=15,
             fail_rates=(0.1,),
             algorithms=("send_floor",),
+            replicas=2,
+        )
+    ),
+    "E18": lambda: run_topology_churn(
+        TopologyChurnConfig(
+            n=16,
+            fat_tree_k=2,
+            leaves=3,
+            spines=2,
+            hosts_per_leaf=2,
+            rounds=60,
+            tail_window=15,
+            churn_rates=(0.1,),
+            downtime=4,
+            algorithms=("send_floor", "rotor_router"),
             replicas=2,
         )
     ),

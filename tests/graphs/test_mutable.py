@@ -1,0 +1,172 @@
+"""Unit tests for the in-place mutable balancing graph.
+
+Differential parity lives in ``tests/differential/test_churn_parity.py``;
+this file pins the structural semantics: the deterministic port-layout
+discipline (append add, swap-remove drop), incremental reverse-port
+repair, the dirty-node accounting balancers refresh from, and every
+guarded error path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import MutableBalancingGraph, families
+from repro.graphs.datacenter import fat_tree
+from repro.graphs.errors import GraphValidationError
+
+
+def _cycle_mutable(n=6):
+    return MutableBalancingGraph.from_graph(families.cycle(n))
+
+
+def test_from_graph_copies_and_synthesizes_true_degrees():
+    base = families.cycle(5)
+    graph = MutableBalancingGraph.from_graph(base)
+    np.testing.assert_array_equal(graph.adjacency, base.adjacency)
+    assert graph.true_degrees.tolist() == [2] * 5
+    graph.drop_edge(0, 1)
+    # Mutation must never leak back into the source graph.
+    assert base.adjacency[0, 0] != 0 or base.adjacency[0, 1] != 0
+    np.testing.assert_array_equal(
+        base.adjacency, families.cycle(5).adjacency
+    )
+
+
+def test_add_edge_lands_in_first_padding_slot():
+    graph = _cycle_mutable()
+    graph.drop_edge(0, 1)
+    graph.drop_edge(2, 3)
+    assert graph.true_degrees[0] == 1
+    assert graph.true_degrees[3] == 1
+    graph.add_edge(0, 3)
+    # Port 1 was vacated by each drop; the add reuses it on both ends.
+    assert graph.adjacency[0, 1] == 3
+    assert graph.adjacency[3, 1] == 0
+    assert graph.reverse_port[0, 1] == 1
+    assert graph.reverse_port[3, 1] == 1
+    graph.check_consistency()
+
+
+def test_drop_edge_swap_removes_and_repairs_far_endpoint():
+    graph = _cycle_mutable()
+    # Node 0's ports are [1, 5]; dropping port-0 neighbor 1 must move
+    # neighbor 5 into port 0 and repair 5's reverse pointer.
+    graph.drop_edge(0, 1)
+    assert graph.neighbors(0) == (5,)
+    assert graph.adjacency[0, 0] == 5
+    far_port = int(graph.reverse_port[0, 0])
+    assert graph.adjacency[5, far_port] == 0
+    assert graph.reverse_port[5, far_port] == 0
+    # The vacated slot is padding again: self-pointing, self-reverse.
+    assert graph.adjacency[0, 1] == 0
+    assert graph.reverse_port[0, 1] == 1
+    graph.check_consistency()
+
+
+def test_dirty_set_includes_swap_repaired_endpoints():
+    graph = _cycle_mutable()
+    graph.consume_dirty()
+    graph.drop_edge(0, 1)
+    # 0 and 1 changed directly; 5 (moved into 0's hole) and 2 (moved
+    # into 1's hole) each got a reverse-port repair.
+    assert graph.consume_dirty().tolist() == [0, 1, 2, 5]
+    assert graph.consume_dirty().size == 0
+
+
+def test_deactivate_node_severs_everything_and_activate_rewires():
+    graph = _cycle_mutable()
+    severed = graph.deactivate_node(2)
+    assert severed == (1, 3)
+    assert not graph.active[2]
+    assert graph.true_degrees[2] == 0
+    graph.check_consistency()
+    graph.activate_node(2, severed)
+    assert graph.active[2]
+    assert graph.neighbors(2) == (1, 3)
+    graph.check_consistency()
+
+
+def test_left_node_keeps_balancing_against_itself():
+    graph = _cycle_mutable()
+    graph.deactivate_node(4)
+    # Every port of the left node is padding: self-pointing targets.
+    for port in range(graph.total_degree):
+        assert graph.port_target(4, port) == 4
+
+
+def test_structural_error_paths():
+    graph = _cycle_mutable()
+    with pytest.raises(GraphValidationError):
+        graph.add_edge(0, 0)  # self-edge
+    with pytest.raises(GraphValidationError):
+        graph.add_edge(0, 1)  # already present
+    with pytest.raises(GraphValidationError):
+        graph.drop_edge(0, 3)  # absent
+    with pytest.raises(GraphValidationError):
+        graph.add_edge(2, 5)  # capacity exhausted (d_max == 2)
+    graph.deactivate_node(1)
+    with pytest.raises(GraphValidationError):
+        graph.deactivate_node(1)  # already inactive
+    with pytest.raises(GraphValidationError):
+        graph.add_edge(0, 1)  # endpoint inactive
+    graph.activate_node(1)
+    with pytest.raises(GraphValidationError):
+        graph.activate_node(1)  # already active
+
+
+def test_from_neighbor_lists_preserves_list_order():
+    # Unsorted blocks are intentional: swap-remove produces them and
+    # rotor-router port order depends on them being kept verbatim.
+    graph = MutableBalancingGraph.from_neighbor_lists(
+        [[2, 1], [0, 2], [1, 0]], d_max=3, num_self_loops=1
+    )
+    assert graph.neighbors(0) == (2, 1)
+    assert graph.degree == 3
+    assert graph.total_degree == 4
+    graph.check_consistency()
+
+
+def test_from_neighbor_lists_rejects_overfull_rows():
+    with pytest.raises(GraphValidationError):
+        MutableBalancingGraph.from_neighbor_lists(
+            [[1, 2, 3], [0], [0], [0]], d_max=2, num_self_loops=0
+        )
+
+
+def test_check_consistency_catches_corruption():
+    graph = _cycle_mutable()
+    graph.reverse_port[0, 0] = 1  # no longer inverts adjacency
+    with pytest.raises(GraphValidationError):
+        graph.check_consistency()
+
+
+def test_irregular_graph_roundtrip_under_churn():
+    graph = MutableBalancingGraph.from_graph(fat_tree(4))
+    u = 0
+    v = int(graph.adjacency[u, 0])
+    graph.drop_edge(u, v)
+    graph.add_edge(u, v)
+    graph.check_consistency()
+    # Rebuilding from the mutated lists reproduces the arrays exactly.
+    lists = [
+        list(graph.neighbors(node)) for node in range(graph.num_nodes)
+    ]
+    rebuilt = MutableBalancingGraph.from_neighbor_lists(
+        lists, graph.degree, graph.num_self_loops
+    )
+    np.testing.assert_array_equal(rebuilt.adjacency, graph.adjacency)
+    np.testing.assert_array_equal(
+        rebuilt.reverse_port, graph.reverse_port
+    )
+
+
+def test_transition_matrix_tracks_mutations():
+    graph = _cycle_mutable(4)
+    before = graph.transition_matrix()
+    assert np.allclose(before.sum(axis=1), 1.0)
+    graph.drop_edge(0, 1)
+    after = graph.transition_matrix()
+    assert np.allclose(after.sum(axis=1), 1.0)
+    d_plus = graph.total_degree
+    assert after[0, 1] == 0.0
+    assert after[0, 0] == before[0, 0] + 1.0 / d_plus

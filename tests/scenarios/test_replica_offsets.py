@@ -25,6 +25,7 @@ from repro.scenarios import (
     Scenario,
     StopRule,
 )
+from repro.topology import TOPOLOGIES, TopologySpec
 
 N = 16
 
@@ -79,6 +80,19 @@ FAULT_PARAMS = {
     "link_failures": {"rate": 0.3, "seed": 5},
     "node_crashes": {"rate": 0.12, "downtime": 3, "seed": 5},
     "message_drop": {"rate": 0.2, "seed": 5},
+}
+
+
+#: Valid params for every registered topology schedule, same contract:
+#: seeded schedules offset per replica, and replica ``r``'s event
+#: history must not depend on how the batch was grouped.
+TOPOLOGY_PARAMS = {
+    "edge_churn": {"rate": 0.3, "downtime": 3, "seed": 5},
+    "node_join_leave": {"rate": 0.15, "rejoin_after": 3, "seed": 5},
+    "expander_rewire": {"swaps": 2, "seed": 5},
+    "scripted": {
+        "events": [["drop", 2, 0, 1], ["add", 5, 0, 1], ["leave", 8, 4]]
+    },
 }
 
 
@@ -271,3 +285,96 @@ def test_seeded_fault_replicas_actually_differ():
     assert _fault_history(spec.build(0), graph, loads) != _fault_history(
         spec.build(1), graph, loads
     )
+
+
+def test_every_registered_topology_schedule_is_covered():
+    assert set(TOPOLOGY_PARAMS) == set(TOPOLOGIES.names())
+
+
+def _topology_history(schedule, graph, loads, rounds=12):
+    """The event stream a schedule emits (schedules self-track state)."""
+    schedule.start(graph, loads)
+    history = []
+    for t in range(1, rounds):
+        events = schedule.round_events(t, loads)
+        history.append(
+            None
+            if events is None
+            else (
+                events.edge_drops.tolist(),
+                events.edge_adds.tolist(),
+                events.leaves.tolist(),
+                tuple((n, tuple(vs)) for n, vs in events.joins),
+            )
+        )
+    return history
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGY_PARAMS))
+def test_topology_schedule_replica_offset(name):
+    """TopologySpec.build(r) emits the explicit seed+r event stream."""
+    params = TOPOLOGY_PARAMS[name]
+    spec = TopologySpec(name, params)
+    graph = families.cycle(N)
+    loads = np.full(N, 30, dtype=np.int64)
+    for replica in (0, 2):
+        offset = spec.build(replica)
+        if "seed" in params:
+            explicit = TopologySpec(
+                name, {**params, "seed": params["seed"] + replica}
+            ).build()
+        else:
+            explicit = spec.build()
+        assert _topology_history(
+            offset, graph, loads
+        ) == _topology_history(explicit, graph, loads)
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGY_PARAMS))
+def test_topology_replica_independent_of_batch_size(name):
+    """Replica r's churned trajectory is the same in any batch size."""
+    graph = families.cycle(N)
+    loads = LoadSpec("uniform_random", {"total_tokens": 320, "seed": 5})
+    topology = TopologySpec(name, TOPOLOGY_PARAMS[name])
+
+    def scenario(replicas):
+        return Scenario(
+            graph=GraphSpec("cycle", {"n": N}),
+            algorithm=AlgorithmSpec("send_floor"),
+            loads=loads,
+            stop=StopRule.fixed(20),
+            replicas=replicas,
+            topology=topology,
+        )
+
+    small = scenario(2).run(executor="batch")
+    large = scenario(4).run(executor="batch")
+    for replica in range(2):
+        np.testing.assert_array_equal(
+            small.replica(replica).final_loads,
+            large.replica(replica).final_loads,
+        )
+    for replica in range(4):
+        solo = Simulator(
+            graph,
+            make("send_floor"),
+            loads.build(N, replica),
+            topology=topology.build(replica),
+        ).run(20)
+        np.testing.assert_array_equal(
+            large.replica(replica).final_loads, solo.final_loads
+        )
+        assert (
+            large.replica(replica).discrepancy_history
+            == solo.discrepancy_history
+        )
+
+
+def test_seeded_topology_replicas_actually_differ():
+    """The topology-seed offset produces distinct event streams."""
+    graph = families.cycle(N)
+    loads = np.full(N, 30, dtype=np.int64)
+    spec = TopologySpec("edge_churn", {"rate": 0.3, "seed": 1})
+    assert _topology_history(
+        spec.build(0), graph, loads
+    ) != _topology_history(spec.build(1), graph, loads)

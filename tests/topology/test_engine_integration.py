@@ -1,0 +1,150 @@
+"""Engine-level topology integration: guards, isolation, incrementality.
+
+The differential suite proves the churned trajectories are *right*;
+this file pins the surrounding contracts — mutual exclusion with
+faults, caller-graph isolation, run-record accounting — and the
+subsystem's reason to exist: balancer refresh touches only the rows
+churn actually dirtied, never the whole graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import make
+from repro.core.engine import Simulator
+from repro.faults import FaultSpec
+from repro.graphs import families
+from repro.scenarios import (
+    AlgorithmSpec,
+    GraphSpec,
+    LoadSpec,
+    Scenario,
+    StopRule,
+)
+from repro.scenarios.batch import BatchRunner
+from repro.topology import EdgeChurn, TopologySpec
+
+
+def _loads(graph, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 200, graph.num_nodes).astype(np.int64)
+
+
+def test_simulator_rejects_faults_with_topology():
+    graph = families.cycle(8)
+    with pytest.raises(ValueError, match="faults and topology"):
+        Simulator(
+            graph,
+            make("send_floor"),
+            _loads(graph),
+            faults=FaultSpec("message_drop", {"rate": 0.1}).build(),
+            topology=EdgeChurn(rate=0.1),
+        )
+
+
+def test_batch_runner_rejects_faults_and_shared_balancers():
+    graph = families.cycle(8)
+    initial = np.stack([_loads(graph, s) for s in (1, 2)])
+    spec = TopologySpec("edge_churn", {"rate": 0.1})
+    with pytest.raises(ValueError, match="faults and topology"):
+        BatchRunner(
+            graph,
+            [make("send_floor") for _ in range(2)],
+            initial,
+            faults=FaultSpec("message_drop", {"rate": 0.1}),
+            topology=spec,
+        )
+    with pytest.raises(ValueError, match="shared-balancer"):
+        BatchRunner(graph, make("send_floor"), initial, topology=spec)
+
+
+def test_scenario_rejects_faults_and_raw_schedule_instances():
+    base = dict(
+        graph=GraphSpec("cycle", {"n": 8}),
+        algorithm=AlgorithmSpec("send_floor"),
+        loads=LoadSpec("uniform_random", {"total_tokens": 100, "seed": 1}),
+        stop=StopRule.fixed(5),
+    )
+    with pytest.raises(ValueError, match="faults and topology"):
+        Scenario(
+            **base,
+            faults=FaultSpec("message_drop", {"rate": 0.1}),
+            topology=TopologySpec("edge_churn"),
+        )
+    with pytest.raises(ValueError, match="fresh topology schedules"):
+        Scenario(**base, replicas=3, topology=EdgeChurn(rate=0.1))
+
+
+def test_simulator_never_mutates_the_callers_graph():
+    graph = families.cycle(10)
+    adjacency = graph.adjacency.copy()
+    reverse = graph.reverse_port.copy()
+    Simulator(
+        graph,
+        make("send_floor"),
+        _loads(graph),
+        topology=EdgeChurn(rate=0.5, seed=1),
+    ).run(20)
+    np.testing.assert_array_equal(graph.adjacency, adjacency)
+    np.testing.assert_array_equal(graph.reverse_port, reverse)
+
+
+def test_record_accounts_churned_rounds():
+    graph = families.cycle(10)
+    result = Simulator(
+        graph,
+        make("send_floor"),
+        _loads(graph),
+        topology=EdgeChurn(rate=0.5, downtime=2, seed=1),
+    ).run(25)
+    summary = result.record.summary
+    assert summary["topology_schedule"] == "edge_churn"
+    assert 0 < summary["topology_rounds"] <= 25
+    assert summary["edges_severed"] > 0
+
+
+def test_rotor_refresh_is_incremental_not_full():
+    """The profile claim behind the subsystem: a single churned edge
+    refreshes O(dirty) balancer rows, independent of n."""
+    graph = families.random_regular(1024, 8, seed=5)
+    u = 0
+    v = int(graph.adjacency[0, 0])
+    spec = TopologySpec(
+        "scripted",
+        {"events": [["drop", 5, u, v], ["add", 10, u, v]]},
+    )
+    balancer = make("rotor_router")
+    Simulator(
+        graph,
+        balancer,
+        _loads(graph),
+        topology=spec.build(),
+        engine="structured",
+    ).run(20)
+    # Full rebinds would recompute 1024 rows per churned round; the
+    # dirty path touches only the handful of repaired endpoints.
+    assert balancer.refresh_full == 0
+    assert 0 < balancer.refresh_rows <= 16
+
+
+def test_rotor_refresh_rows_scale_with_churn_not_size():
+    rows = {}
+    for n in (256, 1024):
+        graph = families.random_regular(n, 8, seed=5)
+        u = 0
+        v = int(graph.adjacency[0, 0])
+        spec = TopologySpec(
+            "scripted",
+            {"events": [["drop", 3, u, v], ["add", 6, u, v]]},
+        )
+        balancer = make("rotor_router")
+        Simulator(
+            graph,
+            balancer,
+            _loads(graph),
+            topology=spec.build(),
+            engine="structured",
+        ).run(10)
+        rows[n] = balancer.refresh_rows
+    # Quadrupling the graph must not change the refresh bill.
+    assert rows[256] == rows[1024]

@@ -1,0 +1,382 @@
+"""Unit tests for topology-schedule semantics.
+
+Differential parity lives in ``tests/differential/test_churn_parity.py``;
+this file pins the *meaning* of each registered schedule — which edges
+churn when, where a leaver's load goes, what a double swap preserves —
+plus the structural validator, the event applicator, and determinism
+of every stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import MutableBalancingGraph, families
+from repro.graphs.errors import GraphValidationError
+from repro.topology import (
+    EdgeChurn,
+    ExpanderRewire,
+    InvalidTopology,
+    NodeJoinLeave,
+    ScriptedTopology,
+    TopologyEvents,
+    apply_topology_events,
+    validate_topology_events,
+)
+
+
+def _mutable(n=8):
+    return MutableBalancingGraph.from_graph(families.cycle(n))
+
+
+def _loads(graph, seed=2, high=100):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, high, graph.num_nodes).astype(np.int64)
+
+
+def _canonical(graph):
+    return {
+        (min(u, v), max(u, v))
+        for u in range(graph.num_nodes)
+        for v in graph.neighbors(u)
+    }
+
+
+def _drive(schedule, graph, rounds):
+    """Run a schedule against a live graph; returns per-round events."""
+    loads = _loads(graph)
+    schedule.start(graph, loads)
+    history = []
+    for t in range(1, rounds + 1):
+        events = schedule.round_events(t, loads)
+        if events is not None and not events.is_empty():
+            validate_topology_events(events, graph)
+            apply_topology_events(graph, events, loads)
+            graph.check_consistency()
+        history.append(events)
+    return history
+
+
+# -- edge churn --------------------------------------------------------
+
+
+def test_edge_churn_rate_zero_is_free():
+    graph = _mutable()
+    schedule = EdgeChurn(rate=0.0)
+    history = _drive(schedule, graph, 30)
+    assert all(e is None or e.is_empty() for e in history)
+    assert schedule.summary() == {
+        "edges_severed": 0,
+        "churn_rounds": 0,
+    }
+
+
+def test_edge_churn_drops_then_restores_after_downtime():
+    graph = _mutable()
+    before = _canonical(graph)
+    schedule = EdgeChurn(rate=1.0, downtime=3, until=1, seed=5)
+    loads = _loads(graph)
+    schedule.start(graph, loads)
+    first = schedule.round_events(1, loads)
+    # rate=1: every edge of C_8 is severed in round 1.
+    assert first.edge_drops.shape == (8, 2)
+    apply_topology_events(graph, first, loads)
+    assert _canonical(graph) == set()
+    for t in (2, 3):
+        events = schedule.round_events(t, loads)
+        assert events is None or events.is_empty()
+    rejoin = schedule.round_events(4, loads)
+    assert rejoin.edge_adds.shape == (8, 2)
+    apply_topology_events(graph, rejoin, loads)
+    assert _canonical(graph) == before
+    assert schedule.summary()["edges_severed"] == 8
+
+
+def test_edge_churn_cut_mode_severs_the_bisection_periodically():
+    graph = _mutable()
+    # On C_8 exactly two edges cross the [0,4) | [4,8) bisection.
+    schedule = EdgeChurn(mode="cut", period=5, down=2)
+    loads = _loads(graph)
+    schedule.start(graph, loads)
+    for t in range(1, 16):
+        events = schedule.round_events(t, loads)
+        phase = (t - 1) % 5
+        if phase == 0:
+            assert {tuple(e) for e in np.sort(events.edge_drops)} == {
+                (3, 4),
+                (0, 7),
+            }
+            apply_topology_events(graph, events, loads)
+        elif phase == 2:
+            assert events.edge_adds.shape == (2, 2)
+            apply_topology_events(graph, events, loads)
+        else:
+            assert events is None or events.is_empty()
+
+
+def test_edge_churn_never_fails_an_edge_that_is_down():
+    graph = _mutable(12)
+    schedule = EdgeChurn(rate=0.6, downtime=4, seed=11)
+    _drive(schedule, graph, 40)  # validate + apply every round
+    assert schedule.summary()["edges_severed"] > 0
+
+
+# -- node join/leave ---------------------------------------------------
+
+
+def test_node_join_leave_round_trips_to_original_wiring():
+    graph = _mutable()
+    before = _canonical(graph)
+    schedule = NodeJoinLeave(rate=1.0, rejoin_after=2, until=1, seed=3)
+    loads = _loads(graph)
+    total = int(loads.sum())
+    schedule.start(graph, loads)
+    first = schedule.round_events(1, loads)
+    # rate=1, until=1: every node leaves in round 1...
+    assert first.leaves.size == 8
+    apply_topology_events(graph, first, loads)
+    assert not graph.active.any()
+    assert int(loads.sum()) == total  # nobody to hand off to: parked
+    for t in (2,):
+        events = schedule.round_events(t, loads)
+        assert events is None or events.is_empty()
+    # ...and everyone rejoins together, restoring the original fabric.
+    rejoin = schedule.round_events(3, loads)
+    assert len(rejoin.joins) == 8
+    apply_topology_events(graph, rejoin, loads)
+    assert graph.active.all()
+    assert _canonical(graph) == before
+    assert schedule.summary() == {
+        "node_departures": 8,
+        "node_rejoins": 8,
+    }
+
+
+def test_node_join_leave_rejoins_only_to_present_neighbors():
+    graph = _mutable(6)
+    schedule = NodeJoinLeave(rate=0.5, rejoin_after=3, seed=1)
+    _drive(schedule, graph, 30)
+    graph.check_consistency()
+    summary = schedule.summary()
+    assert summary["node_departures"] >= summary["node_rejoins"] > 0
+
+
+# -- expander rewire ---------------------------------------------------
+
+
+def test_expander_rewire_preserves_every_degree():
+    graph = MutableBalancingGraph.from_graph(
+        families.random_regular(20, 4, seed=2)
+    )
+    degrees = graph.true_degrees.copy()
+    edges = len(_canonical(graph))
+    schedule = ExpanderRewire(swaps=3, seed=6)
+    _drive(schedule, graph, 25)
+    np.testing.assert_array_equal(graph.true_degrees, degrees)
+    assert len(_canonical(graph)) == edges
+    assert schedule.summary()["swaps_applied"] > 0
+    assert (
+        schedule.summary()["swaps_attempted"]
+        >= schedule.summary()["swaps_applied"]
+    )
+
+
+def test_expander_rewire_tracks_the_live_edge_set():
+    graph = _mutable(10)
+    schedule = ExpanderRewire(swaps=2, seed=4)
+    loads = _loads(graph)
+    schedule.start(graph, loads)
+    for t in range(1, 30):
+        events = schedule.round_events(t, loads)
+        if events is None or events.is_empty():
+            continue
+        live = _canonical(graph)
+        for u, v in events.edge_drops:
+            assert (min(u, v), max(u, v)) in live
+        for u, v in events.edge_adds:
+            assert (min(u, v), max(u, v)) not in live
+        apply_topology_events(graph, events, loads)
+        graph.check_consistency()
+
+
+# -- scripted ----------------------------------------------------------
+
+
+def test_scripted_groups_events_by_round_in_engine_order():
+    schedule = ScriptedTopology(
+        [
+            ["add", 3, 0, 2],
+            ["drop", 3, 0, 1],
+            ["leave", 3, 5],
+            ["join", 7, 5, [4, 6]],
+        ]
+    )
+    # A cycle with one spare port per node, so the add has room.
+    graph = MutableBalancingGraph.from_neighbor_lists(
+        [[(i - 1) % 8, (i + 1) % 8] for i in range(8)],
+        d_max=3,
+        num_self_loops=0,
+    )
+    loads = _loads(graph)
+    schedule.start(graph, loads)
+    assert schedule.round_events(1, loads) is None
+    batch = schedule.round_events(3, loads)
+    assert not batch.trusted  # scripted streams are validated per round
+    assert batch.leaves.tolist() == [5]
+    assert batch.edge_drops.tolist() == [[0, 1]]
+    assert batch.edge_adds.tolist() == [[0, 2]]
+    apply_topology_events(graph, batch, loads)
+    rejoin = schedule.round_events(7, loads)
+    apply_topology_events(graph, rejoin, loads)
+    assert graph.neighbors(5) == (4, 6)
+    assert schedule.summary() == {"topology_events_applied": 4}
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        [["teleport", 1, 0, 1]],
+        [["drop", 1, 0]],
+        [["leave", 0, 3]],
+        [["join", 2, 1]],
+    ],
+)
+def test_scripted_rejects_malformed_events(bad):
+    with pytest.raises(InvalidTopology):
+        ScriptedTopology(bad)
+
+
+def test_scripted_apply_rejects_impossible_operations():
+    graph = _mutable()
+    loads = _loads(graph)
+    for events in (
+        [["drop", 1, 0, 4]],  # absent edge
+        [["add", 1, 0, 1]],  # already present
+        [["join", 1, 2, [3]]],  # node still active
+    ):
+        schedule = ScriptedTopology(events)
+        schedule.start(graph, loads)
+        with pytest.raises(GraphValidationError):
+            apply_topology_events(
+                graph, schedule.round_events(1, loads), loads
+            )
+
+
+# -- constructor validation --------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: EdgeChurn(rate=1.5),
+        lambda: EdgeChurn(downtime=0),
+        lambda: EdgeChurn(mode="meteor"),
+        lambda: EdgeChurn(mode="cut", period=0),
+        lambda: EdgeChurn(mode="cut", period=3, down=4),
+        lambda: EdgeChurn(until=-1),
+        lambda: NodeJoinLeave(rate=-0.1),
+        lambda: NodeJoinLeave(rejoin_after=0),
+        lambda: ExpanderRewire(swaps=-1),
+    ],
+)
+def test_invalid_parameters_raise(factory):
+    with pytest.raises(InvalidTopology):
+        factory()
+
+
+# -- the structural validator ------------------------------------------
+
+
+def _events(**kwargs):
+    empty_pairs = np.empty((0, 2), dtype=np.int64)
+    empty_nodes = np.empty(0, dtype=np.int64)
+    defaults = dict(
+        edge_drops=empty_pairs,
+        edge_adds=empty_pairs,
+        leaves=empty_nodes,
+        joins=(),
+    )
+    defaults.update(
+        {
+            k: np.asarray(v, dtype=np.int64) if k != "joins" else v
+            for k, v in kwargs.items()
+        }
+    )
+    return TopologyEvents(**defaults)
+
+
+@pytest.mark.parametrize(
+    "events",
+    [
+        _events(edge_drops=[[0, 9]]),  # out of range
+        _events(edge_adds=[[2, 2]]),  # self-edge
+        _events(edge_drops=[[0, 1], [1, 0]]),  # duplicate edge
+        _events(leaves=[3, 3]),  # duplicate leave
+        _events(leaves=[-1]),
+        _events(joins=((2, (1,)), (2, (3,)))),  # double join
+        _events(joins=((1, (99,)),)),  # neighbor out of range
+    ],
+)
+def test_validate_topology_events_rejects(events):
+    graph = _mutable(8)
+    with pytest.raises(InvalidTopology):
+        validate_topology_events(events, graph)
+
+
+# -- the applicator ----------------------------------------------------
+
+
+def test_leave_handoff_splits_load_in_port_order():
+    graph = _mutable(6)
+    loads = np.zeros(6, dtype=np.int64)
+    loads[2] = 11  # neighbors of 2 are (1, 3): 6 and 5 after divmod
+    apply_topology_events(
+        graph, _events(leaves=[2]), loads
+    )
+    assert loads.tolist() == [0, 6, 0, 5, 0, 0]
+    assert not graph.active[2]
+
+
+def test_leave_with_no_neighbors_parks_the_load():
+    graph = _mutable(6)
+    loads = np.zeros(6, dtype=np.int64)
+    loads[2] = 7
+    graph.drop_edge(1, 2)
+    graph.drop_edge(2, 3)
+    apply_topology_events(graph, _events(leaves=[2]), loads)
+    assert loads[2] == 7
+    assert not graph.active[2]
+
+
+# -- determinism -------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: EdgeChurn(rate=0.4, downtime=3, seed=9),
+        lambda: NodeJoinLeave(rate=0.3, rejoin_after=2, seed=9),
+        lambda: ExpanderRewire(swaps=2, seed=9),
+    ],
+)
+def test_restart_resets_the_stream(factory):
+    def history(schedule):
+        graph = _mutable(10)
+        events = _drive(schedule, graph, 20)
+        return [
+            None
+            if e is None or e.is_empty()
+            else (
+                e.edge_drops.tolist(),
+                e.edge_adds.tolist(),
+                e.leaves.tolist(),
+                tuple((n, tuple(vs)) for n, vs in e.joins),
+            )
+            for e in events
+        ]
+
+    schedule = factory()
+    first = history(schedule)
+    second = history(schedule)  # restarted via start()
+    fresh = history(factory())
+    assert first == second == fresh
+    assert any(h is not None for h in first)
