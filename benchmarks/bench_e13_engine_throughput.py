@@ -22,6 +22,15 @@ execution of a multi-scenario grid through :mod:`repro.exec`, verified
 bit-identical and gated at ``--suite-speedup-limit`` (default 1.5x)
 when the machine has at least as many cpus as workers.
 
+The **backend ladder** times every backend registered in
+:data:`repro.engines.ENGINES` (not just the two historical engines) on
+the same cycles, records each backend's kernel flavor (the compiled
+engine reports ``numba`` or ``csr`` depending on what the import guard
+found), verifies all backends bit-identical, and pairs a
+compiled-vs-structured rotor timing per iteration; ``--check``
+additionally requires the compiled rotor round to beat the pure
+structured rotor at every ``n >= 4096``.
+
     python benchmarks/bench_e13_engine_throughput.py \
         --sizes 1024 4096 16384 --rounds 50 --output BENCH_e13.json --check
 
@@ -130,9 +139,12 @@ def test_batched_matches_looped(batch_graph, algorithm):
 
 
 @pytest.mark.parametrize("algorithm", ["send_floor", "rotor_router"])
-@pytest.mark.parametrize("engine", ["dense", "structured"])
+@pytest.mark.parametrize(
+    "engine", ["dense", "structured", "spmm", "compiled"]
+)
 def test_engine_throughput(benchmark, graph, algorithm, engine):
-    """Dense (n, d+) sends vs matrix-free structured rounds."""
+    """Every registered backend on the same scenario (was dense vs
+    structured; the registry added the CSR and compiled kernels)."""
 
     def run_once():
         simulator = Simulator(
@@ -529,6 +541,125 @@ def run_ladder(
     return entries
 
 
+BACKEND_ALGORITHMS = ("rotor_router", "send_floor")
+
+
+def run_backend_ladder(sizes, rounds=50, repeats=3, dense_cap=262_144):
+    """Per-backend rows: every engine in the registry on the cycle ladder.
+
+    Dense-protocol backends (``dense``, ``spmm``) allocate the
+    ``(n, d+)`` sends matrix the structured path removes, so they skip
+    rungs above ``dense_cap`` exactly like the dense column of the
+    classic ladder.  Every backend that ran is verified bit-identical
+    against the dense reference (or the structured one above the cap).
+
+    ``compiled_vs_structured`` is the rotor-kernel headline: the ratio
+    of the compiled backend's wall time to the pure structured one,
+    *paired per iteration* (back-to-back runs under the same clock
+    conditions) with the timed window stretched at small ``n`` — the
+    same two tricks the overhead rows use.  Below 1.0 means the fused
+    kernel won; ``--check`` requires that at every ``n >= 4096`` for
+    the rotor-router (the algorithm whose round the kernel fuses).
+    """
+    from repro.core.loads import adversarial_split
+    from repro.engines import DENSE, ENGINES, create_engine
+    from repro.graphs.families import cycle
+
+    entries = []
+    for n in sizes:
+        graph = cycle(n)
+        loads = adversarial_split(n, 32 * n)
+        for algorithm in BACKEND_ALGORITHMS:
+            seconds_by = {}
+            finals_by = {}
+            kernel_by = {}
+            for name in sorted(ENGINES):
+                backend = create_engine(name)
+                if backend.protocol == DENSE and n > dense_cap:
+                    continue
+                seconds, finals, _ = _time_run(
+                    graph, algorithm, loads, rounds, name, repeats
+                )
+                seconds_by[name] = seconds
+                finals_by[name] = finals
+                kernel_by[name] = backend.kernel
+            reference = finals_by.get(
+                "dense", finals_by.get("structured")
+            )
+            for name, finals in finals_by.items():
+                if not np.array_equal(finals, reference):
+                    raise AssertionError(
+                        f"backend {name!r} diverged from the reference "
+                        f"at n={n}, {algorithm}"
+                    )
+            compiled_ratio = None
+            if "compiled" in seconds_by and "structured" in seconds_by:
+                # Stretch the window at small n and pair each ratio —
+                # a ~2x kernel effect is unmeasurable from separate
+                # millisecond-scale timing blocks on a busy box.
+                paired_rounds = rounds * max(1, 131_072 // n)
+                compiled_ratio = float("inf")
+                for _ in range(max(repeats, 5)):
+                    structured, _, _ = _time_run(
+                        graph,
+                        algorithm,
+                        loads,
+                        paired_rounds,
+                        "structured",
+                        1,
+                    )
+                    compiled, _, _ = _time_run(
+                        graph,
+                        algorithm,
+                        loads,
+                        paired_rounds,
+                        "compiled",
+                        1,
+                    )
+                    compiled_ratio = min(
+                        compiled_ratio, compiled / structured
+                    )
+                compiled_ratio = min(
+                    compiled_ratio,
+                    seconds_by["compiled"] / seconds_by["structured"],
+                )
+            entry = {
+                "n": n,
+                "d_plus": graph.total_degree,
+                "algorithm": algorithm,
+                "rounds": rounds,
+                "bit_identical": True,
+                "backends": {
+                    name: {
+                        "kernel": kernel_by[name],
+                        "seconds": round(seconds_by[name], 4),
+                        "rounds_per_second": round(
+                            rounds / seconds_by[name], 1
+                        ),
+                    }
+                    for name in seconds_by
+                },
+            }
+            if compiled_ratio is not None:
+                entry["compiled_vs_structured"] = round(
+                    compiled_ratio, 3
+                )
+            entries.append(entry)
+            summary = "  ".join(
+                f"{name} {seconds_by[name]:7.3f}s"
+                f" [{kernel_by[name]}]"
+                for name in sorted(seconds_by)
+            )
+            ratio = (
+                f"  compiled/structured "
+                f"{entry['compiled_vs_structured']:5.2f}x"
+                if compiled_ratio is not None
+                else ""
+            )
+            print(f"n={n:>8d} {algorithm:<13s} {summary}{ratio}")
+    return entries
+
+
 def run_suite_throughput(
     n=4096,
     rounds=2000,
@@ -626,6 +757,7 @@ def run_million_headline(rounds=50, algorithms=LADDER_ALGORITHMS):
     construct_seconds = time.perf_counter() - start
     loads = adversarial_split(n, 32 * n)
     per_algorithm = {}
+    compiled_per_algorithm = {}
     for algorithm in algorithms:
         algo_start = time.perf_counter()
         _Simulator(
@@ -638,16 +770,38 @@ def run_million_headline(rounds=50, algorithms=LADDER_ALGORITHMS):
         per_algorithm[algorithm] = round(
             time.perf_counter() - algo_start, 2
         )
+        # The same rounds through the compiled backend: only the
+        # rotor-router has a fused kernel (the others delegate to the
+        # compact apply), but recording every algorithm keeps the two
+        # headline dicts comparable row-for-row.
+        algo_start = time.perf_counter()
+        _Simulator(
+            graph,
+            make(algorithm),
+            loads,
+            record_history=False,
+            engine="compiled",
+        ).run(rounds)
+        compiled_per_algorithm[algorithm] = round(
+            time.perf_counter() - algo_start, 2
+        )
     total = round(time.perf_counter() - start, 2)
+    from repro.engines import create_engine
+
+    kernel = create_engine("compiled").kernel
     print(
         f"headline: cycle(10^6) construct {construct_seconds:.2f}s, "
-        f"{rounds} structured rounds {per_algorithm}, total {total:.2f}s"
+        f"{rounds} structured rounds {per_algorithm}, "
+        f"compiled[{kernel}] rounds {compiled_per_algorithm}, "
+        f"total {total:.2f}s"
     )
     return {
         "n": n,
         "rounds": rounds,
         "construct_seconds": round(construct_seconds, 2),
         "structured_seconds": per_algorithm,
+        "compiled_kernel": kernel,
+        "compiled_seconds": compiled_per_algorithm,
         "total_seconds": total,
     }
 
@@ -695,7 +849,8 @@ def main(argv=None):
     parser.add_argument(
         "--check",
         action="store_true",
-        help="exit nonzero if structured is slower than dense, a "
+        help="exit nonzero if structured is slower than dense, the "
+        "compiled rotor kernel is slower than the structured rotor, a "
         "loads-only probe forces the dense path, or "
         "probe/injection/fault/topology overhead exceeds its limit "
         "at any n >= 4096",
@@ -741,6 +896,12 @@ def main(argv=None):
             rounds=args.rounds,
             dense_cap=args.dense_cap,
             repeats=args.repeats,
+        ),
+        "backend_ladder": run_backend_ladder(
+            args.sizes,
+            rounds=args.rounds,
+            repeats=args.repeats,
+            dense_cap=args.dense_cap,
         ),
     }
     if args.suite_bench:
@@ -825,6 +986,23 @@ def main(argv=None):
                     f"n={entry['n']} ({entry['algorithm']})",
                     file=sys.stderr,
                 )
+        for entry in report["backend_ladder"]:
+            if (
+                entry["n"] < 4096
+                or entry["algorithm"] != "rotor_router"
+                or "compiled_vs_structured" not in entry
+            ):
+                continue
+            if entry["compiled_vs_structured"] >= 1.0:
+                failed = True
+                kernel = entry["backends"]["compiled"]["kernel"]
+                print(
+                    f"FAIL: compiled rotor kernel [{kernel}] not "
+                    f"faster than the structured rotor at "
+                    f"n={entry['n']}: "
+                    f"{entry['compiled_vs_structured']}x",
+                    file=sys.stderr,
+                )
         suite_entry = report.get("suite_throughput")
         if suite_entry is not None and suite_entry["n"] >= 4096:
             cpus = suite_entry["cpu_count"] or 1
@@ -850,7 +1028,8 @@ def main(argv=None):
         if failed:
             return 1
         print(
-            "check passed: structured >= dense, probe overhead "
+            "check passed: structured >= dense, compiled rotor < "
+            "structured rotor, probe overhead "
             f"<= {args.probe_overhead_limit}x (structured engine "
             f"kept), injection overhead <= "
             f"{args.dynamics_overhead_limit}x, fault-schedule "

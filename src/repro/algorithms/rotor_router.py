@@ -33,16 +33,20 @@ def interleaved_port_order(degree: int, num_self_loops: int) -> np.ndarray:
     With ``d° >= d`` this yields ``original, loop, original, loop, ...``
     followed by leftover loops; it spreads self-loop laziness evenly
     through the rotor cycle (the arrangement analyzed in [3]).
+
+    Strided assembly instead of the obvious alternating-pop loop: the
+    latter is O(d+²) per call (``list.pop(0)`` shifts the tail), which
+    showed up at bind time on high-degree fat-tree core switches.
     """
-    order: list[int] = []
-    originals = list(range(degree))
-    loops = list(range(degree, degree + num_self_loops))
-    while originals or loops:
-        if originals:
-            order.append(originals.pop(0))
-        if loops:
-            order.append(loops.pop(0))
-    return np.array(order, dtype=np.int64)
+    paired = min(degree, num_self_loops)
+    order = np.empty(degree + num_self_loops, dtype=np.int64)
+    order[0: 2 * paired: 2] = np.arange(paired)
+    order[1: 2 * paired: 2] = degree + np.arange(paired)
+    if degree > paired:
+        order[2 * paired:] = np.arange(paired, degree)
+    else:
+        order[2 * paired:] = degree + np.arange(paired, num_self_loops)
+    return order
 
 
 class RotorRouter(Balancer):
@@ -151,6 +155,12 @@ class RotorRouter(Balancer):
 
     def reset(self) -> None:
         graph = self.graph
+        # Per-run contract: the incrementality counters describe the
+        # run that is about to start, not the lifetime of the instance
+        # — without this they bleed across replicas/reruns of one
+        # balancer (bind() resets before every run).
+        self.refresh_rows = 0
+        self.refresh_full = 0
         if self._custom_rotors is not None:
             self._rotors = np.asarray(
                 self._custom_rotors, dtype=np.int64

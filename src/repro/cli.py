@@ -196,6 +196,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered topology-schedule names and exit",
     )
     sim_parser.add_argument(
+        "--engine",
+        default="auto",
+        metavar="NAME",
+        help=(
+            "execution backend: auto (default), or any registered "
+            "engine — dense, structured, spmm (CSR SpMM gather), "
+            "compiled (fused rotor kernel; numba when installed, CSR "
+            "otherwise); see --list-engines"
+        ),
+    )
+    sim_parser.add_argument(
+        "--list-engines",
+        action="store_true",
+        help="list registered engine backends and exit",
+    )
+    sim_parser.add_argument(
         "--trace-csv",
         metavar="PATH",
         help="dump replica 0's columnar trace (probe columns) as CSV",
@@ -389,6 +405,17 @@ def _run_simulate(args) -> int:
         for name in FAMILY_BUILDERS.names():
             print(f"  {name}")
         return 0
+    if args.list_engines:
+        from repro.engines import create_engine, engine_names
+
+        print("registered engines (plus 'auto' selection):")
+        for name in engine_names():
+            backend = create_engine(name)
+            print(
+                f"  {name}  [{backend.protocol} protocol, "
+                f"{backend.kernel} kernel]"
+            )
+        return 0
     if args.algorithm is None:
         raise SystemExit("simulate: an algorithm name is required")
     probes = tuple(ProbeSpec.parse(text) for text in args.probe)
@@ -422,6 +449,7 @@ def _run_simulate(args) -> int:
         dynamics=dynamics,
         faults=faults,
         topology=topology,
+        engine=args.engine,
     )
     outcome = scenario.run(graph=graph)
     result = outcome.replica(0)
@@ -434,6 +462,8 @@ def _run_simulate(args) -> int:
         print(f"faults:     {faults.name}")
     if topology is not None:
         print(f"topology:   {topology.name}")
+    if args.engine != "auto":
+        print(f"engine:     {args.engine}")
     print(f"discrepancy {result.initial_discrepancy} -> "
           f"{result.final_discrepancy}")
     if args.replicas > 1:

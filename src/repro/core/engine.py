@@ -13,13 +13,16 @@ reverse-port map), enforces structural invariants every round (shape,
 nonnegative sends, no overdraw unless the balancer opted in, token
 conservation), and feeds attached probes.
 
-Two execution engines are available.  The **dense** engine asks the
-balancer for the full ``(n, d+)`` sends matrix every round.  The
-**structured** engine asks for a compact
+Execution backends are registry plugins (:mod:`repro.engines`); the
+simulator orchestrates the round and delegates the array computation
+to the selected backend.  The **dense** protocol asks the balancer for
+the full ``(n, d+)`` sends matrix every round (backends: ``dense``,
+``spmm``).  The **structured** protocol asks for a compact
 :class:`~repro.core.structured.StructuredRound` (uniform edge share +
 loop/rotor-window assignment) and executes the round matrix-free in
-O(n·d) — at large ``n`` the dense matrix is the entire memory and time
-budget, so this is the fast path for SEND/rotor-style schemes.
+O(n·d) (backends: ``structured``, ``compiled``) — at large ``n`` the
+dense matrix is the entire memory and time budget, so this is the fast
+path for SEND/rotor-style schemes.
 
 Observers are capability-typed :class:`~repro.core.probes.Probe`\\ s:
 the engine feeds each probe the cheapest representation it accepts, so
@@ -45,6 +48,12 @@ from repro.core.errors import (
     NegativeLoadError,
 )
 from repro.core.loads import validate_delta, validate_loads
+from repro.engines import (
+    ENGINES,
+    STRUCTURED,
+    create_engine,
+    engine_names,
+)
 from repro.core.metrics import discrepancy
 from repro.faults.schedules import (
     apply_round_faults,
@@ -170,9 +179,14 @@ class Simulator:
             matrix (or compact round description).  Cheap (vectorized)
             and on by default; can be turned off for the innermost
             benchmark loops.
-        engine: ``"dense"``, ``"structured"``, or ``"auto"`` (default)
-            — structured when the balancer supports it and no attached
-            observer demands dense sends matrices, dense otherwise.
+        engine: any name registered in :data:`repro.engines.ENGINES`
+            (``"dense"``, ``"structured"``, ``"spmm"``,
+            ``"compiled"``, ...) or ``"auto"`` (default) — auto picks
+            ``structured`` when the balancer supports it and no
+            attached observer demands dense sends matrices, ``dense``
+            otherwise.  Structured-protocol backends carry the same
+            constraints as ``"structured"``; dense-protocol backends
+            work with everything.
     """
 
     def __init__(
@@ -222,8 +236,11 @@ class Simulator:
         )
         self.record_history = record_history
         self.validate_every_round = validate_every_round
-        if engine not in ("auto", "dense", "structured"):
-            raise ValueError(f"unknown engine {engine!r}")
+        if engine != "auto" and engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; registered engines: "
+                f"{', '.join(engine_names())} (or 'auto')"
+            )
         self._requested_engine = engine
         if engine == "auto":
             engine = (
@@ -233,7 +250,8 @@ class Simulator:
                 and not dense_required(self._probes)
                 else "dense"
             )
-        elif engine == "structured":
+        self._backend = create_engine(engine)
+        if self._backend.protocol == STRUCTURED:
             if not self.balancer.supports_structured_sends:
                 raise ValueError(
                     f"balancer {self.balancer.name!r} does not implement "
@@ -312,17 +330,18 @@ class Simulator:
         """
         (probe,) = build_probes((probe,))
         if (
-            self.engine == "structured"
+            self._backend.protocol == STRUCTURED
             and probe.needs != LOADS
             and not probe.accepts_structured
         ):
-            if self._requested_engine == "structured":
+            if self._requested_engine != "auto":
                 raise ValueError(
                     f"probe {type(probe).__name__} requires dense sends "
-                    "matrices but the structured engine was explicitly "
-                    "requested"
+                    f"matrices but the {self.engine} engine was "
+                    "explicitly requested"
                 )
             self.engine = "dense"
+            self._backend = create_engine("dense")
         probe.start(self.graph, self.balancer, self._loads)
         self._probes.append(probe)
         return probe
@@ -382,6 +401,7 @@ class Simulator:
         apply_topology_events(self.graph, events, self._loads)
         dirty = self.graph.consume_dirty()
         self.balancer.refresh_topology(self.graph, dirty)
+        self._backend.refresh_topology(self.graph, dirty)
         self._topology_rounds += 1
 
     def step(self) -> np.ndarray:
@@ -392,7 +412,7 @@ class Simulator:
             self._apply_fault_events()
         if self._injector is not None:
             self._apply_injection()
-        if self.engine == "structured":
+        if self._backend.protocol == STRUCTURED:
             return self._step_structured()
         graph = self.graph
         loads = self._loads
@@ -410,7 +430,7 @@ class Simulator:
                 f"(balancer {self.balancer.name!r} does not allow "
                 "negative load)"
             )
-        incoming = sends[graph.adjacency, graph.reverse_port].sum(axis=1)
+        incoming = self._backend.incoming(graph, sends)
         kept = sends[:, graph.degree:].sum(axis=1)
         new_loads = remainder + incoming + kept
         if self._round_faults is not None:
@@ -458,7 +478,7 @@ class Simulator:
                     f"(balancer {self.balancer.name!r} does not allow "
                     "negative load)"
                 )
-        new_loads = compact.apply(graph, loads)
+        new_loads = self._backend.apply(graph, compact, loads)
         if self._round_faults is not None:
             dropped = apply_round_faults(
                 new_loads,

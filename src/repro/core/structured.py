@@ -29,7 +29,7 @@ the dense engine (enforced by the property suite).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -44,6 +44,14 @@ class RotorWindow:
     Port ``p`` of node ``u`` receives one extra token iff its cyclic
     position ``positions[u, p]`` lies in the half-open window
     ``[rotors[u], rotors[u] + extra[u])`` taken modulo ``d+``.
+
+    A window describes exactly one round (fresh ``rotors``/``extra``
+    every round), so the derived hit matrices are computed at most once
+    per instance and cached — ``edge_hit_matrix``/``edge_hits``/
+    ``loop_hits`` used to redo the ``(positions - rotors) % d+`` modulo
+    work on every call, up to three times per round across the engine,
+    probe, and fault paths.  Callers must not mutate ``rotors``/
+    ``extra`` after the first query.
 
     ``positions`` and ``reverse_flat`` are static per-bind precomputes
     owned by the balancer (shared across rounds):
@@ -62,14 +70,22 @@ class RotorWindow:
     extra: np.ndarray
     positions: np.ndarray
     reverse_flat: np.ndarray
+    _edge_hit_cache: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _loop_hit_cache: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def edge_hit_matrix(self, graph: BalancingGraph) -> np.ndarray:
         """``(n, d)`` bool: does port ``j`` of ``u`` get a window token?"""
-        d_plus = graph.total_degree
-        offsets = (
-            self.positions[:, : graph.degree] - self.rotors[:, None]
-        ) % d_plus
-        return offsets < self.extra[:, None]
+        if self._edge_hit_cache is None:
+            d_plus = graph.total_degree
+            offsets = (
+                self.positions[:, : graph.degree] - self.rotors[:, None]
+            ) % d_plus
+            self._edge_hit_cache = offsets < self.extra[:, None]
+        return self._edge_hit_cache
 
     def edge_hits(self, graph: BalancingGraph) -> np.ndarray:
         """Per-node count of original-edge ports inside the window."""
@@ -77,11 +93,15 @@ class RotorWindow:
 
     def loop_hits(self, graph: BalancingGraph) -> np.ndarray:
         """Per-node count of self-loop ports inside the window."""
-        d_plus = graph.total_degree
-        offsets = (
-            self.positions[:, graph.degree:] - self.rotors[:, None]
-        ) % d_plus
-        return (offsets < self.extra[:, None]).sum(axis=1)
+        if self._loop_hit_cache is None:
+            d_plus = graph.total_degree
+            offsets = (
+                self.positions[:, graph.degree:] - self.rotors[:, None]
+            ) % d_plus
+            self._loop_hit_cache = (
+                (offsets < self.extra[:, None]).sum(axis=1)
+            )
+        return self._loop_hit_cache
 
 
 @dataclass

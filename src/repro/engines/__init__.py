@@ -1,0 +1,46 @@
+"""Execution backends as registry plugins.
+
+``repro.engines`` owns *how* a round's arrays move — the orchestrators
+(:class:`~repro.core.engine.Simulator`,
+:class:`~repro.scenarios.batch.BatchRunner`) delegate the per-round
+computation to a registered :class:`EngineBackend` and keep everything
+else (validation, conservation, probes, faults, churn).  See
+:mod:`repro.engines.base` for the backend contract and the built-in
+modules for the four shipped backends:
+
+======================  ==========  ========================================
+name                    protocol    kernel
+======================  ==========  ========================================
+``dense``               dense       numpy gather (universal fallback)
+``structured``          structured  numpy matrix-free (auto fast path)
+``spmm``                dense       scipy-CSR SpMM gather
+``compiled``            structured  fused rotor round (numba, or CSR)
+======================  ==========  ========================================
+
+``engine="auto"`` is a selection policy, not a backend: it picks
+``structured`` when the balancer and the attached observers allow it
+and ``dense`` otherwise, exactly as before the registry existed.
+"""
+
+from repro.engines.base import (
+    DENSE,
+    ENGINES,
+    STRUCTURED,
+    EngineBackend,
+    create_engine,
+    engine_names,
+    register_engine,
+)
+from repro.engines import builtin as _builtin  # noqa: F401 (registers)
+from repro.engines import spmm as _spmm  # noqa: F401 (registers)
+from repro.engines import compiled as _compiled  # noqa: F401 (registers)
+
+__all__ = [
+    "DENSE",
+    "ENGINES",
+    "STRUCTURED",
+    "EngineBackend",
+    "create_engine",
+    "engine_names",
+    "register_engine",
+]

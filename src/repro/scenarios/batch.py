@@ -38,6 +38,12 @@ from repro.core.errors import (
     NegativeLoadError,
 )
 from repro.core.loads import validate_delta, validate_load_matrix
+from repro.engines import (
+    ENGINES,
+    STRUCTURED,
+    create_engine,
+    engine_names,
+)
 from repro.core.probes import Probe, build_probes, loads_only
 from repro.faults.schedules import (
     apply_round_faults,
@@ -151,8 +157,10 @@ class BatchRunner:
         record_history: keep per-replica discrepancy trajectories.
         validate_every_round: structural validation of each batch of
             sends matrices or compact rounds (vectorized; cheap).
-        engine: ``"dense"``, ``"structured"``, or ``"auto"`` (default)
-            — structured when every balancer supports it.
+        engine: any name registered in :data:`repro.engines.ENGINES`
+            (``"dense"``, ``"structured"``, ``"spmm"``,
+            ``"compiled"``, ...) or ``"auto"`` (default) — auto picks
+            ``structured`` when every balancer supports it.
     """
 
     def __init__(
@@ -234,14 +242,18 @@ class BatchRunner:
             # the static base topology.
             and self._topology_schedules is None
         )
-        if engine not in ("auto", "dense", "structured"):
-            raise ValueError(f"unknown engine {engine!r}")
+        if engine != "auto" and engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; registered engines: "
+                f"{', '.join(engine_names())} (or 'auto')"
+            )
         structured_ok = all(
             b.supports_structured_sends for b in balancers
         )
         if engine == "auto":
             engine = "structured" if structured_ok else "dense"
-        elif engine == "structured" and not structured_ok:
+        self._backend = create_engine(engine)
+        if self._backend.protocol == STRUCTURED and not structured_ok:
             missing = next(
                 b.name
                 for b in balancers
@@ -252,7 +264,6 @@ class BatchRunner:
                 "sends; use the dense engine"
             )
         self.engine = engine
-        self._incoming_flat_cache: np.ndarray | None = None
         self.initial_loads = initial_loads.copy()
         self._loads = initial_loads.copy()
         self.record_history = record_history
@@ -438,6 +449,7 @@ class BatchRunner:
             apply_topology_events(graph, events, row)
             dirty = graph.consume_dirty()
             self._balancer_for(replica).refresh_topology(graph, dirty)
+            self._backend.refresh_topology(graph, dirty)
             self._topology_rounds[replica] += 1
 
     def _apply_fault_events(self) -> None:
@@ -486,21 +498,6 @@ class BatchRunner:
             self.totals[replica] += moved
             self._tokens_injected[replica] += moved
 
-    @property
-    def _incoming_flat(self) -> np.ndarray:
-        # Flat incoming-gather index for the dense engine: token
-        # arriving at u over port j was sent by adjacency[u, j] on port
-        # reverse_port[u, j]; a single flat fancy index over the
-        # (n * d+)-reshaped sends beats the equivalent two-array
-        # advanced indexing round after round.  Built lazily because
-        # the structured engine never touches it.
-        if self._incoming_flat_cache is None:
-            graph = self.graph
-            self._incoming_flat_cache = (
-                graph.adjacency * graph.total_degree + graph.reverse_port
-            ).ravel()
-        return self._incoming_flat_cache
-
     def step(self) -> np.ndarray:
         """Execute one synchronous round for every active replica."""
         if self._topology_schedules is not None:
@@ -519,7 +516,7 @@ class BatchRunner:
             if active.size == 0:
                 return self._loads
             loads = self._loads[active]
-        if self.engine == "structured":
+        if self._backend.protocol == STRUCTURED:
             new_loads = self._round_structured(loads, active)
         else:
             new_loads = self._round_dense(loads, active)
@@ -577,11 +574,7 @@ class BatchRunner:
         # remainder = loads - (edge_out + kept); new = remainder + in + kept
         # which telescopes to loads - edge_out + incoming.
         self._check_overdraw(loads - edge_out - kept, active)
-        incoming = (
-            sends.reshape(active.size, -1)[:, self._incoming_flat]
-            .reshape(active.size, graph.num_nodes, degree)
-            .sum(axis=2)
-        )
+        incoming = self._backend.incoming(graph, sends)
         new_loads = loads - edge_out
         new_loads += incoming
         if self._fault_schedules is not None:
@@ -624,9 +617,7 @@ class BatchRunner:
                 (replica_loads - edge_out - kept)[None, :],
                 np.asarray([replica]),
             )
-            incoming = sends[graph.adjacency, graph.reverse_port].sum(
-                axis=1
-            )
+            incoming = self._backend.incoming(graph, sends)
             new_loads[row] = replica_loads - edge_out
             new_loads[row] += incoming
         return new_loads
@@ -663,7 +654,7 @@ class BatchRunner:
                     self._raise_structured_overdraw(
                         remainder, active, balancer
                     )
-            new_loads = compact.apply(graph, loads)
+            new_loads = self._backend.apply(graph, compact, loads)
             if self._fault_schedules is not None:
                 for row, replica in enumerate(active.tolist()):
                     faults = self._round_faults[replica]
@@ -692,7 +683,9 @@ class BatchRunner:
                     self._raise_structured_overdraw(
                         remainder[None, :], active[row:], balancer
                     )
-            new_loads[row] = compact.apply(graph, replica_loads)
+            new_loads[row] = self._backend.apply(
+                graph, compact, replica_loads
+            )
             if self._fault_schedules is not None:
                 faults = self._round_faults[int(replica)]
                 if faults is not None:
@@ -750,10 +743,9 @@ class BatchRunner:
         """
         graph = self.graph
         balancer = self.balancers[0]
-        structured = self.engine == "structured"
-        flat = None if structured else self._incoming_flat
+        backend = self._backend
+        structured = backend.protocol == STRUCTURED
         degree = graph.degree
-        n = graph.num_nodes
         replicas = self.num_replicas
         validate = self.validate_every_round
         check_overdraw = not balancer.allows_negative
@@ -773,7 +765,7 @@ class BatchRunner:
                         self._raise_structured_overdraw(
                             remainder, np.arange(replicas), balancer
                         )
-                new_loads = compact.apply(graph, loads)
+                new_loads = backend.apply(graph, compact, loads)
             else:
                 sends = balancer.sends_batch(loads, self.round)
                 if validate:
@@ -786,11 +778,7 @@ class BatchRunner:
                         self._check_overdraw(
                             remainder, np.arange(replicas)
                         )
-                incoming = (
-                    sends.reshape(replicas, -1)[:, flat]
-                    .reshape(replicas, n, degree)
-                    .sum(axis=2)
-                )
+                incoming = backend.incoming(graph, sends)
                 new_loads = loads - edge_out
                 new_loads += incoming
             new_totals = new_loads.sum(axis=1)

@@ -53,6 +53,7 @@ from repro.core.monitors import LoadBoundsMonitor, Monitor
 from repro.core.probes import Probe, ProbeSpec, build_probes, loads_only
 from repro.core.trace import RunRecord
 from repro.dynamics.spec import DynamicsSpec, as_injector
+from repro.engines import ENGINES, engine_names
 from repro.faults.spec import FaultSpec, as_fault_schedule
 from repro.topology.spec import TopologySpec, as_topology_schedule
 from repro.graphs import families
@@ -429,6 +430,11 @@ class Scenario:
         record_history: keep per-round discrepancy trajectories.
         validate_every_round: structural validation each round.
         name: optional label used in reports.
+        engine: execution backend for every replica — any name
+            registered in :data:`repro.engines.ENGINES` or ``"auto"``
+            (default).  Serialized (and hashed into suite cache keys)
+            only when it differs from ``"auto"``, so existing cached
+            results and goldens stay valid.
     """
 
     graph: GraphSpec | BalancingGraph
@@ -444,10 +450,16 @@ class Scenario:
     record_history: bool = True
     validate_every_round: bool = True
     name: str = ""
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.engine != "auto" and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; registered engines: "
+                f"{', '.join(engine_names())} (or 'auto')"
+            )
         if (
             self.dynamics is not None
             and not isinstance(self.dynamics, DynamicsSpec)
@@ -590,6 +602,8 @@ class Scenario:
             "validate_every_round": self.validate_every_round,
             "name": self.name,
         }
+        if self.engine != "auto":
+            data["engine"] = self.engine
         if self.probes:
             data["probes"] = [spec.to_dict() for spec in self.probes]
         if self.dynamics is not None:
@@ -644,6 +658,7 @@ class Scenario:
                 data.get("validate_every_round", True)
             ),
             name=data.get("name", ""),
+            engine=data.get("engine", "auto"),
         )
 
     # -- execution ------------------------------------------------------
@@ -732,6 +747,7 @@ class Scenario:
                 topology=as_topology_schedule(self.topology, replica),
                 record_history=self.record_history,
                 validate_every_round=self.validate_every_round,
+                engine=self.engine,
             )
             stop = self.stop
             if stop.kind == "rounds":
@@ -812,6 +828,7 @@ class Scenario:
             topology=topology,
             record_history=self.record_history,
             validate_every_round=self.validate_every_round,
+            engine=self.engine,
         )
         stop = self.stop
         if stop.kind == "rounds":
@@ -879,6 +896,7 @@ class ScenarioSuite:
         record_history: bool = True,
         validate_every_round: bool = True,
         name: str = "",
+        engine: str = "auto",
     ) -> "ScenarioSuite":
         """The cartesian product graphs × algorithms × loads × stops.
 
@@ -899,6 +917,7 @@ class ScenarioSuite:
                 monitors=monitors,
                 record_history=record_history,
                 validate_every_round=validate_every_round,
+                engine=engine,
             )
             for graph, algorithm, load, stop_rule in product(
                 _as_tuple(graphs, (GraphSpec, BalancingGraph)),

@@ -133,3 +133,60 @@ class TestClassMembership:
         b = Simulator(expander24, RotorRouter(), point_mass(24, 517))
         for _ in range(20):
             np.testing.assert_array_equal(a.step(), b.step())
+
+
+class TestPortOrderVectorized:
+    """Regression: the strided assembly must match the pop-loop original."""
+
+    @staticmethod
+    def _reference(degree: int, num_self_loops: int) -> list[int]:
+        order: list[int] = []
+        originals = list(range(degree))
+        loops = list(range(degree, degree + num_self_loops))
+        while originals or loops:
+            if originals:
+                order.append(originals.pop(0))
+            if loops:
+                order.append(loops.pop(0))
+        return order
+
+    @pytest.mark.parametrize("degree", [1, 2, 3, 4, 6, 12, 20])
+    @pytest.mark.parametrize("num_self_loops", [0, 1, 2, 3, 5, 12, 21])
+    def test_matches_reference(self, degree, num_self_loops):
+        order = interleaved_port_order(degree, num_self_loops)
+        assert order.dtype == np.int64
+        assert list(order) == self._reference(degree, num_self_loops)
+
+    def test_fat_tree_core_degree(self):
+        # The case that motivated the rewrite: high-degree core
+        # switches (d = k^2/4 uplinks plus padding loops).
+        assert list(interleaved_port_order(64, 65)) == self._reference(
+            64, 65
+        )
+
+
+class TestRefreshCounterContract:
+    """Regression: reset() must zero the incrementality counters.
+
+    The counters describe one run; without zeroing they bleed across
+    replicas/reruns of a single balancer instance (bind() calls
+    reset() before every run).
+    """
+
+    def test_reset_zeroes_refresh_counters(self, expander24):
+        balancer = RotorRouter().bind(expander24)
+        balancer.refresh_topology(expander24, np.array([0, 1, 2]))
+        balancer.refresh_topology(expander24, None)
+        assert balancer.refresh_rows == 3
+        assert balancer.refresh_full == 1
+        balancer.reset()
+        assert balancer.refresh_rows == 0
+        assert balancer.refresh_full == 0
+
+    def test_rebind_starts_a_fresh_count(self, expander24):
+        balancer = RotorRouter().bind(expander24)
+        balancer.refresh_topology(expander24, np.array([4, 5]))
+        assert balancer.refresh_rows == 2
+        balancer.bind(expander24)  # a rerun rebinds the same instance
+        assert balancer.refresh_rows == 0
+        assert balancer.refresh_full == 0

@@ -1,0 +1,243 @@
+"""Cross-backend bit-identity: every registered engine == dense.
+
+The acceptance property of the engine registry: for every backend in
+``ENGINES`` (not just the built-in four — third-party registrations are
+picked up automatically), the load trajectory is bit-identical to the
+dense reference on every standard graph family, through every execution
+path (looped, batched, ``run_until``), and with probes, dynamics,
+faults, and topology churn attached.  Integer token counts make
+bitwise equality the right assertion — no tolerance anywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import make
+from repro.core.engine import Simulator
+from repro.core.probes import ProbeSpec
+from repro.dynamics import DynamicsSpec
+from repro.engines import DENSE, ENGINES, create_engine
+from repro.faults import FaultSpec
+from repro.graphs import families
+from repro.graphs.datacenter import fat_tree, leaf_spine
+from repro.scenarios.batch import BatchRunner
+from repro.topology import TopologySpec
+
+FAMILIES = {
+    "cycle": lambda: families.cycle(15, num_self_loops=2),
+    "torus": lambda: families.torus(4, 2),
+    "hypercube": lambda: families.hypercube(4),
+    "random_regular": lambda: families.random_regular(20, 4, seed=9),
+    "fat_tree": lambda: fat_tree(4),
+    "leaf_spine": lambda: leaf_spine(4, 3, 4),
+}
+
+ALL_ENGINES = sorted(ENGINES)
+CHURN = DynamicsSpec("random_churn", {"rate": 9, "seed": 12})
+
+
+def _initial(graph, replicas=None, seed=31):
+    rng = np.random.default_rng(seed)
+    shape = (
+        graph.num_nodes
+        if replicas is None
+        else (replicas, graph.num_nodes)
+    )
+    return rng.integers(0, 300, shape).astype(np.int64)
+
+
+def _algorithms(engine):
+    """Structured-protocol backends only run structured-capable schemes."""
+    if create_engine(engine).protocol == DENSE:
+        return ["rotor_router", "send_floor", "arbitrary_rounding_fixed"]
+    return ["rotor_router", "send_floor"]
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_looped_parity_with_probes_and_dynamics(family, engine):
+    """Looped path: probes + dynamics, every family x every backend."""
+    graph = FAMILIES[family]()
+    loads = _initial(graph)
+    for algorithm in _algorithms(engine):
+        reference = Simulator(
+            graph,
+            make(algorithm),
+            loads,
+            probes=(ProbeSpec("discrepancy"),),
+            dynamics=CHURN.build(),
+            engine="dense",
+        ).run(50)
+        candidate = Simulator(
+            graph,
+            make(algorithm),
+            loads,
+            probes=(ProbeSpec("discrepancy"),),
+            dynamics=CHURN.build(),
+            engine=engine,
+        ).run(50)
+        np.testing.assert_array_equal(
+            reference.final_loads, candidate.final_loads
+        )
+        assert (
+            reference.discrepancy_history
+            == candidate.discrepancy_history
+        )
+        assert reference.record.summary == candidate.record.summary
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_looped_parity_under_faults(family, engine):
+    graph = FAMILIES[family]()
+    loads = _initial(graph, seed=17)
+    spec = FaultSpec("link_failures", {"rate": 0.3, "seed": 3})
+    for algorithm in _algorithms(engine):
+        reference = Simulator(
+            graph,
+            make(algorithm),
+            loads,
+            faults=spec.build(),
+            engine="dense",
+        ).run(40)
+        candidate = Simulator(
+            graph,
+            make(algorithm),
+            loads,
+            faults=spec.build(),
+            engine=engine,
+        ).run(40)
+        np.testing.assert_array_equal(
+            reference.final_loads, candidate.final_loads
+        )
+        assert (
+            reference.discrepancy_history
+            == candidate.discrepancy_history
+        )
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_looped_parity_under_topology_churn(family, engine):
+    """Churn exercises each backend's refresh_topology repair path."""
+    graph = FAMILIES[family]()
+    loads = _initial(graph, seed=23)
+    spec = TopologySpec(
+        "edge_churn", {"rate": 0.12, "downtime": 4, "seed": 3}
+    )
+    for algorithm in _algorithms(engine):
+        reference = Simulator(
+            graph,
+            make(algorithm),
+            loads,
+            topology=spec,
+            engine="dense",
+        ).run(40)
+        candidate = Simulator(
+            graph,
+            make(algorithm),
+            loads,
+            topology=spec,
+            engine=engine,
+        ).run(40)
+        np.testing.assert_array_equal(
+            reference.final_loads, candidate.final_loads
+        )
+        assert (
+            reference.discrepancy_history
+            == candidate.discrepancy_history
+        )
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_batched_parity_with_dynamics(family, engine):
+    """Batch path: stateful per-replica rotors + shared send_floor."""
+    graph = FAMILIES[family]()
+    replicas = 3
+    initial = _initial(graph, replicas, seed=5)
+
+    def run(balancers, backend):
+        return BatchRunner(
+            graph, balancers, initial, dynamics=CHURN, engine=backend
+        ).run(40)
+
+    for algorithm in ("rotor_router", "send_floor"):
+        if algorithm == "rotor_router":
+            # Stateful: one instance per replica.
+            balancers = lambda: [make(algorithm) for _ in range(replicas)]
+        else:
+            balancers = lambda: make(algorithm)
+        reference = run(balancers(), "dense")
+        candidate = run(balancers(), engine)
+        np.testing.assert_array_equal(
+            reference.final_loads, candidate.final_loads
+        )
+        assert reference.histories == candidate.histories
+        for replica in range(replicas):
+            assert (
+                reference.records[replica].summary
+                == candidate.records[replica].summary
+            )
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_batched_run_until_parity(engine):
+    """Early stopping freezes replicas identically on every backend."""
+    graph = families.torus(4, 2)
+    replicas = 3
+    initial = _initial(graph, replicas, seed=11)
+    spec = DynamicsSpec("constant_rate", {"rate": 6, "seed": 2})
+
+    def predicates():
+        return [
+            lambda loads: int(loads.max() - loads.min()) <= 14
+            for _ in range(replicas)
+        ]
+
+    def run(backend):
+        return BatchRunner(
+            graph,
+            [make("rotor_router") for _ in range(replicas)],
+            initial,
+            dynamics=spec,
+            engine=backend,
+        ).run_until(predicates(), max_rounds=150, check_every=2)
+
+    reference = run("dense")
+    candidate = run(engine)
+    np.testing.assert_array_equal(
+        reference.final_loads, candidate.final_loads
+    )
+    np.testing.assert_array_equal(
+        reference.rounds_executed, candidate.rounds_executed
+    )
+    np.testing.assert_array_equal(
+        reference.stopped_early, candidate.stopped_early
+    )
+    assert reference.histories == candidate.histories
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_looped_run_until_parity(engine):
+    graph = families.hypercube(4)
+    loads = _initial(graph, seed=29)
+
+    def run(backend):
+        return Simulator(
+            graph, make("rotor_router"), loads, engine=backend
+        ).run_until(
+            lambda vec: int(vec.max() - vec.min()) <= 6,
+            max_rounds=200,
+            check_every=3,
+        )
+
+    reference = run("dense")
+    candidate = run(engine)
+    np.testing.assert_array_equal(
+        reference.final_loads, candidate.final_loads
+    )
+    assert reference.rounds_executed == candidate.rounds_executed
+    assert (
+        reference.discrepancy_history == candidate.discrepancy_history
+    )

@@ -1,0 +1,116 @@
+"""Graceful degradation when numba is unavailable.
+
+The compiled engine is opportunistic: with numba present it JIT-fuses
+the rotor round, without it (or with ``REPRO_DISABLE_NUMBA`` set) it
+falls back to a scipy-CSR kernel — same name, same results, no import
+error anywhere.  ``engine="auto"`` never selects it, so a numba-less
+install behaves exactly like the seed.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import make
+from repro.core.engine import Simulator
+from repro.engines import create_engine
+from repro.engines import compiled as compiled_module
+from repro.graphs import families
+
+
+def test_kernel_flavor_matches_numba_availability():
+    backend = create_engine("compiled")
+    try:
+        import numba  # noqa: F401
+
+        expected = "numba"
+    except ImportError:
+        expected = "csr"
+    if os.environ.get("REPRO_DISABLE_NUMBA"):
+        expected = "csr"
+    assert compiled_module.KERNEL == expected
+    assert backend.kernel == expected
+
+
+def test_compiled_runs_on_whatever_kernel_is_active():
+    """The engine works regardless of which flavor the import found."""
+    graph = families.torus(4, 2)
+    rng = np.random.default_rng(3)
+    loads = rng.integers(0, 400, graph.num_nodes).astype(np.int64)
+    reference = Simulator(
+        graph, make("rotor_router"), loads, engine="dense"
+    ).run(60)
+    candidate = Simulator(
+        graph, make("rotor_router"), loads, engine="compiled"
+    ).run(60)
+    np.testing.assert_array_equal(
+        reference.final_loads, candidate.final_loads
+    )
+
+
+def test_auto_selection_never_requires_numba():
+    graph = families.cycle(12, num_self_loops=1)
+    loads = np.full(graph.num_nodes, 30, dtype=np.int64)
+    sim = Simulator(graph, make("rotor_router"), loads)
+    assert sim.engine == "structured"
+    sim.run(10)
+
+
+def test_disable_env_forces_csr_fallback():
+    """Subprocess with REPRO_DISABLE_NUMBA=1: csr flavor, same results."""
+    script = textwrap.dedent(
+        """
+        import numpy as np
+        from repro.algorithms.registry import make
+        from repro.core.engine import Simulator
+        from repro.engines import compiled, create_engine
+        from repro.graphs import families
+
+        assert compiled.njit is None
+        assert compiled.KERNEL == "csr"
+        assert create_engine("compiled").kernel == "csr"
+
+        graph = families.hypercube(4)
+        rng = np.random.default_rng(9)
+        loads = rng.integers(0, 300, graph.num_nodes).astype(np.int64)
+        dense = Simulator(
+            graph, make("rotor_router"), loads, engine="dense"
+        ).run(50)
+        fallback = Simulator(
+            graph, make("rotor_router"), loads, engine="compiled"
+        ).run(50)
+        np.testing.assert_array_equal(
+            dense.final_loads, fallback.final_loads
+        )
+
+        auto = Simulator(graph, make("rotor_router"), loads)
+        assert auto.engine == "structured"
+        auto.run(5)
+        print("FALLBACK_OK")
+        """
+    )
+    env = dict(os.environ, REPRO_DISABLE_NUMBA="1")
+    root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "FALLBACK_OK" in proc.stdout
+
+
+@pytest.mark.skipif(
+    compiled_module.njit is not None, reason="numba is installed"
+)
+def test_in_process_fallback_when_numba_absent():
+    assert compiled_module.KERNEL == "csr"
+    assert create_engine("compiled").kernel == "csr"
