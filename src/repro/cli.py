@@ -203,7 +203,9 @@ def build_parser() -> argparse.ArgumentParser:
             "execution backend: auto (default), or any registered "
             "engine — dense, structured, spmm (CSR SpMM gather), "
             "compiled (fused rotor kernel; numba when installed, CSR "
-            "otherwise); see --list-engines"
+            "otherwise), partitioned (k partitions x worker processes "
+            "over shared memory; params via "
+            "'partitioned:{\"workers\": 4}'); see --list-engines"
         ),
     )
     sim_parser.add_argument(
@@ -407,13 +409,21 @@ def _run_simulate(args) -> int:
         return 0
     if args.list_engines:
         from repro.engines import create_engine, engine_names
+        from repro.graphs.balancing import estimate_memory_bytes
 
+        # Planning estimate: per-round working set at a million nodes
+        # on the paper's standard d+ = 2d augmentation (d = 2).
+        ref_n, ref_d_plus = 10**6, 4
         print("registered engines (plus 'auto' selection):")
         for name in engine_names():
             backend = create_engine(name)
+            megabytes = estimate_memory_bytes(
+                ref_n, ref_d_plus, engine=name
+            ) / 2**20
             print(
                 f"  {name}  [{backend.protocol} protocol, "
-                f"{backend.kernel} kernel]"
+                f"{backend.kernel} kernel, ~{megabytes:.0f} MB @ "
+                f"n=10^6 d+=4]"
             )
         return 0
     if args.algorithm is None:

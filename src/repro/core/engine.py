@@ -53,6 +53,7 @@ from repro.engines import (
     STRUCTURED,
     create_engine,
     engine_names,
+    split_engine_spec,
 )
 from repro.core.metrics import discrepancy
 from repro.faults.schedules import (
@@ -236,7 +237,7 @@ class Simulator:
         )
         self.record_history = record_history
         self.validate_every_round = validate_every_round
-        if engine != "auto" and engine not in ENGINES:
+        if engine != "auto" and split_engine_spec(engine)[0] not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; registered engines: "
                 f"{', '.join(engine_names())} (or 'auto')"

@@ -15,11 +15,16 @@ name                    protocol    kernel
 ``structured``          structured  numpy matrix-free (auto fast path)
 ``spmm``                dense       scipy-CSR SpMM gather
 ``compiled``            structured  fused rotor round (numba, or CSR)
+``partitioned``         structured  k partitions x worker processes + shm
 ======================  ==========  ========================================
 
 ``engine="auto"`` is a selection policy, not a backend: it picks
 ``structured`` when the balancer and the attached observers allow it
 and ``dense`` otherwise, exactly as before the registry existed.
+
+Engine specs accept constructor params via the shared shorthand
+grammar — ``engine='partitioned:{"workers": 4}'`` anywhere an engine
+name is accepted (Scenario JSON, the CLI, runner constructors).
 """
 
 from repro.engines.base import (
@@ -30,10 +35,12 @@ from repro.engines.base import (
     create_engine,
     engine_names,
     register_engine,
+    split_engine_spec,
 )
 from repro.engines import builtin as _builtin  # noqa: F401 (registers)
 from repro.engines import spmm as _spmm  # noqa: F401 (registers)
 from repro.engines import compiled as _compiled  # noqa: F401 (registers)
+from repro.engines import partitioned as _partitioned  # noqa: F401
 
 __all__ = [
     "DENSE",
@@ -43,4 +50,5 @@ __all__ = [
     "create_engine",
     "engine_names",
     "register_engine",
+    "split_engine_spec",
 ]

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.registry import Registry
+from repro.registry import Registry, parse_spec_shorthand
 
 DENSE = "dense"
 STRUCTURED = "structured"
@@ -107,9 +107,26 @@ class EngineBackend:
         """
 
 
-def create_engine(name: str) -> EngineBackend:
-    """Fresh backend instance for ``name`` (raises on unknown names)."""
-    return ENGINES.create(name)
+def split_engine_spec(spec: str) -> tuple[str, dict]:
+    """Split an engine spec into ``(name, params)``.
+
+    Engine specs use the same shorthand grammar as ``--probe`` /
+    ``--inject``: a bare registry name, or ``name:{json params}`` —
+    e.g. ``partitioned:{"workers": 4}``.  Validation sites check the
+    *name* half against :data:`ENGINES`; params go to the constructor.
+    """
+    return parse_spec_shorthand(spec, "engine")
+
+
+def create_engine(spec: str, **overrides) -> EngineBackend:
+    """Fresh backend instance for ``spec`` (raises on unknown names).
+
+    Accepts the ``name:{json}`` shorthand; keyword ``overrides`` win
+    over params embedded in the spec string.
+    """
+    name, params = split_engine_spec(spec)
+    params.update(overrides)
+    return ENGINES.create(name, **params)
 
 
 def engine_names() -> list[str]:

@@ -31,6 +31,19 @@ class _GatherOperator:
         n = graph.num_nodes
         degree = graph.degree
         d_plus = graph.total_degree
+        # The scalar-degree indptr below relies on the padding
+        # invariant: irregular graphs (datacenter fabrics, churned
+        # mutable graphs) are padded to a uniform port capacity d_max
+        # == graph.degree, with each padding port a self-entry whose
+        # reverse_port is its own port — so every adjacency row has
+        # exactly ``degree`` columns and the row-constant CSR layout
+        # (and ``repair``'s reshape) is exact, not an approximation.
+        if graph.adjacency.shape[1] != degree:
+            raise ValueError(
+                f"adjacency width {graph.adjacency.shape[1]} != "
+                f"graph.degree {degree}: the CSR gather operator "
+                "requires degree-padded adjacency rows"
+            )
         indices = (
             graph.adjacency.astype(np.int64) * d_plus + graph.reverse_port
         ).ravel()

@@ -43,6 +43,7 @@ from repro.engines import (
     STRUCTURED,
     create_engine,
     engine_names,
+    split_engine_spec,
 )
 from repro.core.probes import Probe, build_probes, loads_only
 from repro.faults.schedules import (
@@ -242,7 +243,7 @@ class BatchRunner:
             # the static base topology.
             and self._topology_schedules is None
         )
-        if engine != "auto" and engine not in ENGINES:
+        if engine != "auto" and split_engine_spec(engine)[0] not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; registered engines: "
                 f"{', '.join(engine_names())} (or 'auto')"

@@ -1,0 +1,297 @@
+"""Partition-boundary behavior of the ``partitioned`` engine.
+
+The cross-backend suite (``test_backend_parity.py``) auto-discovers
+``partitioned`` from the registry and already proves bit-identity on
+every family through every execution path.  This file pins the cases
+where partition *boundaries* specifically matter: halo bookkeeping,
+cut-edge churn, node join/leave at a partition border, uneven
+partition counts (``k`` not dividing ``n``), ``run_until`` with frozen
+replicas, and the real worker-process transport (the parity suite's
+tiny graphs always take the inline path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import make
+from repro.core.engine import Simulator
+from repro.engines import ENGINES, create_engine
+from repro.engines.partitioned import PartitionedEngine
+from repro.graphs import families
+from repro.graphs.mutable import MutableBalancingGraph
+from repro.graphs.partition import PartitionBook, contiguous_bounds
+from repro.scenarios.batch import BatchRunner
+from repro.topology import TopologySpec
+
+# ----------------------------------------------------------------------
+# PartitionBook / halo unit behavior
+# ----------------------------------------------------------------------
+
+
+def test_contiguous_bounds_even_and_uneven():
+    np.testing.assert_array_equal(
+        contiguous_bounds(12, 3), [0, 4, 8, 12]
+    )
+    # 17 = 4 + 4 + 3 + 3 + 3: remainder spread over leading partitions.
+    np.testing.assert_array_equal(
+        contiguous_bounds(17, 5), [0, 4, 8, 11, 14, 17]
+    )
+    sizes = np.diff(contiguous_bounds(17, 5))
+    assert sizes.sum() == 17
+    assert sizes.max() - sizes.min() <= 1
+
+
+def test_contiguous_bounds_rejects_bad_parts():
+    with pytest.raises(ValueError):
+        contiguous_bounds(10, 0)
+    with pytest.raises(ValueError):
+        contiguous_bounds(3, 4)
+
+
+def test_partition_book_owner_and_cut_edges():
+    graph = families.cycle(16)
+    book = PartitionBook(graph, 2)
+    np.testing.assert_array_equal(book.bounds, [0, 8, 16])
+    np.testing.assert_array_equal(
+        book.owner([0, 7, 8, 15]), [0, 0, 1, 1]
+    )
+    # A 16-cycle split in half has exactly the two wrap edges cut.
+    assert book.cut_edges() == 2
+    stats = book.describe()
+    assert stats["parts"] == 2
+    assert stats["halo_nodes"] == 4  # nodes 8,15 for p0; 0,7 for p1
+    assert stats["min_part"] == stats["max_part"] == 8
+
+
+def test_partition_book_clamps_parts_to_nodes():
+    graph = families.cycle(3, num_self_loops=1)
+    book = PartitionBook(graph, 8)
+    assert book.parts == 3
+
+
+def _gathered(graph, halo, values):
+    """What the halo's remapped gather reads for each owned port."""
+    ext = np.concatenate(
+        [values[halo.lo:halo.hi], values[halo.halo_ids]]
+    )
+    return ext[halo.adj_local]
+
+
+def test_repair_rows_appends_ghosts_never_reorders():
+    graph = MutableBalancingGraph.from_graph(families.cycle(12))
+    book = PartitionBook(graph, 2)
+    halo = book.halos[0]
+    before = halo.halo_ids.copy()
+    # Rewire across the cut: 5-6 becomes 5-8, making node 8 a fresh
+    # ghost of partition 0 while ghost 6 goes stale (but stays).
+    graph.drop_edge(5, 6)
+    graph.drop_edge(8, 9)
+    graph.add_edge(5, 8)
+    dirty = graph.consume_dirty()
+    for part, rows in book.rows_by_partition(dirty):
+        book.halos[part].repair_rows(rows, graph.adjacency)
+    np.testing.assert_array_equal(
+        halo.halo_ids[: before.size], before
+    )
+    assert 8 in halo.halo_ids.tolist()
+    # The remapped gather must agree with a direct global gather.
+    values = np.arange(graph.num_nodes) * 10
+    for h in book.halos:
+        np.testing.assert_array_equal(
+            _gathered(graph, h, values),
+            values[graph.adjacency[h.lo:h.hi]],
+        )
+
+
+# ----------------------------------------------------------------------
+# Engine construction / registry
+# ----------------------------------------------------------------------
+
+
+def test_partitioned_is_registered_for_parity_discovery():
+    # test_backend_parity.ALL_ENGINES is sorted(ENGINES): membership
+    # here guarantees the differential suite exercises this backend.
+    assert "partitioned" in ENGINES
+    from tests.engines import test_backend_parity
+
+    assert "partitioned" in test_backend_parity.ALL_ENGINES
+
+
+def test_engine_param_shorthand_and_validation():
+    engine = create_engine('partitioned:{"workers": 3, "inline": true}')
+    assert isinstance(engine, PartitionedEngine)
+    assert engine.workers == 3
+    assert engine.inline is True
+    with pytest.raises(ValueError):
+        PartitionedEngine(workers=0)
+
+
+def test_partition_stats_diagnostics():
+    graph = families.cycle(20)
+    engine = PartitionedEngine(workers=4, inline=True)
+    stats = engine.partition_stats(graph)
+    assert stats["parts"] == 4
+    assert stats["cut_edges"] == 4
+
+
+# ----------------------------------------------------------------------
+# Boundary parity: k values, cut-edge churn, border join/leave
+# ----------------------------------------------------------------------
+
+
+def _final(graph, engine, *, algorithm="rotor_router", rounds=40,
+           topology=None, seed=31):
+    rng = np.random.default_rng(seed)
+    loads = rng.integers(0, 300, graph.num_nodes).astype(np.int64)
+    return Simulator(
+        graph,
+        make(algorithm),
+        loads,
+        topology=topology,
+        engine=engine,
+    ).run(rounds).final_loads
+
+
+@pytest.mark.parametrize("workers", [1, 2, 5])
+def test_parity_uneven_partition_counts(workers):
+    # n = 17 is prime: k in {2, 5} never divides it, so partition
+    # sizes differ and both wrap edges of the cycle cross a boundary.
+    graph = families.cycle(17, num_self_loops=1)
+    reference = _final(graph, "structured")
+    candidate = _final(
+        graph, f'partitioned:{{"workers": {workers}}}'
+    )
+    np.testing.assert_array_equal(reference, candidate)
+
+
+def test_parity_cut_edge_churn():
+    # k=2 on a 16-cycle puts the boundary between nodes 7|8: edge
+    # (7, 8) is a cut edge.  Drop it, then restore it — both repairs
+    # land in both partitions' dirty closures and must fix both halos.
+    graph = families.cycle(16)
+    spec = TopologySpec(
+        "scripted",
+        {
+            "events": [
+                ["drop", 4, 7, 8],
+                ["drop", 4, 15, 0],
+                ["add", 11, 7, 8],
+                ["add", 14, 15, 0],
+            ]
+        },
+    )
+    for algorithm in ("rotor_router", "send_floor"):
+        reference = _final(
+            graph, "structured", algorithm=algorithm, topology=spec
+        )
+        candidate = _final(
+            graph,
+            'partitioned:{"workers": 2}',
+            algorithm=algorithm,
+            topology=spec,
+        )
+        np.testing.assert_array_equal(reference, candidate)
+
+
+def test_parity_border_node_join_leave():
+    # Node 8 sits right at the k=2 border of a 16-cycle; its leave
+    # re-routes its load across the cut and its rejoin re-creates cut
+    # edges on both sides.
+    graph = families.cycle(16)
+    spec = TopologySpec(
+        "scripted",
+        {
+            "events": [
+                ["leave", 3, 8],
+                ["leave", 6, 0],
+                ["join", 9, 8, [7, 9]],
+                ["join", 12, 0, [15, 1]],
+            ]
+        },
+    )
+    reference = _final(graph, "structured", topology=spec)
+    candidate = _final(
+        graph, 'partitioned:{"workers": 2}', topology=spec
+    )
+    np.testing.assert_array_equal(reference, candidate)
+
+
+def test_parity_random_join_leave_schedule():
+    graph = families.cycle(24, num_self_loops=1)
+    spec = TopologySpec(
+        "node_join_leave",
+        {"rate": 0.08, "rejoin_after": 3, "seed": 5},
+    )
+    reference = _final(graph, "structured", topology=spec, rounds=30)
+    candidate = _final(
+        graph,
+        'partitioned:{"workers": 3}',
+        topology=spec,
+        rounds=30,
+    )
+    np.testing.assert_array_equal(reference, candidate)
+
+
+# ----------------------------------------------------------------------
+# run_until with frozen replicas
+# ----------------------------------------------------------------------
+
+
+def test_run_until_frozen_replicas_parity():
+    # Staggered thresholds freeze replicas at different rounds; the
+    # engine then sees shrinking fancy-indexed batch copies.
+    graph = families.cycle(18)
+    replicas = 3
+    rng = np.random.default_rng(11)
+    initial = rng.integers(0, 200, (replicas, 18)).astype(np.int64)
+    thresholds = [2, 6, 40]
+
+    def run(engine):
+        return BatchRunner(
+            graph,
+            [make("rotor_router") for _ in range(replicas)],
+            initial,
+            engine=engine,
+        ).run_until(
+            [
+                (lambda t: lambda v: int(v.max() - v.min()) <= t)(t)
+                for t in thresholds
+            ],
+            max_rounds=120,
+            check_every=2,
+        )
+
+    reference = run("structured")
+    candidate = run('partitioned:{"workers": 2}')
+    np.testing.assert_array_equal(
+        reference.final_loads, candidate.final_loads
+    )
+    np.testing.assert_array_equal(
+        reference.rounds_executed, candidate.rounds_executed
+    )
+    np.testing.assert_array_equal(
+        reference.stopped_early, candidate.stopped_early
+    )
+    assert reference.histories == candidate.histories
+
+
+# ----------------------------------------------------------------------
+# Worker-process transport (the parity suite's graphs stay inline)
+# ----------------------------------------------------------------------
+
+
+def test_parity_process_transport():
+    # inline=false forces the shared-memory / ProcessPoolExecutor path
+    # even on a small graph; with churn, repairs must ship to workers.
+    graph = families.cycle(40, num_self_loops=1)
+    spec = TopologySpec(
+        "edge_churn", {"rate": 0.1, "downtime": 3, "seed": 7}
+    )
+    reference = _final(graph, "structured", topology=spec, rounds=25)
+    candidate = _final(
+        graph,
+        'partitioned:{"workers": 2, "inline": false}',
+        topology=spec,
+        rounds=25,
+    )
+    np.testing.assert_array_equal(reference, candidate)

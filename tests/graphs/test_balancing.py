@@ -181,3 +181,100 @@ class TestMemoryEstimate:
 
         with pytest.raises(ValueError, match="unknown engine"):
             estimate_memory_bytes(1000, 4, engine="warp")
+
+    # -- per-backend operator terms vs measured nbytes ------------------
+    #
+    # The estimates are planning numbers, but their *operator* terms
+    # are exact formulas for the arrays the backends actually allocate.
+    # Pin each term against measured nbytes at small n so a backend
+    # data-structure change cannot silently drift the planner.
+
+    def _graph(self, n=64):
+        from repro.graphs import families
+
+        # cycle + 2 self-loops: d = 2, d+ = 4 (the paper's d+ = 2d).
+        return families.cycle(n, num_self_loops=2)
+
+    def test_spmm_term_matches_operator_nbytes(self):
+        from repro.engines.spmm import _GatherOperator
+        from repro.graphs.balancing import estimate_memory_bytes
+
+        graph = self._graph()
+        matrix = _GatherOperator(graph).matrix
+        measured = (
+            matrix.data.nbytes
+            + matrix.indices.nbytes
+            + matrix.indptr.nbytes
+        )
+        n, d_plus = graph.num_nodes, graph.total_degree
+        estimated = estimate_memory_bytes(
+            n, d_plus, engine="spmm", degree=graph.degree
+        ) - estimate_memory_bytes(n, d_plus, engine="dense")
+        assert estimated == measured
+
+    def test_compiled_term_matches_operator_nbytes(self):
+        from repro.engines.compiled import _RotorOperator
+        from repro.graphs.balancing import estimate_memory_bytes
+
+        graph = self._graph()
+        ops = _RotorOperator(graph)
+        measured = (
+            ops.matrix.data.nbytes
+            + ops.matrix.indices.nbytes
+            + ops.matrix.indptr.nbytes
+            + ops.offsets.nbytes
+            + ops.hits.nbytes
+            + ops.values.nbytes
+        )
+        n, d_plus = graph.num_nodes, graph.total_degree
+        estimated = estimate_memory_bytes(
+            n, d_plus, engine="compiled", degree=graph.degree
+        ) - estimate_memory_bytes(n, d_plus, engine="structured")
+        assert estimated == measured
+
+    def test_partitioned_term_matches_state_nbytes(self):
+        import numpy as np
+
+        from repro.algorithms.registry import make
+        from repro.core.engine import Simulator
+        from repro.engines.partitioned import PartitionedEngine
+        from repro.graphs.balancing import estimate_memory_bytes
+
+        graph = self._graph()
+        loads = np.full(graph.num_nodes, 7, dtype=np.int64)
+        sim = Simulator(
+            graph,
+            make("rotor_router"),
+            loads,
+            engine='partitioned:{"workers": 2, "inline": true}',
+        )
+        sim.run(2)
+        engine = sim._backend
+        assert isinstance(engine, PartitionedEngine)
+        state = engine._states[id(graph)]
+        measured = sum(
+            halo.adj_local.nbytes for halo in state.book.halos
+        )
+        for pos in state.pos.values():
+            measured += sum(a.nbytes for a in pos.pos_local)
+            measured += sum(a.nbytes for a in pos.pos_rev)
+        n, d_plus = graph.num_nodes, graph.total_degree
+        estimated = estimate_memory_bytes(
+            n, d_plus, engine="partitioned", degree=graph.degree
+        ) - estimate_memory_bytes(n, d_plus, engine="structured")
+        # Contiguous cycle partitions: no ghost slots beyond the four
+        # round shm blocks the formula budgets on top of the arrays.
+        assert estimated == measured + 8 * 4 * n
+
+    def test_index_width_switches_past_int32(self):
+        from repro.graphs.balancing import estimate_memory_bytes
+
+        small = estimate_memory_bytes(10**6, 4, engine="spmm")
+        # Past the int32 flat-column ceiling the index arrays double.
+        huge_n = 2**31
+        wide = estimate_memory_bytes(huge_n, 4, engine="spmm")
+        dense_small = estimate_memory_bytes(10**6, 4, engine="dense")
+        dense_wide = estimate_memory_bytes(huge_n, 4, engine="dense")
+        per_node_small = (small - dense_small) / 10**6
+        per_node_wide = (wide - dense_wide) / huge_n
+        assert per_node_wide > per_node_small
